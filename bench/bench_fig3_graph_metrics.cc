@@ -1,0 +1,80 @@
+// Reproduces Fig. 3: average 2-hop node count and strong CC count for a
+// raw kNN graph vs. partially and fully optimized CAGRA graphs, per
+// dataset, at the Table I degrees (d_init = 3d as in the paper).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/optimize.h"
+#include "graph/analysis.h"
+#include "knn/nn_descent.h"
+
+namespace {
+
+using namespace cagra;
+
+/// Degree-d truncation of a kNN graph (rows are distance-sorted).
+FixedDegreeGraph Truncate(const FixedDegreeGraph& g, size_t d) {
+  FixedDegreeGraph out(g.num_nodes(), d);
+  for (size_t v = 0; v < g.num_nodes(); v++) {
+    for (size_t j = 0; j < d; j++) {
+      out.MutableNeighbors(v)[j] = g.Neighbors(v)[j];
+    }
+  }
+  return out;
+}
+
+void Report(const char* variant, const FixedDegreeGraph& g, size_t d) {
+  const double max2hop = static_cast<double>(d + d * d);
+  const double two_hop = Average2HopCount(g, 2000);
+  std::printf("  %-22s 2-hop=%8.1f (%.0f%% of max) strongCC=%zu\n", variant,
+              two_hop, 100.0 * two_hop / max2hop, CountStrongComponents(g));
+}
+
+void RunDataset(const char* name) {
+  const auto wb = bench::MakeWorkbench(name, /*num_queries=*/1);
+  const size_t d = wb.profile->cagra_degree;
+  bench::PrintSeriesHeader("Fig. 3", name,
+                           ("d=" + std::to_string(d)).c_str());
+
+  NnDescentParams nnd;
+  nnd.k = 3 * d;  // paper: d_init = 3d for this experiment
+  if (nnd.k >= wb.data.base.rows()) nnd.k = wb.data.base.rows() - 1;
+  const FixedDegreeGraph knn =
+      BuildKnnGraphNnDescent(wb.data.base, nnd, wb.profile->metric);
+
+  // kNN(d): plain truncation of the initial graph.
+  Report("kNN", Truncate(knn, d), d);
+
+  // reordering+topk: rank-based reorder + prune only (no reverse edges).
+  const FixedDegreeGraph reordered =
+      ReorderAndPrune(knn, d, ReorderMode::kRankBased, wb.data.base,
+                      wb.profile->metric);
+  Report("reordering+topk", reordered, d);
+
+  // rev_edge+topk: reverse edges added to the *truncated* kNN graph.
+  {
+    const FixedDegreeGraph trunc = Truncate(knn, d);
+    const AdjacencyGraph rev = BuildReverseGraph(trunc);
+    Report("rev_edge+topk", MergeGraphs(trunc, rev, 0.5), d);
+  }
+
+  // full opt: reorder + reverse + merge.
+  {
+    const AdjacencyGraph rev = BuildReverseGraph(reordered);
+    Report("full opt+topk", MergeGraphs(reordered, rev, 0.5), d);
+  }
+}
+
+}  // namespace
+
+int main() {
+  for (const char* name :
+       {"SIFT-1M", "GIST-1M", "GloVe-200", "NYTimes", "DEEP-1M"}) {
+    RunDataset(name);
+  }
+  std::printf(
+      "\nExpected shape (paper): reordering lifts the 2-hop count the most;\n"
+      "reverse edges collapse the strong CC count toward 1; the fully\n"
+      "optimized graph achieves both.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Fig. 8: QPS-recall across software warp-split team sizes
+// (2..32) on a small-dim dataset (DEEP-1M, dim 96) and a large-dim one
+// (GIST, dim 960). The functional search is identical for every team
+// size; the modeled occupancy/load-efficiency differences move the QPS.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace {
+
+using namespace cagra;
+
+constexpr size_t kPaperBatch = 10000;
+
+void RunDataset(const char* name) {
+  const auto wb = bench::MakeWorkbench(name, 200, 10);
+  bench::PrintSeriesHeader("Fig. 8", name,
+                           ("dim=" + std::to_string(wb.profile->dim)).c_str());
+  BuildParams bp;
+  bp.graph_degree = wb.profile->cagra_degree;
+  bp.metric = wb.profile->metric;
+  auto index = CagraIndex::Build(wb.data.base, bp);
+  if (!index.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 index.status().ToString().c_str());
+    return;
+  }
+
+  for (size_t team : {2, 4, 8, 16, 32}) {
+    std::printf("  team=%2zu", team);
+    for (size_t itopk : {32, 64, 128}) {
+      SearchParams sp;
+      sp.k = 10;
+      sp.itopk = itopk;
+      sp.algo = SearchAlgo::kSingleCta;
+      sp.team_size = team;
+      auto r = Search(*index, wb.data.queries, sp);
+      if (!r.ok()) continue;
+      const double recall = ComputeRecall(r->neighbors, bench::GtAtK(wb, 10));
+      std::printf("  %.3f/%.2e", recall,
+                  bench::ModeledQpsAtBatch(*r, kPaperBatch));
+    }
+    std::printf("   (recall@10 / QPS at itopk=32,64,128)\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunDataset("DEEP-1M");
+  RunDataset("GIST-1M");
+  std::printf(
+      "\nExpected shape (paper): dim 96 peaks at team 4-8 (team 2 pays\n"
+      "register pressure, team 32 wastes load lanes); dim 960 peaks at\n"
+      "team 32.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a CAGRA index over a synthetic dataset and run a
+// batched k-NN search — the minimal end-to-end use of the public API.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/search.h"
+#include "dataset/profile.h"
+#include "dataset/synthetic.h"
+#include "knn/bruteforce.h"
+
+int main() {
+  using namespace cagra;
+
+  // 1. Data: 10k 96-dim vectors from the DEEP-1M-like profile, plus 100
+  //    query vectors. Swap in ReadFvecs(...) for real data.
+  const DatasetProfile* profile = FindProfile("DEEP-1M");
+  SyntheticData data = GenerateDataset(*profile, 10000, 100);
+  std::printf("dataset: %zu vectors, dim %zu\n", data.base.rows(),
+              data.base.dim());
+
+  // 2. Build: NN-descent initial graph + CAGRA optimization.
+  BuildParams build_params;
+  build_params.graph_degree = 32;
+  build_params.metric = profile->metric;
+  BuildStats build_stats;
+  auto index = CagraIndex::Build(data.base, build_params, &build_stats);
+  if (!index.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("built in %.2fs (kNN %.2fs, optimize %.2fs)\n",
+              build_stats.total_seconds, build_stats.knn.seconds,
+              build_stats.optimize.total_seconds);
+
+  // 3. Search: top-10 neighbors for every query.
+  SearchParams search_params;
+  search_params.k = 10;
+  search_params.itopk = 64;
+  auto result = Search(*index, data.queries, search_params);
+  if (!result.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Verify against exact ground truth.
+  const auto gt =
+      ComputeGroundTruth(data.base, data.queries, 10, profile->metric);
+  std::printf("recall@10 = %.4f\n", ComputeRecall(result->neighbors, gt));
+  std::printf("mode: %s, team size %zu, modeled A100 QPS %.3g\n",
+              result->algo_used == SearchAlgo::kMultiCta ? "multi-CTA"
+                                                         : "single-CTA",
+              result->team_size_used, result->modeled_qps);
+
+  std::printf("query 0 neighbors:");
+  for (size_t i = 0; i < 10; i++) {
+    std::printf(" %u", result->neighbors.Row(0)[i]);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Recommendation retrieval: inner-product similarity over user/item
+// embeddings with FP16 storage — the memory-bandwidth-bound regime where
+// the paper's half-precision mode pays off (§IV-C1, Fig. 13).
+//
+//   $ ./recommender
+#include <cstdio>
+
+#include "core/search.h"
+#include "dataset/profile.h"
+#include "dataset/synthetic.h"
+#include "knn/bruteforce.h"
+
+int main() {
+  using namespace cagra;
+  // Item embeddings: DEEP-like 96-dim, but scored by inner product (the
+  // usual two-tower recommender setup).
+  DatasetProfile profile = *FindProfile("DEEP-1M");
+  profile.metric = Metric::kInnerProduct;
+  SyntheticData data = GenerateDataset(profile, 12000, 500);
+  std::printf("item catalog: %zu embeddings, dim %zu, metric %s\n",
+              data.base.rows(), data.base.dim(),
+              MetricName(profile.metric).c_str());
+
+  BuildParams bp;
+  bp.graph_degree = 32;
+  bp.metric = profile.metric;
+  auto index = CagraIndex::Build(data.base, bp);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  index->EnableHalfPrecision();
+
+  const auto gt =
+      ComputeGroundTruth(data.base, data.queries, 10, profile.metric);
+  // Inner-product retrieval concentrates on high-norm hub items, so a
+  // wider internal list is needed for the same recall as L2.
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 256;
+  sp.algo = SearchAlgo::kSingleCta;
+
+  for (const Precision prec : {Precision::kFp32, Precision::kFp16}) {
+    auto r = Search(*index, data.queries, sp, prec);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "%s: recall@10 = %.4f, modeled QPS %.3g, dataset bytes read %.1f MB\n",
+        prec == Precision::kFp32 ? "FP32" : "FP16",
+        ComputeRecall(r->neighbors, gt), r->modeled_qps,
+        static_cast<double>(r->counters.device_vector_bytes) / 1048576.0);
+  }
+
+  std::printf(
+      "FP16 halves the dataset traffic; on bandwidth-bound configs that\n"
+      "converts directly into throughput at unchanged recall.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "baselines/ganns/ganns.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace cagra {
+
+GannsIndex GannsIndex::Build(const Matrix<float>& dataset,
+                             const GannsParams& params,
+                             GannsBuildStats* stats) {
+  Timer timer;
+  GannsIndex index;
+  index.dataset_ = &dataset;
+  index.params_ = params;
+  const size_t n = dataset.rows();
+  index.graph_ = AdjacencyGraph(n);
+  std::atomic<size_t> distance_count{0};
+  if (n == 0) {
+    if (stats != nullptr) *stats = GannsBuildStats{};
+    return index;
+  }
+
+  // Seed clique over the first few nodes so early searches have a graph.
+  const size_t seed_count = std::min<size_t>(n, params.m + 1);
+  for (size_t i = 0; i < seed_count; i++) {
+    for (size_t j = 0; j < seed_count; j++) {
+      if (i != j) index.graph_.AddEdge(static_cast<uint32_t>(i),
+                                      static_cast<uint32_t>(j));
+    }
+  }
+
+  // Doubling insertion rounds: nodes within a round search the frozen
+  // pre-round graph in parallel, then their edges are committed.
+  size_t inserted = seed_count;
+  size_t round_size = params.batch_rounds_base;
+  size_t rounds = 0;
+  while (inserted < n) {
+    const size_t lo = inserted;
+    const size_t hi = std::min(n, lo + round_size);
+    std::vector<std::vector<uint32_t>> links(hi - lo);
+    GlobalThreadPool().ParallelFor(lo, hi, [&](size_t v) {
+      KernelCounters scratch;
+      Pcg32 rng(params.seed ^ (v * 0x9e37ull));
+      std::vector<uint32_t> entries = {
+          rng.NextBounded(static_cast<uint32_t>(lo))};
+      auto beam = GpuBeamSearch(dataset, params.metric, index.graph_,
+                                dataset.Row(v), params.m,
+                                params.ef_construction, entries, &scratch);
+      distance_count.fetch_add(scratch.distance_computations,
+                               std::memory_order_relaxed);
+      for (const auto& [d, u] : beam.neighbors) links[v - lo].push_back(u);
+    });
+    // Commit bidirectional edges (single-threaded: edge lists are small).
+    for (size_t v = lo; v < hi; v++) {
+      for (const uint32_t u : links[v - lo]) {
+        index.graph_.AddEdge(static_cast<uint32_t>(v), u);
+        index.graph_.AddEdge(u, static_cast<uint32_t>(v));
+      }
+      // NSW caps nothing, but unbounded in-degree hurts search; trim to
+      // 2m keeping the earliest (shortest-first by construction) edges.
+      auto* list = index.graph_.MutableNeighbors(v);
+      if (list->size() > 2 * params.m) list->resize(2 * params.m);
+    }
+    inserted = hi;
+    round_size *= 2;
+    rounds++;
+  }
+
+  if (stats != nullptr) {
+    stats->seconds = timer.Seconds();
+    stats->rounds = rounds;
+    stats->distance_computations = distance_count.load();
+  }
+  return index;
+}
+
+NeighborList GannsIndex::Search(const Matrix<float>& queries, size_t k,
+                                size_t ef, KernelCounters* counters) const {
+  NeighborList out;
+  out.k = k;
+  out.ids.assign(queries.rows() * k, 0xffffffffu);
+  out.distances.assign(queries.rows() * k, 0.0f);
+  const size_t n = dataset_ == nullptr ? 0 : dataset_->rows();
+  if (n == 0) return out;
+
+  std::vector<KernelCounters> per_query(queries.rows());
+  GlobalThreadPool().ParallelFor(0, queries.rows(), [&](size_t q) {
+    KernelCounters& c = per_query[q];
+    Pcg32 rng(params_.seed ^ (0xabcull * q));
+    std::vector<uint32_t> entries;
+    for (int i = 0; i < 4; i++) {
+      entries.push_back(rng.NextBounded(static_cast<uint32_t>(n)));
+    }
+    auto result = GpuBeamSearch(*dataset_, params_.metric, graph_,
+                                queries.Row(q), k, ef, entries, &c);
+    for (size_t i = 0; i < result.neighbors.size(); i++) {
+      out.ids[q * k + i] = result.neighbors[i].second;
+      out.distances[q * k + i] = result.neighbors[i].first;
+    }
+    c.iterations = result.iterations;
+    c.max_iterations = result.iterations;
+    c.queries = 1;
+  });
+  if (counters != nullptr) {
+    for (const auto& c : per_query) counters->Add(c);
+    counters->kernel_launches = 1;
+  }
+  return out;
+}
+
+KernelLaunchConfig GannsIndex::LaunchConfig(size_t batch) const {
+  return GpuBaselineLaunchConfig(batch, dataset_->dim(),
+                                 static_cast<size_t>(AverageDegree()));
+}
+
+}  // namespace cagra

@@ -1,0 +1,61 @@
+#ifndef CAGRA_BASELINES_GANNS_GANNS_H_
+#define CAGRA_BASELINES_GANNS_GANNS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "baselines/gpu_common/gpu_beam_search.h"
+#include "dataset/matrix.h"
+#include "dataset/recall.h"
+#include "distance/distance.h"
+#include "graph/fixed_degree_graph.h"
+
+namespace cagra {
+
+/// GANNS-style parameters (Yu et al., ICDE'22 — reference [32]: NSW
+/// construction and search restructured for the GPU).
+struct GannsParams {
+  size_t m = 16;            ///< edges added per inserted node
+  size_t ef_construction = 64;
+  size_t batch_rounds_base = 256;  ///< first parallel insertion round size
+  Metric metric = Metric::kL2;
+  uint64_t seed = 777;
+};
+
+struct GannsBuildStats {
+  double seconds = 0.0;
+  size_t rounds = 0;
+  size_t distance_computations = 0;
+};
+
+/// GPU-oriented NSW baseline: nodes are inserted in doubling batch
+/// rounds; within a round every node searches the *current* graph in
+/// parallel (the GPU-friendly reformulation of sequential NSW insertion)
+/// and links bidirectionally to its m best finds. Search is the shared
+/// one-CTA-per-query instrumented beam search.
+class GannsIndex {
+ public:
+  GannsIndex() = default;
+
+  static GannsIndex Build(const Matrix<float>& dataset,
+                          const GannsParams& params,
+                          GannsBuildStats* stats = nullptr);
+
+  NeighborList Search(const Matrix<float>& queries, size_t k, size_t ef,
+                      KernelCounters* counters) const;
+
+  KernelLaunchConfig LaunchConfig(size_t batch) const;
+
+  const AdjacencyGraph& graph() const { return graph_; }
+  double AverageDegree() const { return graph_.AverageDegree(); }
+
+ private:
+  const Matrix<float>* dataset_ = nullptr;  // not owned
+  GannsParams params_;
+  AdjacencyGraph graph_;
+};
+
+}  // namespace cagra
+
+#endif  // CAGRA_BASELINES_GANNS_GANNS_H_

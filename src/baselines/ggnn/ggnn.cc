@@ -1,0 +1,232 @@
+#include "baselines/ggnn/ggnn.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "util/bounded_heap.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace cagra {
+
+GgnnIndex GgnnIndex::Build(const Matrix<float>& dataset,
+                           const GgnnParams& params, GgnnBuildStats* stats) {
+  Timer timer;
+  GgnnIndex index;
+  index.dataset_ = &dataset;
+  index.params_ = params;
+  const size_t n = dataset.rows();
+  std::atomic<size_t> distance_count{0};
+  if (n == 0) {
+    if (stats != nullptr) *stats = GgnnBuildStats{};
+    return index;
+  }
+
+  // --- Layer membership: nested random subsamples.
+  Pcg32 rng(params.seed);
+  std::vector<uint32_t> members(n);
+  std::iota(members.begin(), members.end(), 0u);
+  while (true) {
+    index.layer_nodes_.push_back(members);
+    if (members.size() <= params.min_top_size) break;
+    // Shuffle and keep the first shrink_factor fraction.
+    for (size_t i = members.size() - 1; i > 0; i--) {
+      std::swap(members[i],
+                members[rng.NextBounded(static_cast<uint32_t>(i + 1))]);
+    }
+    const size_t next = std::max(
+        params.min_top_size,
+        static_cast<size_t>(params.shrink_factor *
+                            static_cast<double>(members.size())));
+    members.resize(next);
+  }
+
+  const size_t num_layers = index.layer_nodes_.size();
+  index.layers_.assign(num_layers, AdjacencyGraph(n));
+
+  // --- Per layer: segment-local exact kNN (the GPU-parallel bulk step).
+  for (size_t layer = 0; layer < num_layers; layer++) {
+    auto nodes = index.layer_nodes_[layer];  // copy: shuffled per layer
+    Pcg32 lrng(params.seed ^ (layer + 1));
+    for (size_t i = nodes.size() - 1; i > 0; i--) {
+      std::swap(nodes[i], nodes[lrng.NextBounded(static_cast<uint32_t>(i + 1))]);
+    }
+    const size_t num_segments =
+        (nodes.size() + params.segment_size - 1) / params.segment_size;
+    GlobalThreadPool().ParallelFor(0, num_segments, [&](size_t seg) {
+      const size_t lo = seg * params.segment_size;
+      const size_t hi = std::min(nodes.size(), lo + params.segment_size);
+      size_t local_distances = 0;
+      for (size_t i = lo; i < hi; i++) {
+        BoundedHeap heap(params.degree);
+        for (size_t j = lo; j < hi; j++) {
+          if (i == j) continue;
+          const float d =
+              ComputeDistance(params.metric, dataset.Row(nodes[i]),
+                              dataset.Row(nodes[j]), dataset.dim());
+          local_distances++;
+          if (d < heap.WorstDistance()) heap.Push(d, nodes[j]);
+        }
+        auto sorted = heap.ExtractSorted();
+        auto* list = index.layers_[layer].MutableNeighbors(nodes[i]);
+        list->clear();
+        for (const auto& e : sorted) list->push_back(e.id);
+      }
+      distance_count.fetch_add(local_distances, std::memory_order_relaxed);
+    });
+  }
+
+  // --- Top-down refinement: re-search each node through the layer above
+  // and swap in closer neighbors than the segment-local ones.
+  for (size_t layer = num_layers - 1; layer-- > 0;) {
+    const auto& nodes = index.layer_nodes_[layer];
+    const auto& upper_nodes = index.layer_nodes_[layer + 1];
+    GlobalThreadPool().ParallelFor(0, nodes.size(), [&](size_t idx) {
+      const uint32_t v = nodes[idx];
+      KernelCounters scratch;  // refinement cost folds into build time
+      std::vector<uint32_t> entries = {upper_nodes[idx % upper_nodes.size()]};
+      auto beam = GpuBeamSearch(dataset, params.metric, index.layers_[layer + 1],
+                                dataset.Row(v), params.refine_ef,
+                                params.refine_ef, entries, &scratch);
+      distance_count.fetch_add(scratch.distance_computations,
+                               std::memory_order_relaxed);
+      // Merge current neighbors with beam results, keep best `degree`.
+      BoundedHeap heap(params.degree);
+      auto offer = [&](uint32_t u) {
+        if (u == v) return;
+        const float d = ComputeDistance(params.metric, dataset.Row(v),
+                                        dataset.Row(u), dataset.dim());
+        distance_count.fetch_add(1, std::memory_order_relaxed);
+        if (d < heap.WorstDistance()) heap.Push(d, u);
+      };
+      for (const uint32_t u : index.layers_[layer].Neighbors(v)) offer(u);
+      for (const auto& [d, u] : beam.neighbors) {
+        if (u == v) continue;
+        if (d < heap.WorstDistance()) heap.Push(d, u);
+      }
+      auto sorted = heap.ExtractSorted();
+      // Dedupe while preserving ascending order.
+      auto* list = index.layers_[layer].MutableNeighbors(v);
+      list->clear();
+      for (const auto& e : sorted) {
+        if (std::find(list->begin(), list->end(), e.id) == list->end()) {
+          list->push_back(e.id);
+        }
+      }
+    });
+  }
+
+  // --- Neighbor-of-neighbor improvement pass on the bottom layer (the
+  // GGNN "local join" refinement): candidates from two hops replace
+  // segment-local edges that survived refinement.
+  {
+    const AdjacencyGraph frozen = index.layers_[0];
+    GlobalThreadPool().ParallelFor(0, n, [&](size_t v) {
+      BoundedHeap heap(params.degree);
+      size_t local_distances = 0;
+      auto offer = [&](uint32_t u) {
+        if (u == v) return;
+        const float d = ComputeDistance(params.metric, dataset.Row(v),
+                                        dataset.Row(u), dataset.dim());
+        local_distances++;
+        if (d < heap.WorstDistance()) heap.Push(d, u);
+      };
+      for (const uint32_t u : frozen.Neighbors(v)) {
+        offer(u);
+        for (const uint32_t w : frozen.Neighbors(u)) offer(w);
+      }
+      auto sorted = heap.ExtractSorted();
+      auto* list = index.layers_[0].MutableNeighbors(v);
+      list->clear();
+      for (const auto& e : sorted) {
+        if (std::find(list->begin(), list->end(), e.id) == list->end()) {
+          list->push_back(e.id);
+        }
+      }
+      distance_count.fetch_add(local_distances, std::memory_order_relaxed);
+    });
+  }
+
+  // --- Symmetrization: add reverse edges (capped at 1.5x degree) on
+  // every layer. A pure nearest-neighbor layer fragments into clusters;
+  // the reverse edges restore the reachability the beam search needs.
+  for (size_t layer = 0; layer < num_layers; layer++) {
+    AdjacencyGraph& g = index.layers_[layer];
+    const size_t cap = params.degree + params.degree / 2;
+    std::vector<std::pair<uint32_t, uint32_t>> reversed;
+    for (const uint32_t v : index.layer_nodes_[layer]) {
+      for (const uint32_t u : g.Neighbors(v)) reversed.emplace_back(u, v);
+    }
+    for (const auto& [u, v] : reversed) {
+      auto* list = g.MutableNeighbors(u);
+      if (list->size() < cap &&
+          std::find(list->begin(), list->end(), v) == list->end()) {
+        list->push_back(v);
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->seconds = timer.Seconds();
+    stats->layers = num_layers;
+    stats->distance_computations = distance_count.load();
+  }
+  return index;
+}
+
+NeighborList GgnnIndex::Search(const Matrix<float>& queries, size_t k,
+                               size_t ef, KernelCounters* counters) const {
+  NeighborList out;
+  out.k = k;
+  out.ids.assign(queries.rows() * k, 0xffffffffu);
+  out.distances.assign(queries.rows() * k, 0.0f);
+  if (layers_.empty()) return out;
+
+  std::vector<KernelCounters> per_query(queries.rows());
+  GlobalThreadPool().ParallelFor(0, queries.rows(), [&](size_t q) {
+    KernelCounters& c = per_query[q];
+    const float* query = queries.Row(q);
+    // Descend: beam through upper layers with a narrow beam, widening at
+    // the bottom.
+    Pcg32 rng(params_.seed ^ (0x51ull * q));
+    const auto& top_nodes = layer_nodes_.back();
+    std::vector<uint32_t> entries;
+    for (int i = 0; i < 4; i++) {
+      entries.push_back(
+          top_nodes[rng.NextBounded(static_cast<uint32_t>(top_nodes.size()))]);
+    }
+    size_t max_iters = 0;
+    for (size_t layer = layers_.size() - 1; layer > 0; layer--) {
+      auto result = GpuBeamSearch(*dataset_, params_.metric, layers_[layer],
+                                  query, 4, 16, entries, &c);
+      entries.clear();
+      for (const auto& [d, id] : result.neighbors) entries.push_back(id);
+      if (entries.empty()) entries.push_back(top_nodes.front());
+      max_iters += result.iterations;
+    }
+    auto result = GpuBeamSearch(*dataset_, params_.metric, layers_.front(),
+                                query, k, ef, entries, &c);
+    max_iters += result.iterations;
+    for (size_t i = 0; i < result.neighbors.size(); i++) {
+      out.ids[q * k + i] = result.neighbors[i].second;
+      out.distances[q * k + i] = result.neighbors[i].first;
+    }
+    c.iterations = max_iters;
+    c.max_iterations = max_iters;
+    c.queries = 1;
+  });
+  if (counters != nullptr) {
+    for (const auto& c : per_query) counters->Add(c);
+    counters->kernel_launches = layers_.size();  // one launch per layer
+  }
+  return out;
+}
+
+KernelLaunchConfig GgnnIndex::LaunchConfig(size_t batch) const {
+  return GpuBaselineLaunchConfig(batch, dataset_->dim(),
+                                 static_cast<size_t>(AverageBottomDegree()));
+}
+
+}  // namespace cagra

@@ -1,0 +1,74 @@
+#ifndef CAGRA_BASELINES_GGNN_GGNN_H_
+#define CAGRA_BASELINES_GGNN_GGNN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "baselines/gpu_common/gpu_beam_search.h"
+#include "dataset/matrix.h"
+#include "dataset/recall.h"
+#include "distance/distance.h"
+#include "gpusim/device_spec.h"
+#include "graph/fixed_degree_graph.h"
+
+namespace cagra {
+
+/// GGNN-style parameters (Groh et al., IEEE Big Data'22 — reference [9]:
+/// hierarchical GPU graph built bottom-up from segment-local kNN graphs
+/// and refined top-down through coarser layers).
+struct GgnnParams {
+  size_t degree = 24;            ///< per-node out-degree on each layer
+  size_t segment_size = 512;     ///< brute-force kNN segment width
+  double shrink_factor = 0.25;   ///< layer-to-layer subsampling ratio
+  size_t min_top_size = 512;     ///< stop coarsening at this many nodes
+  size_t refine_ef = 64;         ///< beam width of the refinement pass
+  Metric metric = Metric::kL2;
+  uint64_t seed = 555;
+};
+
+struct GgnnBuildStats {
+  double seconds = 0.0;
+  size_t layers = 0;
+  size_t distance_computations = 0;
+};
+
+/// Hierarchical GPU graph baseline. Layer 0 holds all points; each upper
+/// layer is a subsample. Per layer, points are partitioned into segments
+/// and linked by exact kNN inside the segment (the massively parallel
+/// part), then a refinement pass re-searches each node through the layer
+/// above to swap in better neighbors.
+class GgnnIndex {
+ public:
+  GgnnIndex() = default;
+
+  static GgnnIndex Build(const Matrix<float>& dataset,
+                         const GgnnParams& params,
+                         GgnnBuildStats* stats = nullptr);
+
+  /// Batched search: descends layer entry points, then beam-searches the
+  /// bottom layer. Counters feed the GPU cost model (large-batch oriented
+  /// — one CTA per query, Fig. 13/14).
+  NeighborList Search(const Matrix<float>& queries, size_t k, size_t ef,
+                      KernelCounters* counters) const;
+
+  KernelLaunchConfig LaunchConfig(size_t batch) const;
+
+  const AdjacencyGraph& BottomLayer() const { return layers_.front(); }
+  size_t num_layers() const { return layers_.size(); }
+  double AverageBottomDegree() const {
+    return layers_.empty() ? 0.0 : layers_.front().AverageDegree();
+  }
+
+ private:
+  const Matrix<float>* dataset_ = nullptr;  // not owned
+  GgnnParams params_;
+  /// layers_[0] = full graph; layers_[i>0] over node subsets with global
+  /// node ids (layer_nodes_[i] lists the member ids).
+  std::vector<AdjacencyGraph> layers_;
+  std::vector<std::vector<uint32_t>> layer_nodes_;
+};
+
+}  // namespace cagra
+
+#endif  // CAGRA_BASELINES_GGNN_GGNN_H_

@@ -1,0 +1,86 @@
+#ifndef CAGRA_BASELINES_NSSG_NSSG_H_
+#define CAGRA_BASELINES_NSSG_NSSG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dataset/matrix.h"
+#include "dataset/recall.h"
+#include "distance/distance.h"
+#include "graph/fixed_degree_graph.h"
+
+namespace cagra {
+
+/// NSSG build parameters (Fu, Wang & Cai, TPAMI'22 — reference [7]: the
+/// "satellite system graph" whose construction and random-start search
+/// the paper calls closest to CAGRA's).
+struct NssgParams {
+  size_t degree = 32;        ///< R: max out-degree after pruning
+  size_t pool_size = 100;    ///< L: candidate pool per node (2-hop expansion)
+  float angle_cos = 0.5f;    ///< edge kept if cos(angle) <= this (60 deg)
+  size_t knn_k = 40;         ///< degree of the input kNN graph
+  Metric metric = Metric::kL2;
+  uint64_t seed = 4242;
+};
+
+struct NssgBuildStats {
+  double knn_seconds = 0.0;       ///< initial kNN graph time
+  double prune_seconds = 0.0;     ///< pool building + angle pruning
+  double connect_seconds = 0.0;   ///< DFS connectivity expansion
+  double total_seconds = 0.0;
+  size_t distance_computations = 0;
+};
+
+struct NssgSearchStats {
+  size_t distance_computations = 0;
+  size_t hops = 0;
+};
+
+/// Navigating Spreading-out/Satellite System Graph baseline. Build:
+/// NN-descent kNN graph, per-node 2-hop candidate pools pruned by the
+/// angle (spread-out) criterion, then a DFS pass that reattaches any
+/// unreachable node. Search: random-sample initialization (no navigating
+/// node) followed by best-first expansion — the same search shape as
+/// CAGRA, which is why the paper uses NSSG's search to compare raw graph
+/// quality (Fig. 12).
+class NssgIndex {
+ public:
+  NssgIndex() = default;
+
+  static NssgIndex Build(const Matrix<float>& dataset,
+                         const NssgParams& params,
+                         NssgBuildStats* stats = nullptr);
+
+  /// Builds from an existing kNN graph (skips the NN-descent phase).
+  static NssgIndex BuildFromKnn(const Matrix<float>& dataset,
+                                const FixedDegreeGraph& knn,
+                                const NssgParams& params,
+                                NssgBuildStats* stats = nullptr);
+
+  std::vector<std::pair<float, uint32_t>> SearchOne(
+      const float* query, size_t k, size_t pool,
+      NssgSearchStats* stats = nullptr) const;
+
+  NeighborList Search(const Matrix<float>& queries, size_t k, size_t pool,
+                      NssgSearchStats* stats = nullptr) const;
+
+  const AdjacencyGraph& graph() const { return graph_; }
+  double AverageDegree() const { return graph_.AverageDegree(); }
+
+  /// The NSSG search procedure over an arbitrary graph (Fig. 12 harness:
+  /// "we load the CAGRA graph into NSSG and use NSSG search").
+  static std::vector<std::pair<float, uint32_t>> SearchGraph(
+      const Matrix<float>& dataset, Metric metric, const AdjacencyGraph& graph,
+      const float* query, size_t k, size_t pool, uint64_t seed,
+      NssgSearchStats* stats = nullptr);
+
+ private:
+  const Matrix<float>* dataset_ = nullptr;  // not owned
+  NssgParams params_;
+  AdjacencyGraph graph_;
+};
+
+}  // namespace cagra
+
+#endif  // CAGRA_BASELINES_NSSG_NSSG_H_

@@ -1,0 +1,157 @@
+#include "core/index.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "util/timer.h"
+
+namespace cagra {
+
+Result<CagraIndex> CagraIndex::Build(const Matrix<float>& dataset,
+                                     const BuildParams& params,
+                                     BuildStats* stats) {
+  if (dataset.rows() == 0 || dataset.dim() == 0) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (dataset.rows() > kMaxDatasetSize) {
+    return Status::CapacityExceeded(
+        "dataset exceeds 2^31-1 vectors (MSB parent-flag limit, §IV-B4)");
+  }
+  if (params.graph_degree < 2) {
+    return Status::InvalidArgument("graph_degree must be >= 2");
+  }
+
+  Timer total;
+  BuildStats local;
+
+  NnDescentParams nnd;
+  nnd.k = params.intermediate_degree != 0 ? params.intermediate_degree
+                                          : 2 * params.graph_degree;
+  // d_init cannot exceed n - 1 distinct neighbors.
+  if (nnd.k >= dataset.rows()) nnd.k = dataset.rows() - 1;
+  nnd.sample_rate = params.nn_descent_sample_rate;
+  nnd.max_iterations = params.nn_descent_max_iterations;
+  nnd.termination_delta = params.nn_descent_termination_delta;
+  nnd.seed = params.seed;
+
+  FixedDegreeGraph initial =
+      BuildKnnGraphNnDescent(dataset, nnd, params.metric, &local.knn);
+
+  BuildParams effective = params;
+  if (effective.graph_degree > initial.degree()) {
+    effective.graph_degree = initial.degree();
+  }
+  FixedDegreeGraph optimized =
+      OptimizeGraph(initial, effective, dataset, &local.optimize);
+
+  Timer indexing;
+  CagraIndex index;
+  index.dataset_ = dataset;
+  index.graph_ = std::move(optimized);
+  index.metric_ = params.metric;
+  local.indexing_seconds = indexing.Seconds();
+  local.total_seconds = total.Seconds();
+  if (stats != nullptr) *stats = local;
+  return index;
+}
+
+Result<CagraIndex> CagraIndex::FromGraph(const Matrix<float>& dataset,
+                                         FixedDegreeGraph graph,
+                                         Metric metric) {
+  if (dataset.rows() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "graph node count does not match dataset rows");
+  }
+  if (dataset.rows() > kMaxDatasetSize) {
+    return Status::CapacityExceeded(
+        "dataset exceeds 2^31-1 vectors (MSB parent-flag limit, §IV-B4)");
+  }
+  CagraIndex index;
+  index.dataset_ = dataset;
+  index.graph_ = std::move(graph);
+  index.metric_ = metric;
+  return index;
+}
+
+void CagraIndex::EnableHalfPrecision() {
+  if (half_.empty() && !dataset_.empty()) half_ = ToHalf(dataset_);
+}
+
+void CagraIndex::EnableInt8Quantization() {
+  if (int8_.empty() && !dataset_.empty()) int8_ = QuantizeInt8(dataset_);
+}
+
+namespace {
+constexpr uint64_t kIndexMagic = 0x43414752414958ULL;  // "CAGRAIX"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+Status CagraIndex::Save(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  const uint64_t header[5] = {kIndexMagic, dataset_.rows(), dataset_.dim(),
+                              graph_.degree(),
+                              static_cast<uint64_t>(metric_)};
+  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1) {
+    return Status::IoError(path + ": header write failed");
+  }
+  const auto& vec = dataset_.data();
+  if (!vec.empty() &&
+      std::fwrite(vec.data(), sizeof(float), vec.size(), f.get()) !=
+          vec.size()) {
+    return Status::IoError(path + ": dataset write failed");
+  }
+  const auto& edges = graph_.edges();
+  if (!edges.empty() &&
+      std::fwrite(edges.data(), sizeof(uint32_t), edges.size(), f.get()) !=
+          edges.size()) {
+    return Status::IoError(path + ": graph write failed");
+  }
+  return Status::Ok();
+}
+
+Result<CagraIndex> CagraIndex::Load(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open " + path);
+  uint64_t header[5];
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1) {
+    return Status::IoError(path + ": header read failed");
+  }
+  if (header[0] != kIndexMagic) {
+    return Status::IoError(path + ": not a CAGRA index file");
+  }
+  const size_t rows = header[1];
+  const size_t dim = header[2];
+  const size_t degree = header[3];
+
+  CagraIndex index;
+  index.dataset_ = Matrix<float>(rows, dim);
+  index.metric_ = static_cast<Metric>(header[4]);
+  auto* vec = index.dataset_.mutable_data();
+  if (!vec->empty() &&
+      std::fread(vec->data(), sizeof(float), vec->size(), f.get()) !=
+          vec->size()) {
+    return Status::IoError(path + ": dataset read failed");
+  }
+  index.graph_ = FixedDegreeGraph(rows, degree);
+  std::vector<uint32_t> edges(rows * degree);
+  if (!edges.empty() &&
+      std::fread(edges.data(), sizeof(uint32_t), edges.size(), f.get()) !=
+          edges.size()) {
+    return Status::IoError(path + ": graph read failed");
+  }
+  for (size_t v = 0; v < rows; v++) {
+    uint32_t* row = index.graph_.MutableNeighbors(v);
+    std::copy(edges.begin() + v * degree, edges.begin() + (v + 1) * degree,
+              row);
+  }
+  return index;
+}
+
+}  // namespace cagra

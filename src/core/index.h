@@ -1,0 +1,84 @@
+#ifndef CAGRA_CORE_INDEX_H_
+#define CAGRA_CORE_INDEX_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/optimize.h"
+#include "core/params.h"
+#include "dataset/matrix.h"
+#include "dataset/quantize.h"
+#include "graph/fixed_degree_graph.h"
+#include "knn/nn_descent.h"
+#include "util/status.h"
+
+namespace cagra {
+
+/// Timing breakdown of a full index build (Fig. 11 / Fig. 15 bars:
+/// "kNN build" + "Graph optimization" + "Indexing").
+struct BuildStats {
+  NnDescentStats knn;
+  OptimizeStats optimize;
+  double indexing_seconds = 0.0;  ///< final layout/copy step
+  double total_seconds = 0.0;
+};
+
+/// A built CAGRA index: the fixed-degree optimized graph plus the dataset
+/// it searches over (fp32 always; fp16 copy on demand, §IV-C1).
+///
+/// The MSB of a node index is reserved as the search-time "has been a
+/// parent" flag (§IV-B4), so datasets are limited to 2^31 - 1 vectors.
+class CagraIndex {
+ public:
+  CagraIndex() = default;
+
+  /// Builds from a dataset: NN-descent initial graph (degree d_init =
+  /// intermediate_degree or 2d), then the §III-B optimization.
+  /// Returns InvalidArgument for empty input or degree < 2, and
+  /// CapacityExceeded beyond the MSB-flag dataset-size limit.
+  static Result<CagraIndex> Build(const Matrix<float>& dataset,
+                                  const BuildParams& params,
+                                  BuildStats* stats = nullptr);
+
+  /// Wraps an externally built graph (e.g. for graph-quality studies
+  /// where a kNN or NSSG graph is searched with the CAGRA kernel).
+  static Result<CagraIndex> FromGraph(const Matrix<float>& dataset,
+                                      FixedDegreeGraph graph, Metric metric);
+
+  /// Materializes the fp16 copy of the dataset so searches can run in
+  /// half precision.
+  void EnableHalfPrecision();
+  bool HasHalfPrecision() const { return !half_.empty(); }
+
+  /// Materializes the int8 scalar-quantized copy (quarter the fp32
+  /// bytes; §V-E compression direction).
+  void EnableInt8Quantization();
+  bool HasInt8() const { return !int8_.empty(); }
+  const QuantizedDataset& int8_dataset() const { return int8_; }
+
+  const Matrix<float>& dataset() const { return dataset_; }
+  const Matrix<Half>& half_dataset() const { return half_; }
+  const FixedDegreeGraph& graph() const { return graph_; }
+  Metric metric() const { return metric_; }
+  size_t size() const { return dataset_.rows(); }
+  size_t dim() const { return dataset_.dim(); }
+  size_t degree() const { return graph_.degree(); }
+
+  /// Serializes graph + dataset + metric to `path` (binary).
+  Status Save(const std::string& path) const;
+  static Result<CagraIndex> Load(const std::string& path);
+
+  /// Maximum dataset size supported by the MSB parent-flag scheme.
+  static constexpr size_t kMaxDatasetSize = (1ull << 31) - 1;
+
+ private:
+  Matrix<float> dataset_;
+  Matrix<Half> half_;
+  QuantizedDataset int8_;
+  FixedDegreeGraph graph_;
+  Metric metric_ = Metric::kL2;
+};
+
+}  // namespace cagra
+
+#endif  // CAGRA_CORE_INDEX_H_

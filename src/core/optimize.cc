@@ -1,0 +1,263 @@
+#include "core/optimize.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace cagra {
+
+namespace {
+
+/// Per-thread scratch for O(1) "is Y a neighbor of X, at which rank?"
+/// lookups: epoch-stamped arrays avoid clearing N entries per node.
+struct RankScratch {
+  std::vector<uint32_t> epoch;
+  std::vector<uint32_t> rank;
+  uint32_t current = 0;
+
+  void EnsureSize(size_t n) {
+    if (epoch.size() < n) {
+      epoch.assign(n, 0);
+      rank.assign(n, 0);
+      current = 0;
+    }
+  }
+};
+
+thread_local RankScratch t_scratch;
+
+}  // namespace
+
+FixedDegreeGraph ReorderAndPrune(const FixedDegreeGraph& initial,
+                                 size_t degree, ReorderMode mode,
+                                 const Matrix<float>& dataset, Metric metric,
+                                 size_t* distance_computations) {
+  const size_t n = initial.num_nodes();
+  const size_t dinit = initial.degree();
+  FixedDegreeGraph out(n, std::min(degree, dinit));
+  std::atomic<size_t> distance_count{0};
+
+  GlobalThreadPool().ParallelFor(0, n, [&](size_t x) {
+    RankScratch& scratch = t_scratch;
+    scratch.EnsureSize(n);
+    scratch.current++;
+    const uint32_t epoch = scratch.current;
+
+    const uint32_t* nbrs = initial.Neighbors(x);
+    size_t valid = 0;
+    for (size_t i = 0; i < dinit; i++) {
+      const uint32_t y = nbrs[i];
+      if (y >= n) break;  // kInvalid padding is trailing by construction
+      scratch.epoch[y] = epoch;
+      scratch.rank[y] = static_cast<uint32_t>(i);
+      valid++;
+    }
+
+    // Distance-based mode caches w(X -> A_i) once per node; w(Z -> Y) is
+    // evaluated lazily only for routes that land back in X's list.
+    std::vector<float> dist_from_x;
+    size_t local_distances = 0;
+    if (mode == ReorderMode::kDistanceBased) {
+      dist_from_x.resize(valid);
+      for (size_t i = 0; i < valid; i++) {
+        dist_from_x[i] = ComputeDistance(metric, dataset.Row(x),
+                                         dataset.Row(nbrs[i]), dataset.dim());
+        local_distances++;
+      }
+    }
+
+    // Count detourable routes per edge position (Fig. 2 middle/right).
+    std::vector<uint32_t> detour_count(valid, 0);
+    for (size_t rz = 0; rz < valid; rz++) {
+      const uint32_t z = nbrs[rz];
+      const uint32_t* z_nbrs = initial.Neighbors(z);
+      for (size_t ry = 0; ry < dinit; ry++) {
+        const uint32_t y = z_nbrs[ry];
+        if (y >= n) break;
+        if (scratch.epoch[y] != epoch) continue;  // Y not a neighbor of X
+        const uint32_t target_rank = scratch.rank[y];
+        if (y == static_cast<uint32_t>(x)) continue;
+        if (mode == ReorderMode::kRankBased) {
+          // Rank stands in for distance: route X->Z->Y detours X->Y when
+          // both hops rank higher (smaller index) than the direct edge.
+          if (std::max(rz, ry) < static_cast<size_t>(target_rank)) {
+            detour_count[target_rank]++;
+          }
+        } else {
+          const float w_xz = dist_from_x[rz];
+          const float w_xy = dist_from_x[target_rank];
+          const float w_zy = ComputeDistance(
+              metric, dataset.Row(z), dataset.Row(y), dataset.dim());
+          local_distances++;
+          if (std::max(w_xz, w_zy) < w_xy) {
+            detour_count[target_rank]++;
+          }
+        }
+      }
+    }
+
+    // Stable reorder ascending by detourable-route count; ties keep the
+    // initial (distance) rank so the list remains distance-biased.
+    std::vector<uint32_t> order(valid);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return detour_count[a] < detour_count[b];
+                     });
+
+    uint32_t* out_row = out.MutableNeighbors(x);
+    const size_t keep = std::min(out.degree(), valid);
+    for (size_t i = 0; i < keep; i++) out_row[i] = nbrs[order[i]];
+    if (local_distances > 0) {
+      distance_count.fetch_add(local_distances, std::memory_order_relaxed);
+    }
+  });
+
+  if (distance_computations != nullptr) {
+    *distance_computations = distance_count.load();
+  }
+  return out;
+}
+
+AdjacencyGraph BuildReverseGraph(const FixedDegreeGraph& pruned) {
+  const size_t n = pruned.num_nodes();
+  const size_t d = pruned.degree();
+
+  // Collect (forward rank, source) pairs per target, then order each
+  // reverse list by the forward rank: an edge that appears early in its
+  // source's list ("considers you more important") sorts first.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> incoming(n);
+  for (size_t x = 0; x < n; x++) {
+    const uint32_t* nbrs = pruned.Neighbors(x);
+    for (size_t r = 0; r < d; r++) {
+      const uint32_t y = nbrs[r];
+      if (y >= n) break;
+      incoming[y].emplace_back(static_cast<uint32_t>(r),
+                               static_cast<uint32_t>(x));
+    }
+  }
+
+  AdjacencyGraph reversed(n);
+  GlobalThreadPool().ParallelFor(0, n, [&](size_t y) {
+    auto& in = incoming[y];
+    std::sort(in.begin(), in.end());
+    const size_t keep = std::min(in.size(), d);
+    auto* list = reversed.MutableNeighbors(y);
+    list->reserve(keep);
+    for (size_t i = 0; i < keep; i++) list->push_back(in[i].second);
+  });
+  return reversed;
+}
+
+FixedDegreeGraph MergeGraphs(const FixedDegreeGraph& pruned,
+                             const AdjacencyGraph& reversed,
+                             double forward_fraction) {
+  const size_t n = pruned.num_nodes();
+  const size_t d = pruned.degree();
+  FixedDegreeGraph out(n, d);
+
+  GlobalThreadPool().ParallelFor(0, n, [&](size_t x) {
+    const uint32_t* fwd = pruned.Neighbors(x);
+    size_t fwd_count = 0;
+    while (fwd_count < d && fwd[fwd_count] < n) fwd_count++;
+    const auto& rev = reversed.Neighbors(x);
+
+    // Quotas: forward_fraction of the row from the pruned graph, the rest
+    // from the reverse graph (paper default: d/2 + d/2, interleaved).
+    const size_t want_fwd = static_cast<size_t>(
+        std::lround(forward_fraction * static_cast<double>(d)));
+    const size_t want_rev = d - want_fwd;
+
+    uint32_t* out_row = out.MutableNeighbors(x);
+    size_t out_pos = 0;
+    size_t fi = 0;
+    size_t ri = 0;
+    auto contains = [&](uint32_t id) {
+      for (size_t i = 0; i < out_pos; i++) {
+        if (out_row[i] == id) return true;
+      }
+      return false;
+    };
+    auto take_fwd = [&]() {
+      while (fi < fwd_count) {
+        const uint32_t id = fwd[fi++];
+        if (id != static_cast<uint32_t>(x) && !contains(id)) {
+          out_row[out_pos++] = id;
+          return true;
+        }
+      }
+      return false;
+    };
+    auto take_rev = [&]() {
+      while (ri < rev.size()) {
+        const uint32_t id = rev[ri++];
+        if (id != static_cast<uint32_t>(x) && !contains(id)) {
+          out_row[out_pos++] = id;
+          return true;
+        }
+      }
+      return false;
+    };
+
+    // Interleave within quotas; prefer whichever side is furthest behind
+    // its quota so the pattern stays proportional for any fraction.
+    size_t taken_f = 0;
+    size_t taken_r = 0;
+    while (out_pos < d && (taken_f < want_fwd || taken_r < want_rev)) {
+      const bool prefer_fwd =
+          taken_r >= want_rev ||
+          (taken_f < want_fwd &&
+           taken_f * want_rev <= taken_r * want_fwd);
+      if (prefer_fwd) {
+        if (!take_fwd()) break;
+        taken_f++;
+      } else {
+        if (!take_rev()) break;
+        taken_r++;
+      }
+    }
+    // Compensation: fill any remainder from either source (§III-B2 —
+    // "when the number of children ... in the reversed edge graph is
+    // fewer than d/2, we compensate them by taking from the pruned
+    // graph").
+    while (out_pos < d && (take_fwd() || take_rev())) {
+    }
+  });
+  return out;
+}
+
+FixedDegreeGraph OptimizeGraph(const FixedDegreeGraph& initial,
+                               const BuildParams& params,
+                               const Matrix<float>& dataset,
+                               OptimizeStats* stats) {
+  OptimizeStats local;
+  Timer total;
+
+  Timer phase;
+  FixedDegreeGraph pruned =
+      ReorderAndPrune(initial, params.graph_degree, params.reorder, dataset,
+                      params.metric, &local.distance_computations);
+  local.reorder_seconds = phase.Seconds();
+
+  phase.Restart();
+  AdjacencyGraph reversed = BuildReverseGraph(pruned);
+  local.reverse_seconds = phase.Seconds();
+
+  phase.Restart();
+  FixedDegreeGraph merged =
+      MergeGraphs(pruned, reversed, params.forward_fraction);
+  local.merge_seconds = phase.Seconds();
+
+  local.total_seconds = total.Seconds();
+  local.distance_table_bytes =
+      initial.num_nodes() * initial.degree() * sizeof(float);
+  if (stats != nullptr) *stats = local;
+  return merged;
+}
+
+}  // namespace cagra

@@ -1,0 +1,63 @@
+#ifndef CAGRA_CORE_OPTIMIZE_H_
+#define CAGRA_CORE_OPTIMIZE_H_
+
+#include <cstddef>
+
+#include "core/params.h"
+#include "dataset/matrix.h"
+#include "graph/fixed_degree_graph.h"
+
+namespace cagra {
+
+/// Timing/memory breakdown of one optimization run (Fig. 4 rows).
+struct OptimizeStats {
+  double reorder_seconds = 0.0;
+  double reverse_seconds = 0.0;
+  double merge_seconds = 0.0;
+  double total_seconds = 0.0;
+  /// Distance evaluations performed (0 for rank-based — the headline
+  /// property of §III-B2).
+  size_t distance_computations = 0;
+  /// Bytes a precomputed distance table would need (N x d_init floats);
+  /// the quantity that produces the DEEP-100M out-of-memory failure for
+  /// distance-based reordering in Fig. 4.
+  size_t distance_table_bytes = 0;
+};
+
+/// Reorders each node's neighbor list by ascending detourable-route count
+/// (§III-B2, Fig. 2) and returns the graph truncated to `degree`.
+///
+/// `initial` must have rows sorted ascending by distance (NN-descent
+/// output). With ReorderMode::kRankBased the route test
+/// max(w(X->Z), w(Z->Y)) < w(X->Y) uses list positions as a stand-in for
+/// distances and never touches `dataset`; with kDistanceBased it computes
+/// the three distances (dataset required, `stats->distance_computations`
+/// counts them).
+FixedDegreeGraph ReorderAndPrune(const FixedDegreeGraph& initial,
+                                 size_t degree, ReorderMode mode,
+                                 const Matrix<float>& dataset, Metric metric,
+                                 size_t* distance_computations = nullptr);
+
+/// Builds the rank-sorted reverse graph of `pruned`: edge Y->X is added
+/// for every X->Y, reverse lists are ordered by the forward edge's rank
+/// ("someone who considers you more important is also more important to
+/// you") and truncated to `pruned.degree()` entries.
+AdjacencyGraph BuildReverseGraph(const FixedDegreeGraph& pruned);
+
+/// Interleaves forward and reverse neighbors into the final fixed-degree
+/// CAGRA graph, taking `forward_fraction` of each row from the forward
+/// graph and compensating from it when a node has too few reverse edges.
+/// Duplicate targets are skipped.
+FixedDegreeGraph MergeGraphs(const FixedDegreeGraph& pruned,
+                             const AdjacencyGraph& reversed,
+                             double forward_fraction);
+
+/// Full optimization pipeline (§III-B2): reorder+prune, reverse, merge.
+FixedDegreeGraph OptimizeGraph(const FixedDegreeGraph& initial,
+                               const BuildParams& params,
+                               const Matrix<float>& dataset,
+                               OptimizeStats* stats = nullptr);
+
+}  // namespace cagra
+
+#endif  // CAGRA_CORE_OPTIMIZE_H_

@@ -1,0 +1,88 @@
+#ifndef CAGRA_CORE_PARAMS_H_
+#define CAGRA_CORE_PARAMS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "distance/distance.h"
+
+namespace cagra {
+
+/// Edge-reordering criterion for graph optimization (§III-B2). CAGRA uses
+/// rank-based by default; distance-based is the ablation baseline that
+/// needs O(N * d_init) distance storage or O(N * d_init^2) recomputation.
+enum class ReorderMode {
+  kRankBased,
+  kDistanceBased,
+};
+
+/// CAGRA graph build parameters.
+struct BuildParams {
+  size_t graph_degree = 32;            ///< d: final fixed out-degree
+  size_t intermediate_degree = 0;      ///< d_init; 0 = 2*graph_degree
+  ReorderMode reorder = ReorderMode::kRankBased;
+  /// Fraction of each merged neighbor list taken from the forward
+  /// (reordered+pruned) graph; the rest comes from the reverse graph
+  /// (§III-B2 merges d/2 from each, interleaved).
+  double forward_fraction = 0.5;
+  Metric metric = Metric::kL2;
+  uint64_t seed = 1234;
+  /// NN-descent knobs for the initial graph.
+  double nn_descent_sample_rate = 0.5;
+  size_t nn_descent_max_iterations = 20;
+  double nn_descent_termination_delta = 0.001;
+};
+
+/// Dataset storage precision for the search: fp32/fp16 per §IV-C1, int8
+/// scalar quantization per the §V-E compression direction.
+enum class Precision { kFp32, kFp16, kInt8 };
+
+/// Hash-table management for the visited list (§IV-B3 / Table II).
+enum class HashMode {
+  kAuto,        ///< forgettable in single-CTA, standard in multi-CTA
+  kStandard,    ///< device-memory table sized for the whole search
+  kForgettable, ///< small shared-memory table with periodic resets
+};
+
+/// Search execution mapping (§IV-C / Table II).
+enum class SearchAlgo {
+  kAuto,       ///< Fig. 7 rule: multi-CTA iff batch < b_T or itopk > M_T
+  kSingleCta,  ///< one CTA per query (large batches)
+  kMultiCta,   ///< several CTAs per query (small batches / high recall)
+};
+
+/// CAGRA search parameters.
+struct SearchParams {
+  size_t k = 10;                 ///< neighbors to return
+  size_t itopk = 64;             ///< M: internal top-M list length (>= k)
+  size_t search_width = 1;       ///< p: parents expanded per iteration
+  size_t max_iterations = 0;     ///< 0 = auto (scaled from itopk)
+  size_t min_iterations = 0;
+  SearchAlgo algo = SearchAlgo::kAuto;
+  size_t cta_per_query = 0;      ///< multi-CTA width; 0 = auto
+  HashMode hash_mode = HashMode::kAuto;
+  size_t hash_reset_interval = 1;  ///< forgettable wipe period (iterations)
+  size_t hash_bits = 0;          ///< log2 table entries; 0 = auto (8..13)
+  size_t team_size = 0;          ///< 0 = auto-pick per dim (§IV-B1)
+  uint64_t seed = 77;            ///< random-sampling seed (step 0)
+};
+
+/// Thresholds of the Fig. 7 implementation-choice rule. The paper
+/// recommends M_T = 512 and b_T = number of SMs.
+struct ModeThresholds {
+  size_t max_batch_for_multi = 108;  ///< b_T
+  size_t max_itopk_for_single = 512; ///< M_T
+};
+
+/// Applies the Fig. 7 rule.
+inline SearchAlgo ChooseAlgo(size_t batch, size_t itopk,
+                             const ModeThresholds& t = ModeThresholds{}) {
+  if (batch < t.max_batch_for_multi || itopk > t.max_itopk_for_single) {
+    return SearchAlgo::kMultiCta;
+  }
+  return SearchAlgo::kSingleCta;
+}
+
+}  // namespace cagra
+
+#endif  // CAGRA_CORE_PARAMS_H_

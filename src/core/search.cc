@@ -1,0 +1,177 @@
+#include "core/search.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/search_internal.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace cagra {
+
+namespace {
+
+using internal_search::DatasetView;
+using internal_search::ResolveConfig;
+using internal_search::ResolvedConfig;
+
+/// Threads per CTA used by the two kernels (matches the cuVS defaults:
+/// wide CTAs for single-CTA mode, slimmer CTAs in multi-CTA mode so many
+/// fit per query).
+constexpr size_t kSingleCtaThreads = 256;
+constexpr size_t kMultiCtaThreads = 128;
+constexpr size_t kMultiCtaLocalTopM = 32;
+
+size_t ResolveCtaPerQuery(const SearchParams& params, const DeviceSpec& dev,
+                          size_t batch, size_t itopk) {
+  if (params.cta_per_query != 0) return params.cta_per_query;
+  // Enough CTAs to cover the requested breadth (each holds a 32-entry
+  // local list) and to saturate the device at small batch sizes.
+  size_t by_breadth = (itopk + kMultiCtaLocalTopM - 1) / kMultiCtaLocalTopM;
+  size_t by_fill = batch < dev.sm_count
+                       ? (2 * dev.sm_count + batch - 1) / batch
+                       : 1;
+  return std::clamp<size_t>(std::max(by_breadth, by_fill), 2, 64);
+}
+
+}  // namespace
+
+size_t PickTeamSize(const DeviceSpec& device, size_t dim, size_t elem_bytes,
+                    size_t threads_per_cta, size_t candidates_per_iter) {
+  size_t best = device.warp_size;
+  double best_score = -1.0;
+  for (size_t ts : {2, 4, 8, 16, 32}) {
+    KernelLaunchConfig cfg;
+    cfg.batch = device.sm_count;  // occupancy probe at full fill
+    cfg.ctas_per_query = 1;
+    cfg.threads_per_cta = threads_per_cta;
+    cfg.team_size = ts;
+    cfg.dim = dim;
+    cfg.elem_bytes = elem_bytes;
+    cfg.candidates_per_iter = candidates_per_iter;
+    const OccupancyInfo info = AnalyzeOccupancy(device, cfg);
+    const double score =
+        info.load_efficiency * info.occupancy * info.round_efficiency;
+    if (score > best_score) {
+      best_score = score;
+      best = ts;
+    }
+  }
+  return best;
+}
+
+Result<SearchResult> Search(const CagraIndex& index,
+                            const Matrix<float>& queries,
+                            const SearchParams& params, Precision precision,
+                            const DeviceSpec& device) {
+  if (index.size() == 0) return Status::InvalidArgument("index is empty");
+  if (queries.dim() != index.dim()) {
+    return Status::InvalidArgument("query dim does not match index dim");
+  }
+  if (params.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (params.k > std::max(params.itopk, params.k)) {
+    return Status::InvalidArgument("k must be <= itopk");
+  }
+  if (precision == Precision::kFp16 && !index.HasHalfPrecision()) {
+    return Status::InvalidArgument(
+        "fp16 search requires EnableHalfPrecision() on the index");
+  }
+  if (precision == Precision::kInt8 && !index.HasInt8()) {
+    return Status::InvalidArgument(
+        "int8 search requires EnableInt8Quantization() on the index");
+  }
+
+  const size_t batch = queries.rows();
+  const size_t d = index.degree();
+
+  // --- Mode selection (Fig. 7 rule; thresholds track the device).
+  ModeThresholds thresholds;
+  thresholds.max_batch_for_multi = device.sm_count;
+  SearchAlgo algo = params.algo;
+  if (algo == SearchAlgo::kAuto) {
+    algo = ChooseAlgo(batch, std::max(params.itopk, params.k), thresholds);
+  }
+
+  ResolvedConfig cfg = ResolveConfig(params, algo, d, index.size());
+  cfg.cta_per_query =
+      algo == SearchAlgo::kMultiCta
+          ? ResolveCtaPerQuery(params, device, batch, cfg.itopk)
+          : 1;
+
+  const DatasetView dataset(index, precision);
+
+  // --- Functional execution, one query at a time (parallel on the host;
+  // counters are accumulated per query then reduced).
+  SearchResult result;
+  result.neighbors.k = cfg.k;
+  result.neighbors.ids.assign(batch * cfg.k, internal_search::kInvalidEntry);
+  result.neighbors.distances.assign(batch * cfg.k,
+                                    std::numeric_limits<float>::infinity());
+  std::vector<KernelCounters> per_query(batch);
+
+  Timer timer;
+  GlobalThreadPool().ParallelFor(0, batch, [&](size_t q) {
+    KernelCounters& counters = per_query[q];
+    const uint64_t query_seed = cfg.seed + 0x1000003ULL * q;
+    uint32_t* ids = result.neighbors.ids.data() + q * cfg.k;
+    float* dists = result.neighbors.distances.data() + q * cfg.k;
+    size_t iters;
+    if (algo == SearchAlgo::kMultiCta) {
+      iters = internal_search::SearchMultiCta(dataset, index.graph(),
+                                              queries.Row(q), cfg, query_seed,
+                                              ids, dists, &counters);
+    } else {
+      iters = internal_search::SearchSingleCta(dataset, index.graph(),
+                                               queries.Row(q), cfg,
+                                               query_seed, ids, dists,
+                                               &counters);
+    }
+    counters.iterations = iters;
+    counters.max_iterations = iters;
+    counters.queries = 1;
+  });
+  result.host_seconds = timer.Seconds();
+
+  for (const auto& c : per_query) result.counters.Add(c);
+  result.counters.kernel_launches = 1;  // single fused kernel (§IV-C1)
+
+  // --- Launch configuration for the cost model.
+  KernelLaunchConfig launch;
+  launch.batch = batch;
+  launch.ctas_per_query = cfg.cta_per_query;
+  launch.threads_per_cta = algo == SearchAlgo::kMultiCta ? kMultiCtaThreads
+                                                         : kSingleCtaThreads;
+  launch.dim = index.dim();
+  launch.elem_bytes = dataset.ElemBytes();
+  launch.candidates_per_iter =
+      algo == SearchAlgo::kMultiCta ? d : cfg.search_width * d;
+  launch.team_size =
+      params.team_size != 0
+          ? params.team_size
+          : PickTeamSize(device, launch.dim, launch.elem_bytes,
+                         launch.threads_per_cta, launch.candidates_per_iter);
+
+  // Shared memory per CTA: search buffer + query staging, plus the
+  // visited table when it lives in shared memory (Table II).
+  const size_t buffer_entries =
+      (algo == SearchAlgo::kMultiCta ? kMultiCtaLocalTopM : cfg.itopk) +
+      launch.candidates_per_iter;
+  launch.shared_mem_per_cta =
+      buffer_entries * sizeof(KeyValue) + index.dim() * sizeof(float);
+  if (cfg.hash_in_shared && algo != SearchAlgo::kMultiCta) {
+    launch.shared_mem_per_cta += (1ull << cfg.hash_bits) * sizeof(uint32_t);
+  }
+
+  result.launch = launch;
+  result.cost = EstimateKernelTime(device, launch, result.counters);
+  result.modeled_seconds = result.cost.total;
+  result.modeled_qps =
+      result.modeled_seconds > 0
+          ? static_cast<double>(batch) / result.modeled_seconds
+          : 0.0;
+  result.algo_used = algo;
+  result.team_size_used = launch.team_size;
+  return result;
+}
+
+}  // namespace cagra

@@ -1,0 +1,49 @@
+#ifndef CAGRA_CORE_SEARCH_H_
+#define CAGRA_CORE_SEARCH_H_
+
+#include <cstddef>
+
+#include "core/index.h"
+#include "core/params.h"
+#include "dataset/recall.h"
+#include "gpusim/cost_model.h"
+#include "gpusim/device_spec.h"
+
+namespace cagra {
+
+/// Output of a batched CAGRA search: results plus the hardware counters
+/// and the modeled GPU execution time (see DESIGN.md §1 — results and
+/// recall are real; only the time axis comes from the device model).
+struct SearchResult {
+  NeighborList neighbors;
+  KernelCounters counters;
+  KernelLaunchConfig launch;
+  CostBreakdown cost;          ///< modeled kernel time decomposition
+  double modeled_seconds = 0;  ///< cost.total
+  double modeled_qps = 0;
+  double host_seconds = 0;     ///< wall time of the functional execution
+  SearchAlgo algo_used = SearchAlgo::kSingleCta;
+  size_t team_size_used = 0;
+};
+
+/// Runs the CAGRA search (§IV) over a query batch. Picks the execution
+/// mode by the Fig. 7 rule when params.algo == kAuto, the team size by
+/// the §IV-B1 occupancy model when params.team_size == 0, and the hash
+/// management per Table II when params.hash_mode == kAuto.
+/// Requires: params.k <= params.itopk; queries.dim() == index.dim();
+/// Precision::kFp16 requires index.HasHalfPrecision().
+Result<SearchResult> Search(const CagraIndex& index,
+                            const Matrix<float>& queries,
+                            const SearchParams& params,
+                            Precision precision = Precision::kFp32,
+                            const DeviceSpec& device = DeviceSpec{});
+
+/// Picks the team size (2..32) maximizing modeled load efficiency x
+/// occupancy for a given vector layout — the automatic version of the
+/// Fig. 8 sweep.
+size_t PickTeamSize(const DeviceSpec& device, size_t dim, size_t elem_bytes,
+                    size_t threads_per_cta, size_t candidates_per_iter);
+
+}  // namespace cagra
+
+#endif  // CAGRA_CORE_SEARCH_H_

@@ -1,0 +1,114 @@
+#ifndef CAGRA_CORE_SEARCH_INTERNAL_H_
+#define CAGRA_CORE_SEARCH_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/index.h"
+#include "core/params.h"
+#include "gpusim/counters.h"
+#include "util/bitonic.h"
+
+namespace cagra {
+namespace internal_search {
+
+/// MSB parent flag on buffer entries (§IV-B4): set once a node has been
+/// expanded, checked with one bit-test instead of a second hash lookup.
+constexpr uint32_t kParentFlag = 0x80000000u;
+constexpr uint32_t kIndexMask = 0x7fffffffu;
+constexpr uint32_t kInvalidEntry = 0xffffffffu;
+
+/// Counter-instrumented accessor over the fp32/fp16/int8 dataset copy;
+/// every distance charges the device bytes + flops the GPU kernel would
+/// spend.
+class DatasetView {
+ public:
+  DatasetView(const CagraIndex& index, Precision precision)
+      : index_(index), precision_(precision) {}
+
+  float Distance(const float* query, uint32_t id,
+                 KernelCounters* counters) const {
+    counters->distance_computations++;
+    counters->distance_elements += index_.dim();
+    counters->device_vector_bytes += RowBytes();
+    switch (precision_) {
+      case Precision::kFp16:
+        return ComputeDistance(index_.metric(), query,
+                               index_.half_dataset().Row(id), index_.dim());
+      case Precision::kInt8:
+        return QuantizedDistance(index_.metric(), query,
+                                 index_.int8_dataset(), id);
+      case Precision::kFp32:
+        break;
+    }
+    return ComputeDistance(index_.metric(), query, index_.dataset().Row(id),
+                           index_.dim());
+  }
+
+  size_t ElemBytes() const {
+    switch (precision_) {
+      case Precision::kFp16: return sizeof(Half);
+      case Precision::kInt8: return sizeof(int8_t);
+      case Precision::kFp32: break;
+    }
+    return sizeof(float);
+  }
+  size_t RowBytes() const { return index_.dim() * ElemBytes(); }
+  size_t size() const { return index_.size(); }
+  size_t dim() const { return index_.dim(); }
+
+ private:
+  const CagraIndex& index_;
+  Precision precision_;
+};
+
+/// Resolved per-search configuration shared by both execution modes.
+struct ResolvedConfig {
+  size_t k;
+  size_t itopk;
+  size_t search_width;
+  size_t max_iterations;
+  size_t min_iterations;
+  size_t hash_bits;
+  size_t hash_reset_interval;  ///< 0 = standard table (no resets)
+  bool hash_in_shared;
+  size_t cta_per_query;        ///< multi-CTA only
+  uint64_t seed;
+};
+
+/// Resolves SearchParams defaults against an index + batch size: auto
+/// max_iterations, hash sizing (§IV-B3: >= 2x expected visits, shared
+/// tables clamped to 2^8..2^13 with resets), Table II hash placement.
+ResolvedConfig ResolveConfig(const SearchParams& params, SearchAlgo algo,
+                             size_t graph_degree, size_t dataset_size);
+
+/// Runs one query in single-CTA mode (§IV-C1). Appends k ids/distances
+/// to `out_ids`/`out_dists` (preallocated, offset q*k) and accumulates
+/// counters. Returns the iteration count for the query.
+size_t SearchSingleCta(const DatasetView& dataset,
+                       const FixedDegreeGraph& graph, const float* query,
+                       const ResolvedConfig& cfg, uint64_t query_seed,
+                       uint32_t* out_ids, float* out_dists,
+                       KernelCounters* counters);
+
+/// Runs one query in multi-CTA mode (§IV-C2): cfg.cta_per_query CTAs,
+/// each with a 32-entry local top-M and p=1, sharing one device-memory
+/// visited table. Returns the (lockstep) iteration count.
+size_t SearchMultiCta(const DatasetView& dataset,
+                      const FixedDegreeGraph& graph, const float* query,
+                      const ResolvedConfig& cfg, uint64_t query_seed,
+                      uint32_t* out_ids, float* out_dists,
+                      KernelCounters* counters);
+
+/// Sorts the candidate segment and merges it into the sorted top-M
+/// segment, charging bitonic or radix cost per the §IV-B2 rule
+/// (bitonic for <= 512 candidates, radix above).
+void SortAndMerge(std::vector<KeyValue>* topm,
+                  std::vector<KeyValue>* candidates,
+                  KernelCounters* counters);
+
+}  // namespace internal_search
+}  // namespace cagra
+
+#endif  // CAGRA_CORE_SEARCH_INTERNAL_H_

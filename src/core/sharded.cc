@@ -1,0 +1,127 @@
+#include "core/sharded.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/timer.h"
+
+namespace cagra {
+
+namespace {
+/// Host-side cost of gathering and merging S sorted k-lists for one
+/// query (PCIe transfer of k entries per shard + merge).
+constexpr double kMergeOverheadPerQueryShard = 2e-7;  // 200ns
+}  // namespace
+
+Result<ShardedCagraIndex> ShardedCagraIndex::Build(
+    const Matrix<float>& dataset, const BuildParams& params,
+    size_t num_shards, ShardedBuildStats* stats) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (dataset.rows() < num_shards * (params.graph_degree + 1)) {
+    return Status::InvalidArgument(
+        "dataset too small for the requested shard count and degree");
+  }
+
+  Timer total;
+  ShardedCagraIndex index;
+  index.shards_.reserve(num_shards);
+  index.global_ids_.assign(num_shards, {});
+  ShardedBuildStats local;
+  local.per_shard.resize(num_shards);
+
+  // Round-robin split (the paper notes real shard assignment involves
+  // shuffling/splitting the indices; round-robin on a shuffled-identity
+  // synthetic set is equivalent in distribution).
+  for (size_t i = 0; i < dataset.rows(); i++) {
+    index.global_ids_[i % num_shards].push_back(static_cast<uint32_t>(i));
+  }
+
+  for (size_t s = 0; s < num_shards; s++) {
+    const auto& ids = index.global_ids_[s];
+    Matrix<float> shard_data(ids.size(), dataset.dim());
+    for (size_t local = 0; local < ids.size(); local++) {
+      std::copy(dataset.Row(ids[local]), dataset.Row(ids[local]) + dataset.dim(),
+                shard_data.MutableRow(local));
+    }
+    auto shard = CagraIndex::Build(shard_data, params, &local.per_shard[s]);
+    if (!shard.ok()) return shard.status();
+    index.shards_.push_back(std::move(shard.value()));
+  }
+
+  local.total_seconds = total.Seconds();
+  if (stats != nullptr) *stats = local;
+  return index;
+}
+
+Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
+                                               const SearchParams& params,
+                                               Precision precision,
+                                               const DeviceSpec& device) const {
+  if (shards_.empty()) return Status::InvalidArgument("no shards built");
+
+  struct Candidate {
+    float distance;
+    uint32_t id;
+  };
+  const size_t k = params.k;
+  std::vector<std::vector<Candidate>> merged(queries.rows());
+
+  SearchResult out;
+  out.neighbors.k = k;
+  out.neighbors.ids.assign(queries.rows() * k, 0xffffffffu);
+  out.neighbors.distances.assign(queries.rows() * k,
+                                 std::numeric_limits<float>::infinity());
+
+  double slowest_shard = 0.0;
+  Timer host;
+  for (size_t s = 0; s < shards_.size(); s++) {
+    auto r = cagra::Search(shards_[s], queries, params, precision, device);
+    if (!r.ok()) return r.status();
+    slowest_shard = std::max(slowest_shard, r->modeled_seconds);
+    out.counters.Add(r->counters);
+    if (s == 0) {
+      out.launch = r->launch;
+      out.algo_used = r->algo_used;
+      out.team_size_used = r->team_size_used;
+      out.cost = r->cost;
+    }
+    for (size_t q = 0; q < queries.rows(); q++) {
+      for (size_t i = 0; i < k; i++) {
+        const uint32_t local_id = r->neighbors.ids[q * k + i];
+        if (local_id >= global_ids_[s].size()) continue;  // padding
+        merged[q].push_back(Candidate{r->neighbors.distances[q * k + i],
+                                      global_ids_[s][local_id]});
+      }
+    }
+  }
+  out.host_seconds = host.Seconds();
+
+  for (size_t q = 0; q < queries.rows(); q++) {
+    auto& cands = merged[q];
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.id < b.id;
+              });
+    const size_t take = std::min(k, cands.size());
+    for (size_t i = 0; i < take; i++) {
+      out.neighbors.ids[q * k + i] = cands[i].id;
+      out.neighbors.distances[q * k + i] = cands[i].distance;
+    }
+  }
+
+  // Shards execute on independent devices in parallel; the query pays
+  // the slowest shard plus the host merge.
+  out.modeled_seconds =
+      slowest_shard + kMergeOverheadPerQueryShard *
+                          static_cast<double>(queries.rows() * shards_.size());
+  out.modeled_qps = out.modeled_seconds > 0
+                        ? static_cast<double>(queries.rows()) /
+                              out.modeled_seconds
+                        : 0.0;
+  return out;
+}
+
+}  // namespace cagra

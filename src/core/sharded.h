@@ -1,0 +1,57 @@
+#ifndef CAGRA_CORE_SHARDED_H_
+#define CAGRA_CORE_SHARDED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/search.h"
+
+namespace cagra {
+
+/// Multi-GPU sharding extension (§IV-C2 closing discussion and §V-E:
+/// "the sharding technique could be well-suited for extending
+/// graph-based ANNS to a multi-GPU environment, where each GPU is
+/// assigned to process one sub-graph independently").
+///
+/// The dataset is split round-robin into `num_shards` sub-datasets; an
+/// independent CAGRA index is built per shard. A search runs on every
+/// shard (each modeled on its own device, as the paper proposes) and the
+/// per-shard top-k lists are merged. Shard-local row ids are translated
+/// back to global dataset ids.
+struct ShardedBuildStats {
+  std::vector<BuildStats> per_shard;
+  double total_seconds = 0.0;  ///< wall time of the (parallel) build
+};
+
+class ShardedCagraIndex {
+ public:
+  ShardedCagraIndex() = default;
+
+  /// Splits `dataset` into `num_shards` round-robin shards and builds a
+  /// CAGRA index per shard. num_shards must be >= 1 and small enough
+  /// that every shard keeps >= graph_degree + 1 rows.
+  static Result<ShardedCagraIndex> Build(const Matrix<float>& dataset,
+                                         const BuildParams& params,
+                                         size_t num_shards,
+                                         ShardedBuildStats* stats = nullptr);
+
+  size_t num_shards() const { return shards_.size(); }
+  const CagraIndex& shard(size_t i) const { return shards_[i]; }
+
+  /// Searches every shard and merges the per-shard top-k. The modeled
+  /// time is the slowest shard (shards run on separate devices in
+  /// parallel) plus a fixed host-side merge overhead per query.
+  Result<SearchResult> Search(const Matrix<float>& queries,
+                              const SearchParams& params,
+                              Precision precision = Precision::kFp32,
+                              const DeviceSpec& device = DeviceSpec{}) const;
+
+ private:
+  std::vector<CagraIndex> shards_;
+  /// global_ids_[s][local] = dataset row of shard s's local row.
+  std::vector<std::vector<uint32_t>> global_ids_;
+};
+
+}  // namespace cagra
+
+#endif  // CAGRA_CORE_SHARDED_H_

@@ -1,0 +1,107 @@
+#include "dataset/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace cagra {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// Reads vecs-format rows of `elem_size`-byte elements into `out` (resized
+/// by the caller-provided append function).
+template <typename T, typename Widen>
+Result<Matrix<T>> ReadVecs(const std::string& path, size_t elem_size,
+                           size_t max_rows, Widen widen) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open " + path);
+
+  std::vector<T> data;
+  std::vector<unsigned char> row_buf;
+  size_t dim = 0;
+  size_t rows = 0;
+  while (max_rows == 0 || rows < max_rows) {
+    int32_t d = 0;
+    const size_t got = std::fread(&d, sizeof(d), 1, f.get());
+    if (got != 1) break;  // normal EOF boundary
+    if (d <= 0) return Status::IoError(path + ": non-positive row dim");
+    if (dim == 0) {
+      dim = static_cast<size_t>(d);
+    } else if (dim != static_cast<size_t>(d)) {
+      return Status::IoError(path + ": inconsistent row dims");
+    }
+    row_buf.resize(dim * elem_size);
+    if (std::fread(row_buf.data(), 1, row_buf.size(), f.get()) !=
+        row_buf.size()) {
+      return Status::IoError(path + ": truncated row");
+    }
+    for (size_t j = 0; j < dim; j++) {
+      data.push_back(widen(row_buf.data() + j * elem_size));
+    }
+    rows++;
+  }
+  if (rows == 0) return Status::IoError(path + ": empty file");
+
+  Matrix<T> m(rows, dim);
+  std::copy(data.begin(), data.end(), m.mutable_data()->begin());
+  return m;
+}
+
+template <typename T>
+Status WriteVecs(const std::string& path, const Matrix<T>& m) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  const int32_t d = static_cast<int32_t>(m.dim());
+  for (size_t i = 0; i < m.rows(); i++) {
+    if (std::fwrite(&d, sizeof(d), 1, f.get()) != 1 ||
+        std::fwrite(m.Row(i), sizeof(T), m.dim(), f.get()) != m.dim()) {
+      return Status::IoError(path + ": short write");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Matrix<float>> ReadFvecs(const std::string& path, size_t max_rows) {
+  return ReadVecs<float>(path, sizeof(float), max_rows,
+                         [](const unsigned char* p) {
+                           float v;
+                           std::memcpy(&v, p, sizeof(v));
+                           return v;
+                         });
+}
+
+Status WriteFvecs(const std::string& path, const Matrix<float>& m) {
+  return WriteVecs(path, m);
+}
+
+Result<Matrix<uint32_t>> ReadIvecs(const std::string& path, size_t max_rows) {
+  return ReadVecs<uint32_t>(path, sizeof(uint32_t), max_rows,
+                            [](const unsigned char* p) {
+                              uint32_t v;
+                              std::memcpy(&v, p, sizeof(v));
+                              return v;
+                            });
+}
+
+Status WriteIvecs(const std::string& path, const Matrix<uint32_t>& m) {
+  return WriteVecs(path, m);
+}
+
+Result<Matrix<float>> ReadBvecsAsFloat(const std::string& path,
+                                       size_t max_rows) {
+  return ReadVecs<float>(path, 1, max_rows, [](const unsigned char* p) {
+    return static_cast<float>(*p);
+  });
+}
+
+}  // namespace cagra

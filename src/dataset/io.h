@@ -1,0 +1,34 @@
+#ifndef CAGRA_DATASET_IO_H_
+#define CAGRA_DATASET_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/matrix.h"
+#include "util/status.h"
+
+namespace cagra {
+
+/// Readers/writers for the TEXMEX vector formats used by the paper's
+/// datasets (http://corpus-texmex.irisa.fr/): each row is a little-endian
+/// int32 dimension followed by `dim` elements. `.fvecs` holds float32,
+/// `.ivecs` int32 (ground-truth ids), `.bvecs` uint8.
+///
+/// These let users drop in the real SIFT/GIST/DEEP files; the benches fall
+/// back to synthetic profiles when no files are present.
+Result<Matrix<float>> ReadFvecs(const std::string& path,
+                                size_t max_rows = 0);
+Status WriteFvecs(const std::string& path, const Matrix<float>& m);
+
+Result<Matrix<uint32_t>> ReadIvecs(const std::string& path,
+                                   size_t max_rows = 0);
+Status WriteIvecs(const std::string& path, const Matrix<uint32_t>& m);
+
+/// Reads `.bvecs` (uint8 rows) widened to float.
+Result<Matrix<float>> ReadBvecsAsFloat(const std::string& path,
+                                       size_t max_rows = 0);
+
+}  // namespace cagra
+
+#endif  // CAGRA_DATASET_IO_H_

@@ -1,0 +1,60 @@
+#ifndef CAGRA_DATASET_MATRIX_H_
+#define CAGRA_DATASET_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/half.h"
+
+namespace cagra {
+
+/// Row-major dense matrix of vectors; the in-memory dataset format shared
+/// by every index in the library (the "device memory" copy in the paper).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() : rows_(0), dim_(0) {}
+  Matrix(size_t rows, size_t dim) : rows_(rows), dim_(dim), data_(rows * dim) {}
+
+  size_t rows() const { return rows_; }
+  size_t dim() const { return dim_; }
+  bool empty() const { return rows_ == 0; }
+
+  const T* Row(size_t i) const {
+    assert(i < rows_);
+    return data_.data() + i * dim_;
+  }
+  T* MutableRow(size_t i) {
+    assert(i < rows_);
+    return data_.data() + i * dim_;
+  }
+
+  const std::vector<T>& data() const { return data_; }
+  std::vector<T>* mutable_data() { return &data_; }
+
+  /// Bytes one row occupies in device memory (the unit the cost model
+  /// charges per distance computation).
+  size_t RowBytes() const { return dim_ * sizeof(T); }
+
+ private:
+  size_t rows_;
+  size_t dim_;
+  std::vector<T> data_;
+};
+
+/// Converts an fp32 dataset to fp16 storage (§IV-C1 low-precision mode).
+inline Matrix<Half> ToHalf(const Matrix<float>& src) {
+  Matrix<Half> out(src.rows(), src.dim());
+  for (size_t i = 0; i < src.rows(); i++) {
+    const float* in = src.Row(i);
+    Half* dst = out.MutableRow(i);
+    for (size_t j = 0; j < src.dim(); j++) dst[j] = Half(in[j]);
+  }
+  return out;
+}
+
+}  // namespace cagra
+
+#endif  // CAGRA_DATASET_MATRIX_H_

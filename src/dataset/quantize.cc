@@ -1,0 +1,88 @@
+#include "dataset/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "distance/distance.h"
+
+namespace cagra {
+
+QuantizedDataset QuantizeInt8(const Matrix<float>& dataset) {
+  QuantizedDataset out;
+  const size_t rows = dataset.rows();
+  const size_t dim = dataset.dim();
+  out.codes = Matrix<int8_t>(rows, dim);
+  out.scale.assign(dim, 1.0f);
+  out.offset.assign(dim, 0.0f);
+  if (rows == 0) return out;
+
+  // Per-dimension min/max fit.
+  std::vector<float> lo(dim, std::numeric_limits<float>::max());
+  std::vector<float> hi(dim, std::numeric_limits<float>::lowest());
+  for (size_t i = 0; i < rows; i++) {
+    const float* row = dataset.Row(i);
+    for (size_t d = 0; d < dim; d++) {
+      lo[d] = std::min(lo[d], row[d]);
+      hi[d] = std::max(hi[d], row[d]);
+    }
+  }
+  for (size_t d = 0; d < dim; d++) {
+    const float range = hi[d] - lo[d];
+    out.scale[d] = range > 0 ? range / 254.0f : 1.0f;
+    out.offset[d] = lo[d] + 127.0f * out.scale[d];  // center the range
+  }
+
+  for (size_t i = 0; i < rows; i++) {
+    const float* row = dataset.Row(i);
+    int8_t* code = out.codes.MutableRow(i);
+    for (size_t d = 0; d < dim; d++) {
+      const float q = (row[d] - out.offset[d]) / out.scale[d];
+      code[d] = static_cast<int8_t>(
+          std::clamp(std::lround(q), long{-127}, long{127}));
+    }
+  }
+  return out;
+}
+
+float QuantizedDistance(Metric metric, const float* query,
+                        const QuantizedDataset& data, size_t row) {
+  const size_t dim = data.dim();
+  const int8_t* code = data.codes.Row(row);
+  switch (metric) {
+    case Metric::kL2: {
+      float acc = 0.f;
+      for (size_t d = 0; d < dim; d++) {
+        const float v = static_cast<float>(code[d]) * data.scale[d] +
+                        data.offset[d];
+        const float diff = query[d] - v;
+        acc += diff * diff;
+      }
+      return acc;
+    }
+    case Metric::kInnerProduct: {
+      float acc = 0.f;
+      for (size_t d = 0; d < dim; d++) {
+        acc += query[d] * (static_cast<float>(code[d]) * data.scale[d] +
+                           data.offset[d]);
+      }
+      return -acc;
+    }
+    case Metric::kCosine: {
+      float dot = 0.f, nq = 0.f, nv = 0.f;
+      for (size_t d = 0; d < dim; d++) {
+        const float v = static_cast<float>(code[d]) * data.scale[d] +
+                        data.offset[d];
+        dot += query[d] * v;
+        nq += query[d] * query[d];
+        nv += v * v;
+      }
+      const float denom = std::sqrt(nq) * std::sqrt(nv);
+      if (denom == 0.0f) return 1.0f;
+      return 1.0f - dot / denom;
+    }
+  }
+  return 0.0f;
+}
+
+}  // namespace cagra

@@ -1,0 +1,44 @@
+#ifndef CAGRA_DATASET_QUANTIZE_H_
+#define CAGRA_DATASET_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/matrix.h"
+#include "distance/distance.h"
+
+namespace cagra {
+
+/// Scalar (per-dimension affine) int8 quantization of a dataset —
+/// the simple member of the compression family the paper's §V-E points
+/// at for datasets beyond device memory ("data compression schemes, such
+/// as product quantization, are some of the ways to address the memory
+/// capacity problem"). Quarter the bytes of fp32 with a deterministic,
+/// SIMD/GPU-friendly decode: x ~ code * scale[d] + offset[d].
+struct QuantizedDataset {
+  Matrix<int8_t> codes;
+  std::vector<float> scale;   ///< per-dimension
+  std::vector<float> offset;  ///< per-dimension
+
+  size_t rows() const { return codes.rows(); }
+  size_t dim() const { return codes.dim(); }
+  bool empty() const { return codes.empty(); }
+  size_t RowBytes() const { return codes.dim() * sizeof(int8_t); }
+
+  /// Dequantizes one element.
+  float Decode(size_t row, size_t d) const {
+    return static_cast<float>(codes.Row(row)[d]) * scale[d] + offset[d];
+  }
+};
+
+/// Fits per-dimension ranges over the dataset and encodes every row.
+QuantizedDataset QuantizeInt8(const Matrix<float>& dataset);
+
+/// Distance between an fp32 query and an int8-coded row (decode on the
+/// fly, like the GPU kernel would in registers).
+float QuantizedDistance(Metric metric, const float* query,
+                        const QuantizedDataset& data, size_t row);
+
+}  // namespace cagra
+
+#endif  // CAGRA_DATASET_QUANTIZE_H_

@@ -1,0 +1,28 @@
+#include "dataset/recall.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cagra {
+
+double ComputeRecall(const NeighborList& results,
+                     const Matrix<uint32_t>& ground_truth) {
+  const size_t nq = results.num_queries();
+  assert(nq <= ground_truth.rows());
+  assert(results.k <= ground_truth.dim());
+  if (nq == 0 || results.k == 0) return 0.0;
+
+  size_t hits = 0;
+  for (size_t q = 0; q < nq; q++) {
+    const uint32_t* found = results.Row(q);
+    const uint32_t* exact = ground_truth.Row(q);
+    for (size_t i = 0; i < results.k; i++) {
+      const uint32_t* end = exact + results.k;
+      if (std::find(exact, end, found[i]) != end) hits++;
+    }
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(nq * results.k);
+}
+
+}  // namespace cagra

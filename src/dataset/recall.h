@@ -1,0 +1,29 @@
+#ifndef CAGRA_DATASET_RECALL_H_
+#define CAGRA_DATASET_RECALL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dataset/matrix.h"
+
+namespace cagra {
+
+/// ANN results for a batch of queries: `ids` is num_queries x k row-major.
+struct NeighborList {
+  size_t k = 0;
+  std::vector<uint32_t> ids;
+  std::vector<float> distances;
+
+  size_t num_queries() const { return k == 0 ? 0 : ids.size() / k; }
+  const uint32_t* Row(size_t q) const { return ids.data() + q * k; }
+};
+
+/// recall@k per Eq. (2): |ANN results ∩ exact results| / k, averaged over
+/// queries. `ground_truth` rows must hold at least `k` exact ids.
+double ComputeRecall(const NeighborList& results,
+                     const Matrix<uint32_t>& ground_truth);
+
+}  // namespace cagra
+
+#endif  // CAGRA_DATASET_RECALL_H_

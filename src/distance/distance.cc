@@ -1,0 +1,110 @@
+#include "distance/distance.h"
+
+#include <cmath>
+
+namespace cagra {
+
+std::string MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kL2: return "L2";
+    case Metric::kInnerProduct: return "InnerProduct";
+    case Metric::kCosine: return "Cosine";
+  }
+  return "Unknown";
+}
+
+float L2Squared(const float* a, const float* b, size_t dim) {
+  // Four accumulators so the compiler can vectorize without reassociation
+  // flags; dim is typically 96-960 so the scalar tail is negligible.
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  float acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < dim; i++) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+namespace {
+
+float Dot(const float* a, const float* b, size_t dim) {
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  float acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < dim; i++) acc += a[i] * b[i];
+  return acc;
+}
+
+float Norm(const float* a, size_t dim) { return std::sqrt(Dot(a, a, dim)); }
+
+}  // namespace
+
+float ComputeDistance(Metric metric, const float* a, const float* b,
+                      size_t dim) {
+  switch (metric) {
+    case Metric::kL2:
+      return L2Squared(a, b, dim);
+    case Metric::kInnerProduct:
+      return -Dot(a, b, dim);
+    case Metric::kCosine: {
+      const float denom = Norm(a, dim) * Norm(b, dim);
+      if (denom == 0.0f) return 1.0f;
+      return 1.0f - Dot(a, b, dim) / denom;
+    }
+  }
+  return 0.0f;
+}
+
+float ComputeDistance(Metric metric, const float* query, const Half* item,
+                      size_t dim) {
+  // Convert lane-by-lane; on GPU this is the HMMA/float2half path, here a
+  // software conversion. Accuracy effects of fp16 storage are therefore
+  // identical to hardware.
+  switch (metric) {
+    case Metric::kL2: {
+      float acc = 0.f;
+      for (size_t i = 0; i < dim; i++) {
+        const float d = query[i] - item[i].ToFloat();
+        acc += d * d;
+      }
+      return acc;
+    }
+    case Metric::kInnerProduct: {
+      float acc = 0.f;
+      for (size_t i = 0; i < dim; i++) acc += query[i] * item[i].ToFloat();
+      return -acc;
+    }
+    case Metric::kCosine: {
+      float dot = 0.f, nq = 0.f, ni = 0.f;
+      for (size_t i = 0; i < dim; i++) {
+        const float v = item[i].ToFloat();
+        dot += query[i] * v;
+        nq += query[i] * query[i];
+        ni += v * v;
+      }
+      const float denom = std::sqrt(nq) * std::sqrt(ni);
+      if (denom == 0.0f) return 1.0f;
+      return 1.0f - dot / denom;
+    }
+  }
+  return 0.0f;
+}
+
+}  // namespace cagra

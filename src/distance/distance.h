@@ -1,0 +1,38 @@
+#ifndef CAGRA_DISTANCE_DISTANCE_H_
+#define CAGRA_DISTANCE_DISTANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/half.h"
+
+namespace cagra {
+
+/// Distance measures supported by the library (paper §II-A: L2 and cosine
+/// are typical; inner product is included because DEEP-style embeddings
+/// commonly use it).
+enum class Metric {
+  kL2,            ///< Squared Euclidean distance (monotone in L2 norm).
+  kInnerProduct,  ///< Negated dot product (smaller = more similar).
+  kCosine,        ///< 1 - cosine similarity.
+};
+
+/// Human-readable metric name for bench output.
+std::string MetricName(Metric metric);
+
+/// Computes the distance between two `dim`-element fp32 vectors.
+float ComputeDistance(Metric metric, const float* a, const float* b,
+                      size_t dim);
+
+/// Computes the distance between an fp32 query and an fp16 dataset vector
+/// (the FP16 storage mode of §IV-C1; the query stays fp32 as in cuVS).
+float ComputeDistance(Metric metric, const float* query, const Half* item,
+                      size_t dim);
+
+/// Squared-L2 fast path used by inner loops.
+float L2Squared(const float* a, const float* b, size_t dim);
+
+}  // namespace cagra
+
+#endif  // CAGRA_DISTANCE_DISTANCE_H_

@@ -1,0 +1,197 @@
+#include "graph/analysis.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace cagra {
+
+namespace {
+
+/// Iterative Tarjan SCC over any neighbor-access callback.
+template <typename NeighborFn>
+size_t TarjanScc(size_t n, NeighborFn neighbors) {
+  constexpr uint32_t kUnvisited = 0xffffffffu;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  size_t scc_count = 0;
+  uint32_t next_index = 0;
+
+  struct Frame {
+    uint32_t node;
+    size_t edge_pos;
+  };
+  std::vector<Frame> call_stack;
+
+  for (size_t root = 0; root < n; root++) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({static_cast<uint32_t>(root), 0});
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const uint32_t v = frame.node;
+      if (frame.edge_pos == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      auto nbrs = neighbors(v);
+      for (size_t& pos = frame.edge_pos; pos < nbrs.size();) {
+        const uint32_t w = nbrs[pos];
+        pos++;
+        if (w >= n) continue;  // skip pad sentinels
+        if (index[w] == kUnvisited) {
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      if (lowlink[v] == index[v]) {
+        scc_count++;
+        while (true) {
+          const uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          if (w == v) break;
+        }
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const uint32_t parent = call_stack.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return scc_count;
+}
+
+/// Lightweight span-like view over a fixed-degree neighbor row.
+struct NeighborSpan {
+  const uint32_t* data;
+  size_t count;
+  size_t size() const { return count; }
+  uint32_t operator[](size_t i) const { return data[i]; }
+};
+
+}  // namespace
+
+size_t CountStrongComponents(const FixedDegreeGraph& g) {
+  return TarjanScc(g.num_nodes(), [&](uint32_t v) {
+    return NeighborSpan{g.Neighbors(v), g.degree()};
+  });
+}
+
+size_t CountStrongComponents(const AdjacencyGraph& g) {
+  return TarjanScc(g.num_nodes(),
+                   [&](uint32_t v) -> const std::vector<uint32_t>& {
+                     return g.Neighbors(v);
+                   });
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), count_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) {
+    const uint32_t ra = Find(a), rb = Find(b);
+    if (ra != rb) {
+      parent_[ra] = rb;
+      count_--;
+    }
+  }
+  size_t count() const { return count_; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  size_t count_;
+};
+
+}  // namespace
+
+size_t CountWeakComponents(const FixedDegreeGraph& g) {
+  UnionFind uf(g.num_nodes());
+  for (size_t v = 0; v < g.num_nodes(); v++) {
+    const uint32_t* nbrs = g.Neighbors(v);
+    for (size_t j = 0; j < g.degree(); j++) {
+      if (nbrs[j] < g.num_nodes()) uf.Union(static_cast<uint32_t>(v), nbrs[j]);
+    }
+  }
+  return uf.count();
+}
+
+double Average2HopCount(const FixedDegreeGraph& g, size_t sample,
+                        uint64_t seed) {
+  const size_t n = g.num_nodes();
+  if (n == 0) return 0.0;
+  std::vector<uint32_t> nodes;
+  if (sample == 0 || sample >= n) {
+    nodes.resize(n);
+    std::iota(nodes.begin(), nodes.end(), 0u);
+  } else {
+    Pcg32 rng(seed);
+    nodes.reserve(sample);
+    for (size_t i = 0; i < sample; i++) {
+      nodes.push_back(rng.NextBounded(static_cast<uint32_t>(n)));
+    }
+  }
+
+  // Epoch-stamped visited marks avoid clearing an n-sized array per node.
+  std::vector<uint32_t> mark(n, 0);
+  uint32_t epoch = 0;
+  double total = 0.0;
+  for (const uint32_t v : nodes) {
+    epoch++;
+    size_t reached = 0;
+    mark[v] = epoch;  // the start node itself does not count
+    const uint32_t* l1 = g.Neighbors(v);
+    for (size_t i = 0; i < g.degree(); i++) {
+      const uint32_t u = l1[i];
+      if (u >= n) continue;
+      if (mark[u] != epoch) {
+        mark[u] = epoch;
+        reached++;
+      }
+      const uint32_t* l2 = g.Neighbors(u);
+      for (size_t j = 0; j < g.degree(); j++) {
+        const uint32_t w = l2[j];
+        if (w >= n || mark[w] == epoch) continue;
+        mark[w] = epoch;
+        reached++;
+      }
+    }
+    total += static_cast<double>(reached);
+  }
+  return total / static_cast<double>(nodes.size());
+}
+
+DegreeStats ComputeDegreeStats(const AdjacencyGraph& g) {
+  DegreeStats stats;
+  if (g.num_nodes() == 0) return stats;
+  stats.min = g.Neighbors(0).size();
+  size_t total = 0;
+  for (size_t v = 0; v < g.num_nodes(); v++) {
+    const size_t d = g.Neighbors(v).size();
+    total += d;
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+  }
+  stats.mean = static_cast<double>(total) / static_cast<double>(g.num_nodes());
+  return stats;
+}
+
+}  // namespace cagra

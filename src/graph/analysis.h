@@ -1,0 +1,39 @@
+#ifndef CAGRA_GRAPH_ANALYSIS_H_
+#define CAGRA_GRAPH_ANALYSIS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/fixed_degree_graph.h"
+
+namespace cagra {
+
+/// Number of strongly connected components (Tarjan, iterative — safe for
+/// graphs with hundreds of thousands of nodes). The paper uses strong CC
+/// count as reachability property 1 (§III-A): fewer components mean fewer
+/// nodes unreachable from a random search start.
+size_t CountStrongComponents(const FixedDegreeGraph& g);
+size_t CountStrongComponents(const AdjacencyGraph& g);
+
+/// Number of weakly connected components (union-find over the
+/// undirected skeleton).
+size_t CountWeakComponents(const FixedDegreeGraph& g);
+
+/// Average 2-hop node count over a sample of `sample` nodes (0 = all
+/// nodes): reachability property 2 (§III-A). Max possible is d + d^2.
+double Average2HopCount(const FixedDegreeGraph& g, size_t sample = 0,
+                        uint64_t seed = 7);
+
+/// Out-degree histogram statistics for variable-degree graphs (baseline
+/// comparability: the paper aligns average out-degree across methods, §V).
+struct DegreeStats {
+  double mean = 0.0;
+  size_t min = 0;
+  size_t max = 0;
+};
+DegreeStats ComputeDegreeStats(const AdjacencyGraph& g);
+
+}  // namespace cagra
+
+#endif  // CAGRA_GRAPH_ANALYSIS_H_

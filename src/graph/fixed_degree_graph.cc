@@ -1,0 +1,66 @@
+#include "graph/fixed_degree_graph.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace cagra {
+
+namespace {
+constexpr uint64_t kMagic = 0x43414752414731ULL;  // "CAGRAG1"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+Status FixedDegreeGraph::Save(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  const uint64_t header[3] = {kMagic, num_nodes_, degree_};
+  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1) {
+    return Status::IoError(path + ": header write failed");
+  }
+  if (!edges_.empty() &&
+      std::fwrite(edges_.data(), sizeof(uint32_t), edges_.size(), f.get()) !=
+          edges_.size()) {
+    return Status::IoError(path + ": edge write failed");
+  }
+  return Status::Ok();
+}
+
+Result<FixedDegreeGraph> FixedDegreeGraph::Load(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open " + path);
+  uint64_t header[3] = {0, 0, 0};
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1) {
+    return Status::IoError(path + ": header read failed");
+  }
+  if (header[0] != kMagic) {
+    return Status::IoError(path + ": not a CAGRA graph file");
+  }
+  FixedDegreeGraph g(header[1], header[2]);
+  if (!g.edges_.empty() &&
+      std::fread(g.edges_.data(), sizeof(uint32_t), g.edges_.size(),
+                 f.get()) != g.edges_.size()) {
+    return Status::IoError(path + ": edge read failed");
+  }
+  return g;
+}
+
+AdjacencyGraph ToAdjacency(const FixedDegreeGraph& g) {
+  AdjacencyGraph adj(g.num_nodes());
+  for (size_t i = 0; i < g.num_nodes(); i++) {
+    const uint32_t* nbrs = g.Neighbors(i);
+    for (size_t j = 0; j < g.degree(); j++) {
+      if (nbrs[j] != FixedDegreeGraph::kInvalid) {
+        adj.AddEdge(static_cast<uint32_t>(i), nbrs[j]);
+      }
+    }
+  }
+  return adj;
+}
+
+}  // namespace cagra

@@ -1,0 +1,64 @@
+#include "knn/bruteforce.h"
+
+#include "util/bounded_heap.h"
+#include "util/thread_pool.h"
+
+namespace cagra {
+
+NeighborList ExactSearch(const Matrix<float>& base,
+                         const Matrix<float>& queries, size_t k,
+                         Metric metric) {
+  NeighborList out;
+  out.k = k;
+  out.ids.resize(queries.rows() * k, 0xffffffffu);
+  out.distances.resize(queries.rows() * k, 0.0f);
+
+  GlobalThreadPool().ParallelFor(0, queries.rows(), [&](size_t q) {
+    BoundedHeap heap(k);
+    const float* query = queries.Row(q);
+    for (size_t i = 0; i < base.rows(); i++) {
+      const float d = ComputeDistance(metric, query, base.Row(i), base.dim());
+      if (d < heap.WorstDistance()) {
+        heap.Push(d, static_cast<uint32_t>(i));
+      }
+    }
+    auto sorted = heap.ExtractSorted();
+    for (size_t i = 0; i < sorted.size(); i++) {
+      out.ids[q * k + i] = sorted[i].id;
+      out.distances[q * k + i] = sorted[i].distance;
+    }
+  });
+  return out;
+}
+
+Matrix<uint32_t> ComputeGroundTruth(const Matrix<float>& base,
+                                    const Matrix<float>& queries, size_t k,
+                                    Metric metric) {
+  const NeighborList results = ExactSearch(base, queries, k, metric);
+  Matrix<uint32_t> gt(queries.rows(), k);
+  std::copy(results.ids.begin(), results.ids.end(),
+            gt.mutable_data()->begin());
+  return gt;
+}
+
+FixedDegreeGraph ExactKnnGraph(const Matrix<float>& base, size_t k,
+                               Metric metric) {
+  FixedDegreeGraph g(base.rows(), k);
+  GlobalThreadPool().ParallelFor(0, base.rows(), [&](size_t v) {
+    BoundedHeap heap(k);
+    const float* vec = base.Row(v);
+    for (size_t i = 0; i < base.rows(); i++) {
+      if (i == v) continue;
+      const float d = ComputeDistance(metric, vec, base.Row(i), base.dim());
+      if (d < heap.WorstDistance()) {
+        heap.Push(d, static_cast<uint32_t>(i));
+      }
+    }
+    auto sorted = heap.ExtractSorted();
+    uint32_t* nbrs = g.MutableNeighbors(v);
+    for (size_t i = 0; i < sorted.size(); i++) nbrs[i] = sorted[i].id;
+  });
+  return g;
+}
+
+}  // namespace cagra

@@ -1,0 +1,34 @@
+#ifndef CAGRA_KNN_BRUTEFORCE_H_
+#define CAGRA_KNN_BRUTEFORCE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dataset/matrix.h"
+#include "dataset/recall.h"
+#include "distance/distance.h"
+#include "graph/fixed_degree_graph.h"
+
+namespace cagra {
+
+/// Exact k-NN by exhaustive scan — the NNS reference of Eq. (2); used to
+/// produce ground truth for every recall measurement in the benches.
+/// Parallelized over queries.
+NeighborList ExactSearch(const Matrix<float>& base,
+                         const Matrix<float>& queries, size_t k,
+                         Metric metric);
+
+/// Ground truth in the ivecs-like Matrix form consumed by ComputeRecall.
+Matrix<uint32_t> ComputeGroundTruth(const Matrix<float>& base,
+                                    const Matrix<float>& queries, size_t k,
+                                    Metric metric);
+
+/// Exact k-NN *graph* (each node's k nearest other nodes, ascending by
+/// distance). O(N^2) — used for small-N tests and as the gold standard
+/// NN-descent is validated against.
+FixedDegreeGraph ExactKnnGraph(const Matrix<float>& base, size_t k,
+                               Metric metric);
+
+}  // namespace cagra
+
+#endif  // CAGRA_KNN_BRUTEFORCE_H_

@@ -1,0 +1,204 @@
+#include "knn/nn_descent.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace cagra {
+
+namespace {
+
+/// One entry of a node's candidate neighbor list.
+struct Neighbor {
+  float distance;
+  uint32_t id;
+  bool is_new;  ///< not yet used in a local join
+};
+
+/// Fixed-capacity neighbor list kept sorted ascending by distance.
+/// Insertion is the classic NN-descent UPDATE: reject duplicates and
+/// anything worse than the current tail.
+class NeighborHeapList {
+ public:
+  void Init(size_t capacity) {
+    capacity_ = capacity;
+    entries_.reserve(capacity);
+  }
+
+  /// Returns 1 if inserted (an "update" in the termination criterion).
+  size_t Insert(float distance, uint32_t id) {
+    if (entries_.size() >= capacity_ &&
+        distance >= entries_.back().distance) {
+      return 0;
+    }
+    // Find insertion point; reject if already present.
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), distance,
+        [](const Neighbor& n, float d) { return n.distance < d; });
+    for (auto scan = entries_.begin(); scan != it; ++scan) {
+      if (scan->id == id) return 0;
+    }
+    for (auto scan = it; scan != entries_.end() && scan->distance == distance;
+         ++scan) {
+      if (scan->id == id) return 0;
+    }
+    // A duplicate with a *worse* stored distance cannot exist because the
+    // distance function is deterministic, so the scan above is complete.
+    entries_.insert(it, Neighbor{distance, id, true});
+    if (entries_.size() > capacity_) entries_.pop_back();
+    return 1;
+  }
+
+  std::vector<Neighbor>& entries() { return entries_; }
+  const std::vector<Neighbor>& entries() const { return entries_; }
+
+ private:
+  size_t capacity_ = 0;
+  std::vector<Neighbor> entries_;
+};
+
+}  // namespace
+
+FixedDegreeGraph BuildKnnGraphNnDescent(const Matrix<float>& base,
+                                        const NnDescentParams& params,
+                                        Metric metric,
+                                        NnDescentStats* stats) {
+  Timer timer;
+  const size_t n = base.rows();
+  const size_t k = std::min(params.k, n > 0 ? n - 1 : 0);
+  FixedDegreeGraph graph(n, params.k);
+  if (n == 0 || k == 0) return graph;
+
+  std::vector<NeighborHeapList> lists(n);
+  std::unique_ptr<std::mutex[]> locks(new std::mutex[n]);
+  std::atomic<size_t> distance_count{0};
+
+  // --- Random initialization.
+  GlobalThreadPool().ParallelFor(0, n, [&](size_t v) {
+    Pcg32 rng(params.seed + v, 17);
+    lists[v].Init(k);
+    size_t added = 0;
+    size_t attempts = 0;
+    while (added < k && attempts < 100 * k) {
+      attempts++;
+      const uint32_t u = rng.NextBounded(static_cast<uint32_t>(n));
+      if (u == v) continue;
+      const float d =
+          ComputeDistance(metric, base.Row(v), base.Row(u), base.dim());
+      distance_count.fetch_add(1, std::memory_order_relaxed);
+      added += lists[v].Insert(d, u);
+    }
+  });
+
+  const size_t max_sample = std::max<size_t>(
+      1, static_cast<size_t>(params.sample_rate * static_cast<double>(k)));
+
+  size_t iteration = 0;
+  for (; iteration < params.max_iterations; iteration++) {
+    // --- Build sampled new/old forward and reverse lists.
+    std::vector<std::vector<uint32_t>> new_lists(n), old_lists(n);
+    for (size_t v = 0; v < n; v++) {
+      Pcg32 rng(params.seed ^ (iteration * 0x9e37u) ^ v, 23);
+      auto& entries = lists[v].entries();
+      size_t sampled_new = 0;
+      for (auto& e : entries) {
+        if (e.is_new) {
+          if (sampled_new < max_sample &&
+              rng.NextFloat() < params.sample_rate) {
+            new_lists[v].push_back(e.id);
+            e.is_new = false;  // mark used
+            sampled_new++;
+          }
+        } else {
+          old_lists[v].push_back(e.id);
+        }
+      }
+    }
+    // Reverse lists, sampled to max_sample per node.
+    std::vector<std::vector<uint32_t>> rnew(n), rold(n);
+    for (size_t v = 0; v < n; v++) {
+      for (const uint32_t u : new_lists[v]) {
+        rnew[u].push_back(static_cast<uint32_t>(v));
+      }
+      for (const uint32_t u : old_lists[v]) {
+        rold[u].push_back(static_cast<uint32_t>(v));
+      }
+    }
+    std::atomic<size_t> updates{0};
+    GlobalThreadPool().ParallelFor(0, n, [&](size_t v) {
+      Pcg32 rng(params.seed ^ (iteration * 0x85ebu) ^ (v << 1), 29);
+      // Union of forward and sampled-reverse lists.
+      std::vector<uint32_t> all_new = new_lists[v];
+      std::vector<uint32_t> all_old = old_lists[v];
+      auto sample_into = [&](const std::vector<uint32_t>& src,
+                             std::vector<uint32_t>* dst) {
+        for (const uint32_t u : src) {
+          if (dst->size() >= 2 * max_sample) {
+            (*dst)[rng.NextBounded(static_cast<uint32_t>(dst->size()))] = u;
+          } else {
+            dst->push_back(u);
+          }
+        }
+      };
+      sample_into(rnew[v], &all_new);
+      sample_into(rold[v], &all_old);
+
+      size_t local_updates = 0;
+      size_t local_distances = 0;
+      auto join = [&](uint32_t a, uint32_t b) {
+        if (a == b) return;
+        const float d =
+            ComputeDistance(metric, base.Row(a), base.Row(b), base.dim());
+        local_distances++;
+        {
+          std::lock_guard<std::mutex> lock(locks[a]);
+          local_updates += lists[a].Insert(d, b);
+        }
+        {
+          std::lock_guard<std::mutex> lock(locks[b]);
+          local_updates += lists[b].Insert(d, a);
+        }
+      };
+      // new x new (unordered pairs) and new x old.
+      for (size_t i = 0; i < all_new.size(); i++) {
+        for (size_t j = i + 1; j < all_new.size(); j++) {
+          join(all_new[i], all_new[j]);
+        }
+        for (const uint32_t o : all_old) join(all_new[i], o);
+      }
+      updates.fetch_add(local_updates, std::memory_order_relaxed);
+      distance_count.fetch_add(local_distances, std::memory_order_relaxed);
+    });
+
+    const double threshold = params.termination_delta *
+                             static_cast<double>(n) * static_cast<double>(k);
+    if (static_cast<double>(updates.load()) <= threshold) {
+      iteration++;
+      break;
+    }
+  }
+
+  // --- Emit the fixed-degree graph, neighbor rows ascending by distance.
+  for (size_t v = 0; v < n; v++) {
+    const auto& entries = lists[v].entries();
+    uint32_t* row = graph.MutableNeighbors(v);
+    for (size_t i = 0; i < entries.size() && i < graph.degree(); i++) {
+      row[i] = entries[i].id;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->iterations = iteration;
+    stats->distance_computations = distance_count.load();
+    stats->seconds = timer.Seconds();
+  }
+  return graph;
+}
+
+}  // namespace cagra

@@ -1,0 +1,40 @@
+#ifndef CAGRA_KNN_NN_DESCENT_H_
+#define CAGRA_KNN_NN_DESCENT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dataset/matrix.h"
+#include "distance/distance.h"
+#include "graph/fixed_degree_graph.h"
+
+namespace cagra {
+
+/// NN-descent parameters (Dong, Moses & Li, WWW'11 — reference [5] of the
+/// paper; CAGRA uses NN-descent to build its initial k-NN graph, §III-B1).
+struct NnDescentParams {
+  size_t k = 64;               ///< neighbor-list size (d_init for CAGRA)
+  double sample_rate = 0.5;    ///< rho: fraction of new/reverse sampled
+  size_t max_iterations = 20;
+  double termination_delta = 0.001;  ///< stop when updates < delta*N*k
+  uint64_t seed = 1234;
+};
+
+/// Statistics from a build, for the construction-time benches.
+struct NnDescentStats {
+  size_t iterations = 0;
+  size_t distance_computations = 0;
+  double seconds = 0.0;
+};
+
+/// Builds an approximate k-NN graph by iterative local joins. Neighbor
+/// lists in the result are sorted ascending by distance (the CAGRA
+/// optimization relies on this order to define initial ranks, §III-B1).
+FixedDegreeGraph BuildKnnGraphNnDescent(const Matrix<float>& base,
+                                        const NnDescentParams& params,
+                                        Metric metric,
+                                        NnDescentStats* stats = nullptr);
+
+}  // namespace cagra
+
+#endif  // CAGRA_KNN_NN_DESCENT_H_

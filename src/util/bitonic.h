@@ -1,0 +1,46 @@
+#ifndef CAGRA_UTIL_BITONIC_H_
+#define CAGRA_UTIL_BITONIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cagra {
+
+/// A (distance, index) pair as held in the CAGRA search buffer. The index
+/// carries the MSB "has been a parent" flag (§IV-B4), so comparisons must
+/// use the distance key only.
+struct KeyValue {
+  float key;
+  uint32_t value;
+};
+
+/// Bitonic sorting/merging as performed by the warp-level kernel in the
+/// paper (§IV-B2). Sizes are padded to a power of two with +inf sentinels.
+/// On hardware each compare-exchange stage runs across warp shuffles; here
+/// the same network is executed sequentially and the stage/exchange counts
+/// are reported so the gpusim cost model can price the kernel.
+class BitonicSorter {
+ public:
+  /// Sorts `data` ascending by key. Returns the number of compare-exchange
+  /// operations executed (the hardware cost driver).
+  static size_t Sort(std::vector<KeyValue>* data);
+
+  /// Merges two individually sorted ascending runs `a` and `b` into `a`
+  /// keeping only the |a| smallest entries — exactly the internal-top-M
+  /// update: the sorted candidate list is merged into the sorted top-M
+  /// buffer. Returns compare-exchange count.
+  static size_t MergeKeepSmallest(std::vector<KeyValue>* a,
+                                  const std::vector<KeyValue>& b);
+
+  /// Number of compare-exchange stages for a length-n bitonic sort
+  /// (log^2 complexity); used by the cost model.
+  static size_t SortStages(size_t n);
+
+ private:
+  static size_t SortRange(KeyValue* data, size_t n);
+};
+
+}  // namespace cagra
+
+#endif  // CAGRA_UTIL_BITONIC_H_

@@ -1,0 +1,79 @@
+#ifndef CAGRA_UTIL_BOUNDED_HEAP_H_
+#define CAGRA_UTIL_BOUNDED_HEAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cagra {
+
+/// Fixed-capacity max-heap keeping the k smallest (distance, id) pairs seen.
+/// This is the "bounded priority queue" building block used by brute-force
+/// ground truth, HNSW ef-search result sets, and NN-descent neighbor lists.
+class BoundedHeap {
+ public:
+  /// Creates a heap that retains at most `capacity` smallest entries.
+  explicit BoundedHeap(size_t capacity) : capacity_(capacity) {
+    entries_.reserve(capacity);
+  }
+
+  /// Offers a candidate; kept only if the heap has room or the candidate
+  /// beats the current worst. Returns true if the entry was inserted.
+  bool Push(float distance, uint32_t id) {
+    if (entries_.size() < capacity_) {
+      entries_.push_back({distance, id});
+      std::push_heap(entries_.begin(), entries_.end(), Less);
+      return true;
+    }
+    if (capacity_ == 0 || distance >= entries_.front().distance) return false;
+    std::pop_heap(entries_.begin(), entries_.end(), Less);
+    entries_.back() = {distance, id};
+    std::push_heap(entries_.begin(), entries_.end(), Less);
+    return true;
+  }
+
+  /// Largest retained distance, or +inf when not yet full (any candidate
+  /// would be accepted).
+  float WorstDistance() const {
+    if (entries_.size() < capacity_) return kInf;
+    return entries_.front().distance;
+  }
+
+  size_t Size() const { return entries_.size(); }
+  bool Full() const { return entries_.size() >= capacity_; }
+  size_t Capacity() const { return capacity_; }
+
+  struct Entry {
+    float distance;
+    uint32_t id;
+  };
+
+  /// Destructively extracts entries sorted ascending by distance
+  /// (ties broken by id for determinism).
+  std::vector<Entry> ExtractSorted() {
+    std::vector<Entry> out = std::move(entries_);
+    entries_.clear();
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      if (a.distance != b.distance) return a.distance < b.distance;
+      return a.id < b.id;
+    });
+    return out;
+  }
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  static constexpr float kInf = 3.402823466e+38f;
+
+  static bool Less(const Entry& a, const Entry& b) {
+    return a.distance < b.distance;  // max-heap on distance
+  }
+
+  size_t capacity_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace cagra
+
+#endif  // CAGRA_UTIL_BOUNDED_HEAP_H_

@@ -1,0 +1,75 @@
+#include "util/half.h"
+
+#include <cstring>
+
+namespace cagra {
+
+namespace {
+
+uint32_t FloatBits(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+float BitsFloat(uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+}  // namespace
+
+uint16_t Half::FromFloat(float f) {
+  const uint32_t x = FloatBits(f);
+  const uint32_t sign = (x >> 16) & 0x8000u;
+  const uint32_t abs = x & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {
+    // Inf or NaN: preserve NaN-ness with a quiet payload.
+    return static_cast<uint16_t>(sign | 0x7c00u | (abs > 0x7f800000u ? 0x200u : 0u));
+  }
+  if (abs >= 0x477ff000u) {
+    // Overflows binary16 after rounding -> +-Inf.
+    return static_cast<uint16_t>(sign | 0x7c00u);
+  }
+  if (abs < 0x38800000u) {
+    // Subnormal half (or zero): shift mantissa with implicit bit.
+    if (abs < 0x33000000u) return static_cast<uint16_t>(sign);  // rounds to 0
+    const int32_t exp = static_cast<int32_t>(abs >> 23);
+    const uint32_t mant = (abs & 0x7fffffu) | 0x800000u;
+    // Subnormal target: mant16 = value * 2^24 = M * 2^(exp-126), i.e.
+    // drop (126 - exp) bits of the 24-bit significand.
+    const int32_t shift = 126 - exp;
+    uint32_t half_mant = mant >> shift;
+    // Round to nearest even on the dropped bits.
+    const uint32_t rem = mant & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) half_mant++;
+    return static_cast<uint16_t>(sign | half_mant);
+  }
+  // Normal range: re-bias exponent from 127 to 15, round mantissa 23->10.
+  uint32_t half = sign | (((abs >> 23) - 112) << 10) | ((abs >> 13) & 0x3ffu);
+  const uint32_t rem = abs & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) half++;
+  return static_cast<uint16_t>(half);
+}
+
+float Half::ToFloatImpl(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1fu;
+  const uint32_t mant = h & 0x3ffu;
+
+  if (exp == 0) {
+    if (mant == 0) return BitsFloat(sign);  // signed zero
+    // Subnormal half: value = +-mant * 2^-24 (exact in binary32).
+    const float magnitude = static_cast<float>(mant) * 0x1.0p-24f;
+    return sign ? -magnitude : magnitude;
+  }
+  if (exp == 0x1f) {
+    return BitsFloat(sign | 0x7f800000u | (mant << 13));  // Inf/NaN
+  }
+  return BitsFloat(sign | ((exp + 112) << 23) | (mant << 13));
+}
+
+}  // namespace cagra

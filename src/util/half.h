@@ -1,0 +1,42 @@
+#ifndef CAGRA_UTIL_HALF_H_
+#define CAGRA_UTIL_HALF_H_
+
+#include <cstdint>
+
+namespace cagra {
+
+/// IEEE 754 binary16 implemented in software. The paper stores dataset
+/// vectors in FP16 to halve device-memory traffic (§IV-C1, Figs. 13/14/16);
+/// this type reproduces the same rounding so recall impact is real, while
+/// the gpusim cost model accounts the halved byte traffic.
+class Half {
+ public:
+  Half() : bits_(0) {}
+  /// Converts from float with round-to-nearest-even.
+  explicit Half(float f) : bits_(FromFloat(f)) {}
+
+  /// Converts back to float exactly (binary16 -> binary32 is lossless).
+  float ToFloat() const { return ToFloatImpl(bits_); }
+  explicit operator float() const { return ToFloat(); }
+
+  uint16_t bits() const { return bits_; }
+  static Half FromBits(uint16_t b) {
+    Half h;
+    h.bits_ = b;
+    return h;
+  }
+
+  friend bool operator==(Half a, Half b) { return a.bits_ == b.bits_; }
+
+ private:
+  static uint16_t FromFloat(float f);
+  static float ToFloatImpl(uint16_t h);
+
+  uint16_t bits_;
+};
+
+static_assert(sizeof(Half) == 2, "Half must be 2 bytes");
+
+}  // namespace cagra
+
+#endif  // CAGRA_UTIL_HALF_H_

@@ -1,0 +1,38 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace cagra {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) <
+      g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "D"; break;
+    case LogLevel::kInfo: tag = "I"; break;
+    case LogLevel::kWarning: tag = "W"; break;
+    case LogLevel::kError: tag = "E"; break;
+  }
+  std::fprintf(stderr, "[cagra %s] %s\n", tag, message.c_str());
+}
+
+}  // namespace internal_logging
+}  // namespace cagra

@@ -1,0 +1,46 @@
+#ifndef CAGRA_UTIL_LOGGING_H_
+#define CAGRA_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cagra {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level emitted to stderr (default kWarning so library
+/// use is quiet; benches raise it to kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const std::string& message);
+
+/// Stream-style log line builder; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Emit(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace cagra
+
+#define CAGRA_LOG(level)                                          \
+  ::cagra::internal_logging::LogMessage(::cagra::LogLevel::level)
+
+#endif  // CAGRA_UTIL_LOGGING_H_

@@ -1,0 +1,16 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace cagra {
+
+float Pcg32::NextGaussian() {
+  // Box-Muller transform. Clamp u1 away from zero so log() is finite.
+  float u1 = NextFloat();
+  if (u1 < 1e-12f) u1 = 1e-12f;
+  const float u2 = NextFloat();
+  const float r = std::sqrt(-2.0f * std::log(u1));
+  return r * std::cos(6.28318530717958647692f * u2);
+}
+
+}  // namespace cagra

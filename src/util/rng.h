@@ -1,0 +1,61 @@
+#ifndef CAGRA_UTIL_RNG_H_
+#define CAGRA_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace cagra {
+
+/// PCG32 pseudo-random generator (O'Neill, 2014). Deterministic across
+/// platforms, cheap to seed per-query, and good enough statistically for
+/// the random-sampling initialization step of the CAGRA search (§IV-A step 0)
+/// and for synthetic dataset generation.
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0u;
+    inc_ = (stream << 1u) | 1u;
+    Next();
+    state_ += seed;
+    Next();
+  }
+
+  /// Returns the next 32 random bits.
+  uint32_t Next() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Returns a uniform integer in [0, bound). Uses the unbiased
+  /// multiply-shift rejection method; bound must be > 0.
+  uint32_t NextBounded(uint32_t bound) {
+    uint64_t m = static_cast<uint64_t>(Next()) * bound;
+    uint32_t lo = static_cast<uint32_t>(m);
+    if (lo < bound) {
+      uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<uint64_t>(Next()) * bound;
+        lo = static_cast<uint32_t>(m);
+      }
+    }
+    return static_cast<uint32_t>(m >> 32);
+  }
+
+  /// Returns a uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(Next() >> 8) * 0x1.0p-24f; }
+
+  /// Returns a standard normal sample (Box-Muller; uses two uniforms,
+  /// caches nothing to stay stateless beyond the PCG state).
+  float NextGaussian();
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace cagra
+
+#endif  // CAGRA_UTIL_RNG_H_

@@ -1,0 +1,107 @@
+#ifndef CAGRA_UTIL_STATUS_H_
+#define CAGRA_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cagra {
+
+/// Error categories used across the library. Mirrors the small set of
+/// failure modes a vector index can hit; keep this list short.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kIoError,
+  kCapacityExceeded,
+  kInternal,
+};
+
+/// Lightweight status object: a code plus a human-readable message.
+/// The library does not throw exceptions on expected failure paths;
+/// fallible public entry points return Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status, like
+/// std::expected<T, Status>. Use `ok()` before dereferencing.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  /// Returns the error; requires !ok().
+  const Status& status() const { return std::get<Status>(payload_); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+inline std::string Status::ToString() const {
+  if (ok()) return "OK";
+  const char* name = "UNKNOWN";
+  switch (code_) {
+    case StatusCode::kOk: name = "OK"; break;
+    case StatusCode::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
+    case StatusCode::kOutOfRange: name = "OUT_OF_RANGE"; break;
+    case StatusCode::kNotFound: name = "NOT_FOUND"; break;
+    case StatusCode::kIoError: name = "IO_ERROR"; break;
+    case StatusCode::kCapacityExceeded: name = "CAPACITY_EXCEEDED"; break;
+    case StatusCode::kInternal: name = "INTERNAL"; break;
+  }
+  return std::string(name) + ": " + message_;
+}
+
+}  // namespace cagra
+
+#endif  // CAGRA_UTIL_STATUS_H_

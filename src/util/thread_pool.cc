@@ -1,0 +1,82 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace cagra {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; i++) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t total = end - begin;
+  const size_t num_chunks =
+      std::min(total, std::max<size_t>(1, threads_.size()));
+  if (num_chunks == 1) {
+    for (size_t i = begin; i < end; i++) fn(i);
+    return;
+  }
+
+  std::atomic<size_t> remaining(num_chunks);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  const size_t chunk = (total + num_chunks - 1) / num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t c = 0; c < num_chunks; c++) {
+      const size_t lo = begin + c * chunk;
+      const size_t hi = std::min(end, lo + chunk);
+      tasks_.push([&, lo, hi] {
+        for (size_t i = lo; i < hi; i++) fn(i);
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> done_lock(done_mutex);
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace cagra

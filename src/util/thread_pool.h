@@ -1,0 +1,51 @@
+#ifndef CAGRA_UTIL_THREAD_POOL_H_
+#define CAGRA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cagra {
+
+/// Minimal fixed-size worker pool with a ParallelFor primitive. Graph
+/// construction (NN-descent, CAGRA optimization) is expressed as
+/// independent per-node work, matching the paper's claim that the
+/// optimization "allows for many computations to be executed in parallel
+/// without complex dependencies" (§III-B2).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [begin, end), partitioned into contiguous chunks
+  /// across the pool. Blocks until all iterations complete. fn must be
+  /// safe to invoke concurrently for distinct i.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Returns a process-wide pool sized to the hardware.
+ThreadPool& GlobalThreadPool();
+
+}  // namespace cagra
+
+#endif  // CAGRA_UTIL_THREAD_POOL_H_

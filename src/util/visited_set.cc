@@ -1,0 +1,58 @@
+#include "util/visited_set.h"
+
+namespace cagra {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+VisitedSet::VisitedSet(size_t min_capacity)
+    : slots_(RoundUpPow2(min_capacity), kEmpty), mask_(slots_.size() - 1) {}
+
+bool VisitedSet::InsertIfAbsent(uint32_t key) {
+  if (size_ >= slots_.size()) {
+    stats_.overflows++;
+    return true;  // treat as unvisited: recompute rather than fail
+  }
+  size_t slot = Slot(key);
+  while (true) {
+    stats_.probes++;
+    const uint32_t occupant = slots_[slot];
+    if (occupant == key) {
+      stats_.rejects++;
+      return false;
+    }
+    if (occupant == kEmpty) {
+      slots_[slot] = key;
+      size_++;
+      stats_.inserts++;
+      return true;
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+bool VisitedSet::Contains(uint32_t key) const {
+  size_t slot = Slot(key);
+  for (size_t i = 0; i <= mask_; i++) {
+    const uint32_t occupant = slots_[slot];
+    if (occupant == key) return true;
+    if (occupant == kEmpty) return false;
+    slot = (slot + 1) & mask_;
+  }
+  return false;
+}
+
+void VisitedSet::Reset() {
+  std::fill(slots_.begin(), slots_.end(), kEmpty);
+  size_ = 0;
+  stats_.resets++;
+}
+
+}  // namespace cagra

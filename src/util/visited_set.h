@@ -1,0 +1,76 @@
+#ifndef CAGRA_UTIL_VISITED_SET_H_
+#define CAGRA_UTIL_VISITED_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cagra {
+
+/// Statistics accumulated by a visited-set hash table; consumed by the
+/// gpusim cost model (probe count drives latency, table bytes drive the
+/// shared-memory footprint and hence CTA occupancy).
+struct VisitedSetStats {
+  size_t probes = 0;     ///< Total slot inspections.
+  size_t inserts = 0;    ///< Successful insertions of new keys.
+  size_t rejects = 0;    ///< InsertIfAbsent calls that found the key present.
+  size_t resets = 0;     ///< Table wipes (forgettable management only).
+  size_t overflows = 0;  ///< Insertions dropped because the table was full.
+};
+
+/// Open-addressing hash set over node indices, modelling the visited-node
+/// list of the CAGRA search (§IV-B3, following SONG). Linear probing with
+/// a multiplicative hash; capacity is a power of two.
+///
+/// Two management policies exist:
+///  - *Standard*: table sized for the whole search (device memory on GPU).
+///    Never resets; insertion failure on a full table is recorded as an
+///    overflow (callers size tables at >= 2x worst-case entries, §IV-B3).
+///  - *Forgettable*: small table (shared memory on GPU) wiped every
+///    `reset_interval` iterations; after a wipe the caller re-registers
+///    only the current internal top-M entries. May cause recomputed
+///    distances but never incorrect results.
+class VisitedSet {
+ public:
+  /// Creates a table with at least `min_capacity` slots (rounded up to a
+  /// power of two, minimum 16).
+  explicit VisitedSet(size_t min_capacity);
+
+  /// Inserts `key` if absent. Returns true when the key was newly
+  /// inserted, false when already present (or the table is full, in which
+  /// case the key is treated as unvisited and an overflow is recorded —
+  /// matching the GPU kernel's behaviour of recomputing rather than
+  /// failing).
+  bool InsertIfAbsent(uint32_t key);
+
+  /// Returns true if `key` is present.
+  bool Contains(uint32_t key) const;
+
+  /// Wipes the table (forgettable management). O(capacity).
+  void Reset();
+
+  size_t capacity() const { return slots_.size(); }
+  size_t size() const { return size_; }
+  /// Bytes this table would occupy on device (4 bytes per slot).
+  size_t MemoryBytes() const { return slots_.size() * sizeof(uint32_t); }
+
+  const VisitedSetStats& stats() const { return stats_; }
+  VisitedSetStats* mutable_stats() { return &stats_; }
+
+ private:
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+
+  size_t Slot(uint32_t key) const {
+    // Fibonacci multiplicative hashing onto the table's power-of-two size.
+    return (static_cast<uint64_t>(key) * 2654435761u) & mask_;
+  }
+
+  std::vector<uint32_t> slots_;
+  size_t mask_;
+  size_t size_ = 0;
+  VisitedSetStats stats_;
+};
+
+}  // namespace cagra
+
+#endif  // CAGRA_UTIL_VISITED_SET_H_

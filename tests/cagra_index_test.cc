@@ -1,0 +1,172 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/search.h"
+#include "dataset/profile.h"
+#include "dataset/synthetic.h"
+#include "graph/analysis.h"
+
+namespace cagra {
+namespace {
+
+SyntheticData SmallData(size_t n = 1000, uint64_t seed = 55) {
+  return GenerateDataset(*FindProfile("DEEP-1M"), n, 8, seed);
+}
+
+TEST(CagraIndexTest, BuildProducesFixedDegreeGraph) {
+  auto data = SmallData();
+  BuildParams params;
+  params.graph_degree = 16;
+  BuildStats stats;
+  auto index = CagraIndex::Build(data.base, params, &stats);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index->degree(), 16u);
+  EXPECT_EQ(index->size(), 1000u);
+  EXPECT_EQ(index->dim(), 96u);
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GT(stats.knn.distance_computations, 0u);
+}
+
+TEST(CagraIndexTest, BuildDefaultsIntermediateDegreeToTwiceFinal) {
+  auto data = SmallData();
+  BuildParams params;
+  params.graph_degree = 8;
+  BuildStats stats;
+  auto index = CagraIndex::Build(data.base, params, &stats);
+  ASSERT_TRUE(index.ok());
+  // Distance table bytes reflect d_init = 2d = 16.
+  EXPECT_EQ(stats.optimize.distance_table_bytes,
+            1000u * 16u * sizeof(float));
+}
+
+TEST(CagraIndexTest, BuiltGraphIsWellFormed) {
+  auto data = SmallData();
+  BuildParams params;
+  params.graph_degree = 16;
+  auto index = CagraIndex::Build(data.base, params);
+  ASSERT_TRUE(index.ok());
+  const auto& g = index->graph();
+  for (size_t v = 0; v < g.num_nodes(); v++) {
+    for (size_t j = 0; j < g.degree(); j++) {
+      const uint32_t u = g.Neighbors(v)[j];
+      if (u == FixedDegreeGraph::kInvalid) continue;
+      EXPECT_LT(u, g.num_nodes());
+      EXPECT_NE(u, static_cast<uint32_t>(v));
+    }
+  }
+}
+
+TEST(CagraIndexTest, BuiltGraphIsNearlyStronglyConnected) {
+  auto data = SmallData();
+  BuildParams params;
+  params.graph_degree = 16;
+  auto index = CagraIndex::Build(data.base, params);
+  ASSERT_TRUE(index.ok());
+  // Fig. 3: full optimization drives strong CC to ~1.
+  EXPECT_LE(CountStrongComponents(index->graph()), 3u);
+}
+
+TEST(CagraIndexTest, RejectsEmptyDataset) {
+  Matrix<float> empty;
+  BuildParams params;
+  auto index = CagraIndex::Build(empty, params);
+  EXPECT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CagraIndexTest, RejectsDegreeBelowTwo) {
+  auto data = SmallData(100);
+  BuildParams params;
+  params.graph_degree = 1;
+  auto index = CagraIndex::Build(data.base, params);
+  EXPECT_FALSE(index.ok());
+}
+
+TEST(CagraIndexTest, FromGraphValidatesShape) {
+  auto data = SmallData(100);
+  FixedDegreeGraph wrong(99, 4);
+  auto index = CagraIndex::FromGraph(data.base, std::move(wrong), Metric::kL2);
+  EXPECT_FALSE(index.ok());
+}
+
+TEST(CagraIndexTest, FromGraphSearchable) {
+  auto data = SmallData(500);
+  // Exact kNN graph as the search graph.
+  BuildParams params;
+  params.graph_degree = 12;
+  auto built = CagraIndex::Build(data.base, params);
+  ASSERT_TRUE(built.ok());
+  auto wrapped = CagraIndex::FromGraph(data.base, built->graph(), Metric::kL2);
+  ASSERT_TRUE(wrapped.ok());
+  SearchParams sp;
+  sp.k = 5;
+  sp.itopk = 32;
+  auto r = Search(*wrapped, data.queries, sp);
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(CagraIndexTest, HalfPrecisionLifecycle) {
+  auto data = SmallData(200);
+  BuildParams params;
+  params.graph_degree = 8;
+  auto index = CagraIndex::Build(data.base, params);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->HasHalfPrecision());
+  index->EnableHalfPrecision();
+  EXPECT_TRUE(index->HasHalfPrecision());
+  EXPECT_EQ(index->half_dataset().rows(), 200u);
+  index->EnableHalfPrecision();  // idempotent
+  EXPECT_TRUE(index->HasHalfPrecision());
+}
+
+TEST(CagraIndexTest, SaveLoadRoundTripPreservesSearch) {
+  auto data = SmallData(600);
+  BuildParams params;
+  params.graph_degree = 12;
+  auto index = CagraIndex::Build(data.base, params);
+  ASSERT_TRUE(index.ok());
+
+  const std::string path = ::testing::TempDir() + "/index.cagra";
+  ASSERT_TRUE(index->Save(path).ok());
+  auto loaded = CagraIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), index->size());
+  EXPECT_EQ(loaded->degree(), index->degree());
+  EXPECT_EQ(loaded->metric(), index->metric());
+  EXPECT_EQ(loaded->graph().edges(), index->graph().edges());
+
+  SearchParams sp;
+  sp.k = 5;
+  sp.itopk = 32;
+  auto a = Search(*index, data.queries, sp);
+  auto b = Search(*loaded, data.queries, sp);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->neighbors.ids, b->neighbors.ids);
+  std::remove(path.c_str());
+}
+
+TEST(CagraIndexTest, LoadRejectsNonIndexFile) {
+  const std::string path = ::testing::TempDir() + "/notindex.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const char junk[64] = {0};
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  auto loaded = CagraIndex::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CagraIndexTest, DegreeClampedOnTinyDataset) {
+  auto data = SmallData(30);
+  BuildParams params;
+  params.graph_degree = 64;  // larger than n
+  auto index = CagraIndex::Build(data.base, params);
+  ASSERT_TRUE(index.ok());
+  EXPECT_LT(index->degree(), 30u);
+}
+
+}  // namespace
+}  // namespace cagra

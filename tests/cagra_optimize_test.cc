@@ -1,0 +1,304 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/optimize.h"
+#include "dataset/profile.h"
+#include "dataset/synthetic.h"
+#include "graph/analysis.h"
+#include "knn/bruteforce.h"
+#include "knn/nn_descent.h"
+
+namespace cagra {
+namespace {
+
+Matrix<float> EmptyDataset() { return Matrix<float>(); }
+
+/// kNN graph + dataset fixture on a clustered profile.
+struct Fixture {
+  Matrix<float> base;
+  FixedDegreeGraph knn;
+};
+
+Fixture MakeFixture(size_t n, size_t k, uint64_t seed = 3) {
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  Fixture f;
+  f.base = GenerateDataset(*p, n, 1, seed).base;
+  f.knn = ExactKnnGraph(f.base, k, p->metric);
+  return f;
+}
+
+// ------------------------------------------------------- ReorderAndPrune
+
+TEST(ReorderTest, OutputDegreeIsPruned) {
+  Fixture f = MakeFixture(200, 12);
+  const FixedDegreeGraph out = ReorderAndPrune(
+      f.knn, 6, ReorderMode::kRankBased, EmptyDataset(), Metric::kL2);
+  EXPECT_EQ(out.degree(), 6u);
+  EXPECT_EQ(out.num_nodes(), 200u);
+}
+
+TEST(ReorderTest, NeighborsAreSubsetOfInitial) {
+  Fixture f = MakeFixture(200, 12);
+  const FixedDegreeGraph out = ReorderAndPrune(
+      f.knn, 6, ReorderMode::kRankBased, EmptyDataset(), Metric::kL2);
+  for (size_t v = 0; v < out.num_nodes(); v++) {
+    std::set<uint32_t> initial(f.knn.Neighbors(v), f.knn.Neighbors(v) + 12);
+    for (size_t j = 0; j < out.degree(); j++) {
+      EXPECT_TRUE(initial.count(out.Neighbors(v)[j]))
+          << v << " " << out.Neighbors(v)[j];
+    }
+  }
+}
+
+TEST(ReorderTest, RankBasedNeedsNoDistances) {
+  Fixture f = MakeFixture(150, 10);
+  size_t distances = 12345;
+  ReorderAndPrune(f.knn, 5, ReorderMode::kRankBased, EmptyDataset(),
+                  Metric::kL2, &distances);
+  EXPECT_EQ(distances, 0u) << "rank-based reordering must not compute "
+                              "distances (§III-B2)";
+}
+
+TEST(ReorderTest, DistanceBasedCountsDistances) {
+  Fixture f = MakeFixture(150, 10);
+  size_t distances = 0;
+  ReorderAndPrune(f.knn, 5, ReorderMode::kDistanceBased, f.base, Metric::kL2,
+                  &distances);
+  EXPECT_GT(distances, 150u);  // at least d_init per node
+}
+
+TEST(ReorderTest, DetourFreeEdgesKeepRankOrder) {
+  // A graph with no detourable routes (no triangle closure): reordering
+  // must preserve the initial distance order.
+  FixedDegreeGraph knn(4, 2);
+  // 0's neighbors 1,2; 1's neighbors 2,3... choose so no Z->Y edges close
+  // a route back into the source's list at a worse rank.
+  knn.MutableNeighbors(0)[0] = 1;
+  knn.MutableNeighbors(0)[1] = 3;
+  knn.MutableNeighbors(1)[0] = 2;
+  knn.MutableNeighbors(1)[1] = 0;
+  knn.MutableNeighbors(2)[0] = 3;
+  knn.MutableNeighbors(2)[1] = 1;
+  knn.MutableNeighbors(3)[0] = 0;
+  knn.MutableNeighbors(3)[1] = 2;
+  const FixedDegreeGraph out = ReorderAndPrune(
+      knn, 2, ReorderMode::kRankBased, EmptyDataset(), Metric::kL2);
+  EXPECT_EQ(out.Neighbors(0)[0], 1u);
+  EXPECT_EQ(out.Neighbors(0)[1], 3u);
+}
+
+TEST(ReorderTest, DetourableEdgeDemoted) {
+  // Fig. 2 style: X=0 with neighbors [A=1 (rank0), B=2 (rank1), C=3
+  // (rank2)]; A's first neighbor is B, so route X->A->B (ranks 0,?) can
+  // detour X->B only if max(0, rank(A->B)) < 1, i.e. A->B at rank 0.
+  // Then B is demoted below C if C has no detours.
+  FixedDegreeGraph knn(5, 3);
+  auto set_row = [&](size_t v, uint32_t a, uint32_t b, uint32_t c) {
+    knn.MutableNeighbors(v)[0] = a;
+    knn.MutableNeighbors(v)[1] = b;
+    knn.MutableNeighbors(v)[2] = c;
+  };
+  set_row(0, 1, 2, 3);  // X
+  set_row(1, 2, 4, 0);  // A -> B at rank 0: detours X->B
+  set_row(2, 4, 1, 0);
+  set_row(3, 4, 1, 2);
+  set_row(4, 1, 2, 3);
+  const FixedDegreeGraph out = ReorderAndPrune(
+      knn, 2, ReorderMode::kRankBased, EmptyDataset(), Metric::kL2);
+  // B (=2) has one detourable route; A (=1) and C (=3) have none.
+  // Keep top 2 -> {A, C}; B is pruned despite being closer than C.
+  EXPECT_EQ(out.Neighbors(0)[0], 1u);
+  EXPECT_EQ(out.Neighbors(0)[1], 3u);
+}
+
+// ------------------------------------------------------- Reverse graph
+
+TEST(ReverseTest, EveryEdgeReversed) {
+  Fixture f = MakeFixture(100, 8);
+  const FixedDegreeGraph pruned = ReorderAndPrune(
+      f.knn, 4, ReorderMode::kRankBased, EmptyDataset(), Metric::kL2);
+  const AdjacencyGraph rev = BuildReverseGraph(pruned);
+  // Each reverse edge corresponds to a forward edge.
+  for (size_t y = 0; y < rev.num_nodes(); y++) {
+    for (const uint32_t x : rev.Neighbors(y)) {
+      bool found = false;
+      for (size_t j = 0; j < pruned.degree(); j++) {
+        if (pruned.Neighbors(x)[j] == y) found = true;
+      }
+      EXPECT_TRUE(found) << "reverse edge " << y << "->" << x
+                         << " lacks forward edge";
+    }
+  }
+}
+
+TEST(ReverseTest, CappedAtForwardDegree) {
+  Fixture f = MakeFixture(150, 8);
+  const FixedDegreeGraph pruned = ReorderAndPrune(
+      f.knn, 4, ReorderMode::kRankBased, EmptyDataset(), Metric::kL2);
+  const AdjacencyGraph rev = BuildReverseGraph(pruned);
+  for (size_t v = 0; v < rev.num_nodes(); v++) {
+    EXPECT_LE(rev.Neighbors(v).size(), 4u);
+  }
+}
+
+TEST(ReverseTest, OrderedByForwardRank) {
+  // Forward: 1 -> 0 at rank 0; 2 -> 0 at rank 1. Reverse list of 0 must
+  // put 1 before 2 ("someone who considers you more important...").
+  FixedDegreeGraph g(3, 2);
+  g.MutableNeighbors(1)[0] = 0;
+  g.MutableNeighbors(1)[1] = 2;
+  g.MutableNeighbors(2)[0] = 1;
+  g.MutableNeighbors(2)[1] = 0;
+  g.MutableNeighbors(0)[0] = 1;
+  g.MutableNeighbors(0)[1] = 2;
+  const AdjacencyGraph rev = BuildReverseGraph(g);
+  ASSERT_EQ(rev.Neighbors(0).size(), 2u);
+  EXPECT_EQ(rev.Neighbors(0)[0], 1u);  // rank 0 beats rank 1
+  EXPECT_EQ(rev.Neighbors(0)[1], 2u);
+}
+
+// ------------------------------------------------------- Merge
+
+TEST(MergeTest, OutputHasFixedDegree) {
+  Fixture f = MakeFixture(200, 12);
+  const FixedDegreeGraph pruned = ReorderAndPrune(
+      f.knn, 6, ReorderMode::kRankBased, EmptyDataset(), Metric::kL2);
+  const AdjacencyGraph rev = BuildReverseGraph(pruned);
+  const FixedDegreeGraph merged = MergeGraphs(pruned, rev, 0.5);
+  EXPECT_EQ(merged.degree(), 6u);
+  // On a dense-enough graph every row is full.
+  for (size_t v = 0; v < merged.num_nodes(); v++) {
+    for (size_t j = 0; j < merged.degree(); j++) {
+      EXPECT_LT(merged.Neighbors(v)[j], merged.num_nodes()) << v;
+    }
+  }
+}
+
+TEST(MergeTest, NoDuplicatesNoSelfLoops) {
+  Fixture f = MakeFixture(200, 12);
+  const FixedDegreeGraph pruned = ReorderAndPrune(
+      f.knn, 6, ReorderMode::kRankBased, EmptyDataset(), Metric::kL2);
+  const AdjacencyGraph rev = BuildReverseGraph(pruned);
+  const FixedDegreeGraph merged = MergeGraphs(pruned, rev, 0.5);
+  for (size_t v = 0; v < merged.num_nodes(); v++) {
+    std::set<uint32_t> seen;
+    for (size_t j = 0; j < merged.degree(); j++) {
+      const uint32_t u = merged.Neighbors(v)[j];
+      if (u == FixedDegreeGraph::kInvalid) continue;
+      EXPECT_NE(u, static_cast<uint32_t>(v));
+      EXPECT_TRUE(seen.insert(u).second) << v;
+    }
+  }
+}
+
+TEST(MergeTest, ForwardFractionOneKeepsPrunedGraph) {
+  Fixture f = MakeFixture(100, 8);
+  const FixedDegreeGraph pruned = ReorderAndPrune(
+      f.knn, 4, ReorderMode::kRankBased, EmptyDataset(), Metric::kL2);
+  const AdjacencyGraph rev = BuildReverseGraph(pruned);
+  const FixedDegreeGraph merged = MergeGraphs(pruned, rev, 1.0);
+  for (size_t v = 0; v < merged.num_nodes(); v++) {
+    for (size_t j = 0; j < merged.degree(); j++) {
+      EXPECT_EQ(merged.Neighbors(v)[j], pruned.Neighbors(v)[j]) << v;
+    }
+  }
+}
+
+TEST(MergeTest, InterleavesForwardAndReverse) {
+  Fixture f = MakeFixture(300, 16);
+  const FixedDegreeGraph pruned = ReorderAndPrune(
+      f.knn, 8, ReorderMode::kRankBased, EmptyDataset(), Metric::kL2);
+  const AdjacencyGraph rev = BuildReverseGraph(pruned);
+  const FixedDegreeGraph merged = MergeGraphs(pruned, rev, 0.5);
+  // At least one node must contain a reverse-only edge (an edge absent
+  // from its forward list) — otherwise the merge did nothing.
+  size_t nodes_with_reverse = 0;
+  for (size_t v = 0; v < merged.num_nodes(); v++) {
+    std::set<uint32_t> fwd(pruned.Neighbors(v), pruned.Neighbors(v) + 8);
+    for (size_t j = 0; j < merged.degree(); j++) {
+      if (!fwd.count(merged.Neighbors(v)[j])) {
+        nodes_with_reverse++;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(nodes_with_reverse, merged.num_nodes() / 4);
+}
+
+// ------------------------------------------------------- Full pipeline
+
+TEST(OptimizeTest, ImprovesTwoHopCount) {
+  // The Fig. 3 claim as an invariant: full optimization raises the
+  // average 2-hop node count over the raw kNN graph at equal degree.
+  Fixture f = MakeFixture(800, 24, 5);
+  BuildParams params;
+  params.graph_degree = 8;
+  const FixedDegreeGraph knn8 = ReorderAndPrune(
+      f.knn, 8, ReorderMode::kRankBased, EmptyDataset(), Metric::kL2);
+
+  // Degree-8 truncation of the kNN graph (pure distance order).
+  FixedDegreeGraph trunc(800, 8);
+  for (size_t v = 0; v < 800; v++) {
+    for (size_t j = 0; j < 8; j++) {
+      trunc.MutableNeighbors(v)[j] = f.knn.Neighbors(v)[j];
+    }
+  }
+
+  const FixedDegreeGraph optimized = OptimizeGraph(f.knn, params, f.base);
+  EXPECT_GT(Average2HopCount(optimized), Average2HopCount(trunc));
+}
+
+TEST(OptimizeTest, ReducesStrongComponents) {
+  Fixture f = MakeFixture(800, 24, 7);
+  BuildParams params;
+  params.graph_degree = 8;
+  FixedDegreeGraph trunc(800, 8);
+  for (size_t v = 0; v < 800; v++) {
+    for (size_t j = 0; j < 8; j++) {
+      trunc.MutableNeighbors(v)[j] = f.knn.Neighbors(v)[j];
+    }
+  }
+  const FixedDegreeGraph optimized = OptimizeGraph(f.knn, params, f.base);
+  EXPECT_LE(CountStrongComponents(optimized),
+            CountStrongComponents(trunc));
+}
+
+TEST(OptimizeTest, StatsPopulated) {
+  Fixture f = MakeFixture(300, 12);
+  BuildParams params;
+  params.graph_degree = 6;
+  OptimizeStats stats;
+  OptimizeGraph(f.knn, params, f.base, &stats);
+  EXPECT_GE(stats.total_seconds, 0.0);
+  EXPECT_EQ(stats.distance_computations, 0u);  // rank-based default
+  EXPECT_EQ(stats.distance_table_bytes, 300u * 12u * sizeof(float));
+}
+
+TEST(OptimizeTest, DistanceModeReportsWork) {
+  Fixture f = MakeFixture(300, 12);
+  BuildParams params;
+  params.graph_degree = 6;
+  params.reorder = ReorderMode::kDistanceBased;
+  OptimizeStats stats;
+  OptimizeGraph(f.knn, params, f.base, &stats);
+  EXPECT_GT(stats.distance_computations, 0u);
+}
+
+TEST(OptimizeTest, RankAndDistanceGraphsSimilarQuality) {
+  // Q-A3: the rank approximation should produce a graph of comparable
+  // 2-hop reachability to the distance-based one.
+  Fixture f = MakeFixture(600, 24, 9);
+  BuildParams rank_params;
+  rank_params.graph_degree = 8;
+  BuildParams dist_params = rank_params;
+  dist_params.reorder = ReorderMode::kDistanceBased;
+  const double rank_2hop =
+      Average2HopCount(OptimizeGraph(f.knn, rank_params, f.base));
+  const double dist_2hop =
+      Average2HopCount(OptimizeGraph(f.knn, dist_params, f.base));
+  EXPECT_GT(rank_2hop, 0.8 * dist_2hop);
+}
+
+}  // namespace
+}  // namespace cagra

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "baselines/ganns/ganns.h"
+#include "baselines/ggnn/ggnn.h"
+#include "baselines/gpu_common/gpu_beam_search.h"
+#include "dataset/profile.h"
+#include "dataset/synthetic.h"
+#include "knn/bruteforce.h"
+
+namespace cagra {
+namespace {
+
+class GpuBaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const DatasetProfile* p = FindProfile("DEEP-1M");
+    data_ = new SyntheticData(GenerateDataset(*p, 2000, 32, 987));
+    gt_ = new Matrix<uint32_t>(
+        ComputeGroundTruth(data_->base, data_->queries, 10, p->metric));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete gt_;
+  }
+  static SyntheticData* data_;
+  static Matrix<uint32_t>* gt_;
+};
+
+SyntheticData* GpuBaselinesTest::data_ = nullptr;
+Matrix<uint32_t>* GpuBaselinesTest::gt_ = nullptr;
+
+// ------------------------------------------------------ beam search core
+
+TEST_F(GpuBaselinesTest, BeamSearchFindsExactOnCompleteGraph) {
+  AdjacencyGraph complete(100);
+  for (uint32_t i = 0; i < 100; i++) {
+    for (uint32_t j = 0; j < 100; j++) {
+      if (i != j) complete.AddEdge(i, j);
+    }
+  }
+  Matrix<float> base(100, data_->base.dim());
+  std::copy(data_->base.data().begin(),
+            data_->base.data().begin() + 100 * data_->base.dim(),
+            base.mutable_data()->begin());
+  KernelCounters counters;
+  auto r = GpuBeamSearch(base, Metric::kL2, complete, data_->queries.Row(0),
+                         5, 50, {0}, &counters);
+  const auto gt = ComputeGroundTruth(base, data_->queries, 5, Metric::kL2);
+  ASSERT_EQ(r.neighbors.size(), 5u);
+  for (size_t i = 0; i < 5; i++) {
+    EXPECT_EQ(r.neighbors[i].second, gt.Row(0)[i]);
+  }
+}
+
+TEST_F(GpuBaselinesTest, BeamSearchChargesCounters) {
+  AdjacencyGraph ring(50);
+  for (uint32_t i = 0; i < 50; i++) ring.AddEdge(i, (i + 1) % 50);
+  Matrix<float> base(50, data_->base.dim());
+  std::copy(data_->base.data().begin(),
+            data_->base.data().begin() + 50 * data_->base.dim(),
+            base.mutable_data()->begin());
+  KernelCounters c;
+  GpuBeamSearch(base, Metric::kL2, ring, data_->queries.Row(0), 5, 20, {0},
+                &c);
+  EXPECT_GT(c.distance_computations, 0u);
+  EXPECT_EQ(c.device_vector_bytes,
+            c.distance_computations * base.dim() * sizeof(float));
+  EXPECT_GT(c.hash_probes_device, 0u);
+  EXPECT_GT(c.sort_exchanges, 0u);
+  EXPECT_GT(c.device_graph_bytes, 0u);
+}
+
+TEST_F(GpuBaselinesTest, LaunchConfigShape) {
+  const auto cfg = GpuBaselineLaunchConfig(10000, 96, 24);
+  EXPECT_EQ(cfg.batch, 10000u);
+  EXPECT_EQ(cfg.ctas_per_query, 1u);
+  EXPECT_EQ(cfg.team_size, 32u);  // no warp splitting in GGNN/GANNS
+}
+
+// ------------------------------------------------------ GGNN
+
+TEST_F(GpuBaselinesTest, GgnnBuildsHierarchy) {
+  GgnnParams params;
+  params.degree = 16;
+  params.min_top_size = 200;
+  GgnnBuildStats stats;
+  GgnnIndex index = GgnnIndex::Build(data_->base, params, &stats);
+  EXPECT_GE(index.num_layers(), 2u);
+  EXPECT_EQ(stats.layers, index.num_layers());
+  EXPECT_GT(stats.distance_computations, 0u);
+  EXPECT_GT(stats.seconds, 0.0);
+  EXPECT_GT(index.AverageBottomDegree(), 4.0);
+}
+
+TEST_F(GpuBaselinesTest, GgnnSearchRecall) {
+  GgnnParams params;
+  params.degree = 20;
+  GgnnIndex index = GgnnIndex::Build(data_->base, params);
+  KernelCounters counters;
+  const NeighborList r = index.Search(data_->queries, 10, 80, &counters);
+  EXPECT_GT(ComputeRecall(r, *gt_), 0.8);
+  EXPECT_GT(counters.distance_computations, 0u);
+  EXPECT_EQ(counters.queries, data_->queries.rows());
+}
+
+TEST_F(GpuBaselinesTest, GgnnRecallGrowsWithEf) {
+  GgnnParams params;
+  params.degree = 20;
+  GgnnIndex index = GgnnIndex::Build(data_->base, params);
+  KernelCounters c1, c2;
+  const double low = ComputeRecall(index.Search(data_->queries, 10, 20, &c1),
+                                   *gt_);
+  const double high = ComputeRecall(index.Search(data_->queries, 10, 150, &c2),
+                                    *gt_);
+  EXPECT_GE(high + 1e-9, low);
+  EXPECT_GT(c2.distance_computations, c1.distance_computations);
+}
+
+// ------------------------------------------------------ GANNS
+
+TEST_F(GpuBaselinesTest, GannsBuildsConnectedNsw) {
+  GannsParams params;
+  params.m = 12;
+  GannsBuildStats stats;
+  GannsIndex index = GannsIndex::Build(data_->base, params, &stats);
+  EXPECT_GT(stats.rounds, 1u);  // doubling insertion rounds
+  EXPECT_GT(stats.distance_computations, 0u);
+  EXPECT_GT(index.AverageDegree(), 4.0);
+}
+
+TEST_F(GpuBaselinesTest, GannsSearchRecall) {
+  GannsParams params;
+  params.m = 16;
+  params.ef_construction = 80;
+  GannsIndex index = GannsIndex::Build(data_->base, params);
+  KernelCounters counters;
+  const NeighborList r = index.Search(data_->queries, 10, 100, &counters);
+  EXPECT_GT(ComputeRecall(r, *gt_), 0.8);
+  EXPECT_EQ(counters.kernel_launches, 1u);
+}
+
+TEST_F(GpuBaselinesTest, GannsDegreeBounded) {
+  GannsParams params;
+  params.m = 8;
+  GannsIndex index = GannsIndex::Build(data_->base, params);
+  // Inserted nodes are trimmed to 2m; early seed nodes may exceed it
+  // through back-links, but nothing should be unbounded.
+  size_t over = 0;
+  for (size_t v = 0; v < index.graph().num_nodes(); v++) {
+    if (index.graph().Neighbors(v).size() > 6 * params.m) over++;
+  }
+  EXPECT_LT(over, index.graph().num_nodes() / 10);
+}
+
+}  // namespace
+}  // namespace cagra

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "baselines/nssg/nssg.h"
+#include "dataset/profile.h"
+#include "dataset/synthetic.h"
+#include "graph/analysis.h"
+#include "knn/bruteforce.h"
+
+namespace cagra {
+namespace {
+
+class NssgTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const DatasetProfile* p = FindProfile("DEEP-1M");
+    data_ = new SyntheticData(GenerateDataset(*p, 2000, 32, 654));
+    NssgParams params;
+    params.degree = 24;
+    params.knn_k = 24;
+    params.pool_size = 80;
+    params.metric = p->metric;
+    stats_ = new NssgBuildStats;
+    index_ = new NssgIndex(NssgIndex::Build(data_->base, params, stats_));
+    gt_ = new Matrix<uint32_t>(
+        ComputeGroundTruth(data_->base, data_->queries, 10, p->metric));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete index_;
+    delete gt_;
+    delete stats_;
+  }
+
+  static SyntheticData* data_;
+  static NssgIndex* index_;
+  static Matrix<uint32_t>* gt_;
+  static NssgBuildStats* stats_;
+};
+
+SyntheticData* NssgTest::data_ = nullptr;
+NssgIndex* NssgTest::index_ = nullptr;
+Matrix<uint32_t>* NssgTest::gt_ = nullptr;
+NssgBuildStats* NssgTest::stats_ = nullptr;
+
+TEST_F(NssgTest, BuildStatsBreakdown) {
+  EXPECT_GT(stats_->total_seconds, 0.0);
+  EXPECT_GT(stats_->knn_seconds, 0.0);
+  EXPECT_GT(stats_->prune_seconds, 0.0);
+  EXPECT_GT(stats_->distance_computations, 0u);
+}
+
+TEST_F(NssgTest, DegreeCapRespected) {
+  const auto& g = index_->graph();
+  for (size_t v = 0; v < g.num_nodes(); v++) {
+    // +1 slack: the connectivity pass may add one reattachment edge.
+    EXPECT_LE(g.Neighbors(v).size(), 25u) << v;
+  }
+}
+
+TEST_F(NssgTest, GraphIsWeaklyReachable) {
+  // Every node must be reachable from the DFS root set: strong CC count
+  // far below node count (orphans were reattached).
+  EXPECT_LT(CountStrongComponents(index_->graph()),
+            index_->graph().num_nodes() / 4);
+}
+
+TEST_F(NssgTest, HighRecall) {
+  const NeighborList r = index_->Search(data_->queries, 10, 100);
+  EXPECT_GT(ComputeRecall(r, *gt_), 0.85);
+}
+
+TEST_F(NssgTest, RecallGrowsWithPool) {
+  const double low =
+      ComputeRecall(index_->Search(data_->queries, 10, 20), *gt_);
+  const double high =
+      ComputeRecall(index_->Search(data_->queries, 10, 200), *gt_);
+  EXPECT_GE(high + 1e-9, low);
+}
+
+TEST_F(NssgTest, SearchGraphHarnessWorksOnForeignGraph) {
+  // Fig. 12 machinery: run NSSG search over an arbitrary graph (here a
+  // kNN graph) and get sane results.
+  const FixedDegreeGraph knn = ExactKnnGraph(data_->base, 16, Metric::kL2);
+  NssgSearchStats stats;
+  auto r = NssgIndex::SearchGraph(data_->base, Metric::kL2, ToAdjacency(knn),
+                                  data_->queries.Row(0), 10, 100, 5, &stats);
+  ASSERT_EQ(r.size(), 10u);
+  for (size_t i = 1; i < r.size(); i++) {
+    EXPECT_LE(r[i - 1].first, r[i].first);
+  }
+  EXPECT_GT(stats.distance_computations, 100u);
+  EXPECT_GT(stats.hops, 0u);
+}
+
+TEST_F(NssgTest, AverageDegreeReported) {
+  EXPECT_GT(index_->AverageDegree(), 2.0);
+  EXPECT_LE(index_->AverageDegree(), 25.0);
+}
+
+TEST(NssgUnitTest, BuildFromKnnSkipsKnnPhase) {
+  const DatasetProfile* p = FindProfile("SIFT-1M");
+  auto data = GenerateDataset(*p, 500, 4, 11);
+  const FixedDegreeGraph knn = ExactKnnGraph(data.base, 12, p->metric);
+  NssgParams params;
+  params.degree = 10;
+  params.pool_size = 40;
+  NssgBuildStats stats;
+  NssgIndex index = NssgIndex::BuildFromKnn(data.base, knn, params, &stats);
+  EXPECT_EQ(stats.knn_seconds, 0.0);
+  EXPECT_GT(index.AverageDegree(), 1.0);
+}
+
+TEST(NssgUnitTest, AnglePruningLimitsDegreeBelowPool) {
+  // With a permissive pool but the 60-degree criterion, selected degree
+  // must be far below the pool size on clustered data.
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 800, 4, 13);
+  NssgParams params;
+  params.degree = 64;
+  params.pool_size = 64;
+  params.knn_k = 24;
+  NssgIndex index = NssgIndex::Build(data.base, params);
+  EXPECT_LT(index.AverageDegree(), 40.0);
+}
+
+}  // namespace
+}  // namespace cagra

@@ -1,0 +1,177 @@
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/search.h"
+#include "dataset/profile.h"
+#include "dataset/synthetic.h"
+#include "graph/analysis.h"
+#include "knn/bruteforce.h"
+
+namespace cagra {
+namespace {
+
+/// Property sweep over (metric, degree, dim-profile): the CAGRA pipeline
+/// must uphold its structural and behavioural invariants for every
+/// combination, not just the defaults.
+struct SweepCase {
+  const char* profile;
+  Metric metric;
+  size_t degree;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) {
+  *os << c.profile << "/" << MetricName(c.metric) << "/d" << c.degree;
+}
+
+class CagraPropertyTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(CagraPropertyTest, PipelineInvariants) {
+  const SweepCase c = GetParam();
+  const DatasetProfile* p = FindProfile(c.profile);
+  ASSERT_NE(p, nullptr);
+  DatasetProfile small = *p;
+  auto data = GenerateDataset(small, 800, 16,
+                              static_cast<uint64_t>(c.degree) * 31 + 1);
+
+  BuildParams bp;
+  bp.graph_degree = c.degree;
+  bp.metric = c.metric;
+  auto index = CagraIndex::Build(data.base, bp);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  // --- Graph invariants: fixed degree, in-range ids, no self loops, no
+  // duplicate edges within a row.
+  const auto& g = index->graph();
+  EXPECT_EQ(g.degree(), c.degree);
+  for (size_t v = 0; v < g.num_nodes(); v++) {
+    std::set<uint32_t> seen;
+    for (size_t j = 0; j < g.degree(); j++) {
+      const uint32_t u = g.Neighbors(v)[j];
+      if (u == FixedDegreeGraph::kInvalid) continue;
+      EXPECT_LT(u, g.num_nodes());
+      EXPECT_NE(u, static_cast<uint32_t>(v));
+      EXPECT_TRUE(seen.insert(u).second);
+    }
+    EXPECT_GE(seen.size(), std::min<size_t>(c.degree, 4)) << v;
+  }
+
+  // --- Search invariants for both execution modes.
+  const auto gt = ComputeGroundTruth(data.base, data.queries, 10, c.metric);
+  for (SearchAlgo algo : {SearchAlgo::kSingleCta, SearchAlgo::kMultiCta}) {
+    SearchParams sp;
+    sp.k = 10;
+    sp.itopk = 64;
+    sp.algo = algo;
+    auto r = Search(*index, data.queries, sp);
+    ASSERT_TRUE(r.ok());
+    // Sorted ascending, unique, valid ids.
+    for (size_t q = 0; q < data.queries.rows(); q++) {
+      std::set<uint32_t> ids;
+      for (size_t i = 0; i < 10; i++) {
+        const uint32_t id = r->neighbors.ids[q * 10 + i];
+        EXPECT_LT(id, index->size());
+        EXPECT_TRUE(ids.insert(id).second);
+        if (i > 0) {
+          EXPECT_LE(r->neighbors.distances[q * 10 + i - 1],
+                    r->neighbors.distances[q * 10 + i]);
+        }
+        // Reported distance must equal the true metric distance.
+        const float true_dist =
+            ComputeDistance(c.metric, data.queries.Row(q),
+                            data.base.Row(id), data.base.dim());
+        EXPECT_NEAR(r->neighbors.distances[q * 10 + i], true_dist,
+                    1e-3f * std::max(1.0f, std::abs(true_dist)));
+      }
+    }
+    // Usable recall everywhere in the sweep.
+    EXPECT_GT(ComputeRecall(r->neighbors, gt), 0.7)
+        << MetricName(c.metric) << " d=" << c.degree << " algo "
+        << static_cast<int>(algo);
+  }
+}
+
+TEST_P(CagraPropertyTest, ReorderedGraphKeepsReachability) {
+  const SweepCase c = GetParam();
+  const DatasetProfile* p = FindProfile(c.profile);
+  auto data = GenerateDataset(*p, 600, 1, 7);
+  BuildParams bp;
+  bp.graph_degree = c.degree;
+  bp.metric = c.metric;
+  auto index = CagraIndex::Build(data.base, bp);
+  ASSERT_TRUE(index.ok());
+  // Average 2-hop count must be a significant fraction of its maximum:
+  // d + d^2 capped by the n - 1 other nodes (the optimization's whole
+  // point, §III-A).
+  const double max2hop = std::min<double>(
+      static_cast<double>(c.degree + c.degree * c.degree),
+      static_cast<double>(data.base.rows() - 1));
+  EXPECT_GT(Average2HopCount(index->graph(), 200), 0.35 * max2hop);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CagraPropertyTest,
+    ::testing::Values(SweepCase{"DEEP-1M", Metric::kL2, 8},
+                      SweepCase{"DEEP-1M", Metric::kL2, 16},
+                      SweepCase{"DEEP-1M", Metric::kL2, 32},
+                      SweepCase{"SIFT-1M", Metric::kL2, 16},
+                      SweepCase{"SIFT-1M", Metric::kInnerProduct, 16},
+                      SweepCase{"GloVe-200", Metric::kCosine, 16},
+                      SweepCase{"NYTimes", Metric::kCosine, 16}));
+
+/// Forward-fraction ablation sweep (DESIGN.md §4.6): any split must keep
+/// the graph searchable.
+class MergeFractionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MergeFractionTest, GraphRemainsSearchable) {
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 800, 16, 99);
+  BuildParams bp;
+  bp.graph_degree = 16;
+  bp.forward_fraction = GetParam();
+  auto index = CagraIndex::Build(data.base, bp);
+  ASSERT_TRUE(index.ok());
+  const auto gt = ComputeGroundTruth(data.base, data.queries, 10, p->metric);
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  auto r = Search(*index, data.queries, sp);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(ComputeRecall(r->neighbors, gt), 0.7)
+      << "forward_fraction=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, MergeFractionTest,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+/// Hash reset-interval sweep (§IV-B3: interval 1..4 are the practical
+/// settings) — recall must stay usable for all of them.
+class ResetIntervalTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ResetIntervalTest, RecallSurvivesPeriodicResets) {
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 800, 16, 17);
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto index = CagraIndex::Build(data.base, bp);
+  ASSERT_TRUE(index.ok());
+  const auto gt = ComputeGroundTruth(data.base, data.queries, 10, p->metric);
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  sp.algo = SearchAlgo::kSingleCta;
+  sp.hash_mode = HashMode::kForgettable;
+  sp.hash_bits = 8;  // deliberately tiny: force collisions + resets
+  sp.hash_reset_interval = GetParam();
+  auto r = Search(*index, data.queries, sp);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(ComputeRecall(r->neighbors, gt), 0.7)
+      << "reset_interval=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, ResetIntervalTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace cagra

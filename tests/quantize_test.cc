@@ -1,0 +1,149 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/search.h"
+#include "dataset/profile.h"
+#include "dataset/quantize.h"
+#include "dataset/synthetic.h"
+#include "knn/bruteforce.h"
+
+namespace cagra {
+namespace {
+
+Matrix<float> SmallMatrix() {
+  Matrix<float> m(4, 3);
+  const float values[12] = {0.0f, -1.0f, 5.0f,  1.0f, 0.0f,  2.5f,
+                            2.0f, 1.0f,  0.0f,  3.0f, -2.0f, 7.5f};
+  std::copy(values, values + 12, m.mutable_data()->begin());
+  return m;
+}
+
+TEST(QuantizeTest, ShapeAndBytes) {
+  const QuantizedDataset q = QuantizeInt8(SmallMatrix());
+  EXPECT_EQ(q.rows(), 4u);
+  EXPECT_EQ(q.dim(), 3u);
+  EXPECT_EQ(q.RowBytes(), 3u);  // quarter of fp32
+}
+
+TEST(QuantizeTest, DecodeWithinQuantizationStep) {
+  Matrix<float> m = SmallMatrix();
+  const QuantizedDataset q = QuantizeInt8(m);
+  for (size_t i = 0; i < m.rows(); i++) {
+    for (size_t d = 0; d < m.dim(); d++) {
+      // Error bounded by half a step = scale/2.
+      EXPECT_NEAR(q.Decode(i, d), m.Row(i)[d], q.scale[d] * 0.51f)
+          << i << "," << d;
+    }
+  }
+}
+
+TEST(QuantizeTest, ExtremesRepresentable) {
+  Matrix<float> m(2, 1);
+  m.MutableRow(0)[0] = -10.0f;
+  m.MutableRow(1)[0] = 30.0f;
+  const QuantizedDataset q = QuantizeInt8(m);
+  EXPECT_NEAR(q.Decode(0, 0), -10.0f, q.scale[0] * 0.51f);
+  EXPECT_NEAR(q.Decode(1, 0), 30.0f, q.scale[0] * 0.51f);
+}
+
+TEST(QuantizeTest, ConstantDimensionIsStable) {
+  Matrix<float> m(3, 2);
+  for (size_t i = 0; i < 3; i++) {
+    m.MutableRow(i)[0] = 4.2f;  // zero range
+    m.MutableRow(i)[1] = static_cast<float>(i);
+  }
+  const QuantizedDataset q = QuantizeInt8(m);
+  for (size_t i = 0; i < 3; i++) {
+    EXPECT_NEAR(q.Decode(i, 0), 4.2f, 1e-5f);
+  }
+}
+
+TEST(QuantizeTest, DistanceTracksFp32) {
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 200, 8, 3);
+  const QuantizedDataset q = QuantizeInt8(data.base);
+  for (Metric metric :
+       {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+    for (size_t i = 0; i < 8; i++) {
+      const float exact = ComputeDistance(metric, data.queries.Row(i),
+                                          data.base.Row(i), data.base.dim());
+      const float approx =
+          QuantizedDistance(metric, data.queries.Row(i), q, i);
+      EXPECT_NEAR(approx, exact, std::max(0.05f, std::abs(exact) * 0.05f))
+          << MetricName(metric) << " " << i;
+    }
+  }
+}
+
+TEST(QuantizeTest, EmptyDataset) {
+  Matrix<float> empty;
+  const QuantizedDataset q = QuantizeInt8(empty);
+  EXPECT_TRUE(q.empty());
+}
+
+// ------------------------------------------------- end-to-end search
+
+TEST(Int8SearchTest, RequiresEnable) {
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 500, 8, 5);
+  BuildParams bp;
+  bp.graph_degree = 8;
+  auto index = CagraIndex::Build(data.base, bp);
+  ASSERT_TRUE(index.ok());
+  SearchParams sp;
+  sp.k = 5;
+  auto r = Search(*index, data.queries, sp, Precision::kInt8);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Int8SearchTest, RecallCloseToFp32AndQuarterTraffic) {
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 2000, 32, 7);
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto index = CagraIndex::Build(data.base, bp);
+  ASSERT_TRUE(index.ok());
+  index->EnableInt8Quantization();
+  EXPECT_TRUE(index->HasInt8());
+
+  const auto gt = ComputeGroundTruth(data.base, data.queries, 10, p->metric);
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  sp.algo = SearchAlgo::kSingleCta;
+  auto fp32 = Search(*index, data.queries, sp, Precision::kFp32);
+  auto int8 = Search(*index, data.queries, sp, Precision::kInt8);
+  ASSERT_TRUE(fp32.ok());
+  ASSERT_TRUE(int8.ok());
+  EXPECT_NEAR(ComputeRecall(int8->neighbors, gt),
+              ComputeRecall(fp32->neighbors, gt), 0.08);
+  // Same node visit pattern differences aside, traffic must be ~1/4.
+  EXPECT_LT(int8->counters.device_vector_bytes,
+            fp32->counters.device_vector_bytes / 3);
+  EXPECT_EQ(int8->launch.elem_bytes, 1u);
+}
+
+TEST(Int8SearchTest, ModeledQpsAtLeastFp32) {
+  const DatasetProfile* p = FindProfile("GIST-1M");  // bandwidth-bound dim
+  auto data = GenerateDataset(*p, 1000, 16, 9);
+  BuildParams bp;
+  bp.graph_degree = 16;
+  bp.metric = p->metric;
+  auto index = CagraIndex::Build(data.base, bp);
+  ASSERT_TRUE(index.ok());
+  index->EnableInt8Quantization();
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  sp.algo = SearchAlgo::kSingleCta;
+  auto fp32 = Search(*index, data.queries, sp, Precision::kFp32);
+  auto int8 = Search(*index, data.queries, sp, Precision::kInt8);
+  ASSERT_TRUE(fp32.ok());
+  ASSERT_TRUE(int8.ok());
+  EXPECT_GE(int8->modeled_qps, fp32->modeled_qps);
+}
+
+}  // namespace
+}  // namespace cagra

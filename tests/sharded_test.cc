@@ -1,0 +1,143 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/sharded.h"
+#include "dataset/profile.h"
+#include "dataset/synthetic.h"
+#include "knn/bruteforce.h"
+
+namespace cagra {
+namespace {
+
+class ShardedTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const DatasetProfile* p = FindProfile("DEEP-1M");
+    data_ = new SyntheticData(GenerateDataset(*p, 4000, 32, 777));
+    gt_ = new Matrix<uint32_t>(
+        ComputeGroundTruth(data_->base, data_->queries, 10, p->metric));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete gt_;
+  }
+  static SyntheticData* data_;
+  static Matrix<uint32_t>* gt_;
+};
+
+SyntheticData* ShardedTest::data_ = nullptr;
+Matrix<uint32_t>* ShardedTest::gt_ = nullptr;
+
+TEST_F(ShardedTest, BuildSplitsAllRows) {
+  BuildParams bp;
+  bp.graph_degree = 16;
+  ShardedBuildStats stats;
+  auto index = ShardedCagraIndex::Build(data_->base, bp, 4, &stats);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index->num_shards(), 4u);
+  size_t total = 0;
+  for (size_t s = 0; s < 4; s++) total += index->shard(s).size();
+  EXPECT_EQ(total, data_->base.rows());
+  EXPECT_EQ(stats.per_shard.size(), 4u);
+  EXPECT_GT(stats.total_seconds, 0.0);
+}
+
+TEST_F(ShardedTest, RejectsZeroShards) {
+  BuildParams bp;
+  auto index = ShardedCagraIndex::Build(data_->base, bp, 0);
+  EXPECT_FALSE(index.ok());
+}
+
+TEST_F(ShardedTest, RejectsTooManyShards) {
+  BuildParams bp;
+  bp.graph_degree = 32;
+  auto index = ShardedCagraIndex::Build(data_->base, bp, 1000);
+  EXPECT_FALSE(index.ok());
+}
+
+TEST_F(ShardedTest, SearchReturnsGlobalIds) {
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto index = ShardedCagraIndex::Build(data_->base, bp, 4);
+  ASSERT_TRUE(index.ok());
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  auto r = index->Search(data_->queries, sp);
+  ASSERT_TRUE(r.ok());
+  for (size_t q = 0; q < data_->queries.rows(); q++) {
+    std::set<uint32_t> seen;
+    for (size_t i = 0; i < 10; i++) {
+      const uint32_t id = r->neighbors.ids[q * 10 + i];
+      EXPECT_LT(id, data_->base.rows());
+      EXPECT_TRUE(seen.insert(id).second) << "dup global id, query " << q;
+      // Distances must match the global dataset row.
+      const float true_dist =
+          ComputeDistance(Metric::kL2, data_->queries.Row(q),
+                          data_->base.Row(id), data_->base.dim());
+      EXPECT_NEAR(r->neighbors.distances[q * 10 + i], true_dist,
+                  1e-3f * std::max(1.0f, std::abs(true_dist)));
+    }
+  }
+}
+
+TEST_F(ShardedTest, RecallComparableToSingleIndex) {
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto sharded = ShardedCagraIndex::Build(data_->base, bp, 4);
+  auto single = CagraIndex::Build(data_->base, bp);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_TRUE(single.ok());
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  auto rs = sharded->Search(data_->queries, sp);
+  auto r1 = Search(*single, data_->queries, sp);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(r1.ok());
+  const double sharded_recall = ComputeRecall(rs->neighbors, *gt_);
+  const double single_recall = ComputeRecall(r1->neighbors, *gt_);
+  // Each shard searches a quarter of the data with the full breadth, so
+  // sharded recall should be at least comparable.
+  EXPECT_GT(sharded_recall, single_recall - 0.05);
+  EXPECT_GT(sharded_recall, 0.9);
+}
+
+TEST_F(ShardedTest, SingleShardMatchesPlainIndexResults) {
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto sharded = ShardedCagraIndex::Build(data_->base, bp, 1);
+  auto single = CagraIndex::Build(data_->base, bp);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_TRUE(single.ok());
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  auto rs = sharded->Search(data_->queries, sp);
+  auto r1 = Search(*single, data_->queries, sp);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(r1.ok());
+  // Round-robin with one shard is the identity mapping.
+  EXPECT_EQ(rs->neighbors.ids, r1->neighbors.ids);
+}
+
+TEST_F(ShardedTest, ModeledTimeIsMaxShardNotSum) {
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto index = ShardedCagraIndex::Build(data_->base, bp, 4);
+  ASSERT_TRUE(index.ok());
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  auto sharded = index->Search(data_->queries, sp);
+  ASSERT_TRUE(sharded.ok());
+  // One shard alone, searched as a plain index, should cost roughly the
+  // same as the whole sharded search (shards run in parallel).
+  auto one = Search(index->shard(0), data_->queries, sp);
+  ASSERT_TRUE(one.ok());
+  EXPECT_LT(sharded->modeled_seconds, 2.0 * one->modeled_seconds);
+}
+
+}  // namespace
+}  // namespace cagra

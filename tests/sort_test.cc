@@ -1,0 +1,206 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bitonic.h"
+#include "util/radix_sort.h"
+#include "util/rng.h"
+
+namespace cagra {
+namespace {
+
+std::vector<KeyValue> RandomData(size_t n, uint64_t seed,
+                                 bool with_negatives = false) {
+  Pcg32 rng(seed);
+  std::vector<KeyValue> data(n);
+  for (size_t i = 0; i < n; i++) {
+    float key = rng.NextFloat() * 100.0f;
+    if (with_negatives) key -= 50.0f;
+    data[i] = {key, rng.Next()};
+  }
+  return data;
+}
+
+bool IsSortedByKey(const std::vector<KeyValue>& data) {
+  for (size_t i = 1; i < data.size(); i++) {
+    if (data[i - 1].key > data[i].key) return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- Bitonic
+
+TEST(BitonicTest, EmptyAndSingle) {
+  std::vector<KeyValue> empty;
+  EXPECT_EQ(BitonicSorter::Sort(&empty), 0u);
+  std::vector<KeyValue> one = {{3.f, 1}};
+  EXPECT_EQ(BitonicSorter::Sort(&one), 0u);
+  EXPECT_EQ(one[0].key, 3.f);
+}
+
+TEST(BitonicTest, SortsPowerOfTwo) {
+  auto data = RandomData(64, 1);
+  BitonicSorter::Sort(&data);
+  EXPECT_TRUE(IsSortedByKey(data));
+  EXPECT_EQ(data.size(), 64u);
+}
+
+TEST(BitonicTest, SortsNonPowerOfTwoWithPadding) {
+  for (size_t n : {3u, 5u, 17u, 100u, 513u}) {
+    auto data = RandomData(n, n);
+    auto reference = data;
+    BitonicSorter::Sort(&data);
+    EXPECT_TRUE(IsSortedByKey(data)) << n;
+    EXPECT_EQ(data.size(), n) << n;
+    // Same multiset of keys.
+    std::sort(reference.begin(), reference.end(),
+              [](KeyValue a, KeyValue b) { return a.key < b.key; });
+    for (size_t i = 0; i < n; i++) {
+      EXPECT_EQ(data[i].key, reference[i].key) << n << " " << i;
+    }
+  }
+}
+
+TEST(BitonicTest, PreservesKeyValueAssociation) {
+  std::vector<KeyValue> data;
+  for (uint32_t i = 0; i < 32; i++) {
+    data.push_back({static_cast<float>(31 - i), i});
+  }
+  BitonicSorter::Sort(&data);
+  for (uint32_t i = 0; i < 32; i++) {
+    EXPECT_EQ(data[i].key, static_cast<float>(i));
+    EXPECT_EQ(data[i].value, 31 - i);
+  }
+}
+
+TEST(BitonicTest, ExchangeCountMatchesNetwork) {
+  // A length-n bitonic network performs exactly n/2 * log(n)(log(n)+1)/2
+  // compare-exchanges.
+  auto data = RandomData(64, 3);
+  const size_t exchanges = BitonicSorter::Sort(&data);
+  EXPECT_EQ(exchanges, 64 / 2 * BitonicSorter::SortStages(64));
+}
+
+TEST(BitonicTest, SortStagesFormula) {
+  EXPECT_EQ(BitonicSorter::SortStages(1), 0u);
+  EXPECT_EQ(BitonicSorter::SortStages(2), 1u);
+  EXPECT_EQ(BitonicSorter::SortStages(4), 3u);
+  EXPECT_EQ(BitonicSorter::SortStages(512), 45u);  // 9*10/2
+}
+
+TEST(BitonicTest, MergeKeepSmallestBasic) {
+  std::vector<KeyValue> a = {{1.f, 1}, {4.f, 4}, {9.f, 9}};
+  std::vector<KeyValue> b = {{2.f, 2}, {3.f, 3}};
+  BitonicSorter::MergeKeepSmallest(&a, b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].key, 1.f);
+  EXPECT_EQ(a[1].key, 2.f);
+  EXPECT_EQ(a[2].key, 3.f);
+}
+
+TEST(BitonicTest, MergeWithEmptyCandidates) {
+  std::vector<KeyValue> a = {{1.f, 1}, {2.f, 2}};
+  std::vector<KeyValue> b;
+  BitonicSorter::MergeKeepSmallest(&a, b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0].key, 1.f);
+}
+
+TEST(BitonicTest, MergeMatchesReference) {
+  Pcg32 rng(5);
+  for (int trial = 0; trial < 30; trial++) {
+    const size_t m = 1 + rng.NextBounded(64);
+    const size_t c = rng.NextBounded(64);
+    auto a = RandomData(m, trial * 2 + 100);
+    auto b = RandomData(c, trial * 2 + 101);
+    std::sort(a.begin(), a.end(),
+              [](KeyValue x, KeyValue y) { return x.key < y.key; });
+    std::sort(b.begin(), b.end(),
+              [](KeyValue x, KeyValue y) { return x.key < y.key; });
+    std::vector<KeyValue> all = a;
+    all.insert(all.end(), b.begin(), b.end());
+    std::sort(all.begin(), all.end(),
+              [](KeyValue x, KeyValue y) { return x.key < y.key; });
+    BitonicSorter::MergeKeepSmallest(&a, b);
+    ASSERT_EQ(a.size(), m);
+    for (size_t i = 0; i < m; i++) EXPECT_EQ(a[i].key, all[i].key);
+  }
+}
+
+// ------------------------------------------------------------- Radix
+
+TEST(RadixTest, SortsPositiveKeys) {
+  auto data = RandomData(1000, 7);
+  RadixSorter::Sort(&data);
+  EXPECT_TRUE(IsSortedByKey(data));
+}
+
+TEST(RadixTest, SortsNegativeAndPositiveKeys) {
+  auto data = RandomData(1000, 8, /*with_negatives=*/true);
+  RadixSorter::Sort(&data);
+  EXPECT_TRUE(IsSortedByKey(data));
+}
+
+TEST(RadixTest, MatchesStdSort) {
+  auto data = RandomData(777, 9, true);
+  auto reference = data;
+  std::sort(reference.begin(), reference.end(),
+            [](KeyValue a, KeyValue b) { return a.key < b.key; });
+  const size_t scatters = RadixSorter::Sort(&data);
+  for (size_t i = 0; i < data.size(); i++) {
+    EXPECT_EQ(data[i].key, reference[i].key) << i;
+  }
+  EXPECT_EQ(scatters, 777u * RadixSorter::kPasses);
+}
+
+TEST(RadixTest, StableOnEqualKeys) {
+  std::vector<KeyValue> data = {{1.f, 0}, {1.f, 1}, {0.f, 2}, {1.f, 3}};
+  RadixSorter::Sort(&data);
+  EXPECT_EQ(data[0].value, 2u);
+  EXPECT_EQ(data[1].value, 0u);
+  EXPECT_EQ(data[2].value, 1u);
+  EXPECT_EQ(data[3].value, 3u);
+}
+
+TEST(RadixTest, HandlesZeroAndNegativeZero) {
+  std::vector<KeyValue> data = {{0.0f, 0}, {-0.0f, 1}, {-1.0f, 2}, {1.0f, 3}};
+  RadixSorter::Sort(&data);
+  EXPECT_EQ(data[0].key, -1.0f);
+  EXPECT_EQ(data[3].key, 1.0f);
+}
+
+// Parameterized cross-check: both sorters agree with std::sort across a
+// sweep of sizes (the §IV-B2 small/large candidate-list regimes).
+class SorterSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SorterSweepTest, BitonicMatchesStdSort) {
+  auto data = RandomData(GetParam(), GetParam() * 13 + 1, true);
+  auto reference = data;
+  std::sort(reference.begin(), reference.end(),
+            [](KeyValue a, KeyValue b) { return a.key < b.key; });
+  BitonicSorter::Sort(&data);
+  ASSERT_EQ(data.size(), reference.size());
+  for (size_t i = 0; i < data.size(); i++) {
+    EXPECT_EQ(data[i].key, reference[i].key);
+  }
+}
+
+TEST_P(SorterSweepTest, RadixMatchesStdSort) {
+  auto data = RandomData(GetParam(), GetParam() * 17 + 3, true);
+  auto reference = data;
+  std::sort(reference.begin(), reference.end(),
+            [](KeyValue a, KeyValue b) { return a.key < b.key; });
+  RadixSorter::Sort(&data);
+  ASSERT_EQ(data.size(), reference.size());
+  for (size_t i = 0; i < data.size(); i++) {
+    EXPECT_EQ(data[i].key, reference[i].key);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SorterSweepTest,
+                         ::testing::Values(2, 7, 16, 31, 64, 127, 256, 512,
+                                           513, 1024, 2048));
+
+}  // namespace
+}  // namespace cagra

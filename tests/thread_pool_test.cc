@@ -1,0 +1,84 @@
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace cagra {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); i++) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, RespectsRange) {
+  ThreadPool pool(3);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(10, 20, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145u);  // 10+...+19
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, [&](size_t) { calls.fetch_add(1); });
+  pool.ParallelFor(7, 3, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleIterationWorks) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, SequentialCallsReuseWorkers) {
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 20; round++) {
+    pool.ParallelFor(0, 50, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsDefaultsToHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, MoreChunksThanIterations) {
+  ThreadPool pool(16);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(0, 3, [&](size_t i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), 6u);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
+  ThreadPool& a = GlobalThreadPool();
+  ThreadPool& b = GlobalThreadPool();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPoolTest, LargeRangeStress) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  const size_t n = 200000;
+  pool.ParallelFor(0, n, [&](size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), static_cast<uint64_t>(n) * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace cagra
