@@ -1,0 +1,154 @@
+// Dispatch bench: scalar vs SIMD distance-kernel throughput and
+// 1/2/4/8-thread batch-search QPS, emitted as one JSON object for the
+// bench trajectory. Not a google-benchmark binary on purpose — the
+// output contract is machine-readable JSON on stdout.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/index.h"
+#include "core/search.h"
+#include "distance/simd.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace cagra;
+using distance_kernels::KernelTable;
+
+/// Measures one kernel's throughput in million distances/sec over a
+/// pool of rows large enough to defeat L1 residency of the row side.
+template <typename RowT>
+double MeasureKernel(float (*kernel)(const float*, const RowT*, size_t),
+                     const std::vector<float>& query,
+                     const Matrix<RowT>& rows, double min_seconds = 0.2) {
+  volatile float sink = 0.f;
+  size_t reps = 0;
+  Timer timer;
+  do {
+    for (size_t i = 0; i < rows.rows(); i++) {
+      sink = sink + kernel(query.data(), rows.Row(i), rows.dim());
+    }
+    reps += rows.rows();
+  } while (timer.Seconds() < min_seconds);
+  (void)sink;
+  return static_cast<double>(reps) / timer.Seconds() / 1e6;
+}
+
+struct KernelSample {
+  size_t dim;
+  const char* elem;
+  double scalar_mdps;
+  double simd_mdps;
+};
+
+std::vector<KernelSample> BenchKernels() {
+  const KernelTable& scalar = KernelTableForLevel(SimdLevel::kScalar);
+  const KernelTable& simd = ActiveKernelTable();
+
+  std::vector<KernelSample> samples;
+  for (size_t dim : {96ul, 128ul, 256ul, 960ul}) {
+    // ~1MB of fp32 rows: larger than L1 (realistic misses) but
+    // L2-resident, so the numbers measure the kernels, not DRAM.
+    const size_t kRows = std::max<size_t>(256, (1ul << 20) / (dim * 4));
+    Pcg32 rng(dim);
+    std::vector<float> query(dim);
+    for (auto& x : query) x = rng.NextFloat();
+    Matrix<float> rows(kRows, dim);
+    for (auto& x : *rows.mutable_data()) x = rng.NextFloat();
+    const Matrix<Half> hrows = ToHalf(rows);
+
+    samples.push_back({dim, "fp32", MeasureKernel(scalar.l2_f32, query, rows),
+                       MeasureKernel(simd.l2_f32, query, rows)});
+    samples.push_back({dim, "fp16",
+                       MeasureKernel(scalar.l2_f16, query, hrows),
+                       MeasureKernel(simd.l2_f16, query, hrows)});
+  }
+  return samples;
+}
+
+struct ScalingSample {
+  size_t threads;
+  double qps;
+  double speedup;
+};
+
+std::vector<ScalingSample> BenchBatchScaling() {
+  // A build small enough to finish quickly but large enough that a
+  // batch search has real per-query work.
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), 20000, 512, 11);
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto index = CagraIndex::Build(data.base, bp);
+  if (!index.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 index.status().ToString().c_str());
+    std::abort();
+  }
+
+  SearchParams params;
+  params.k = 10;
+  params.itopk = 64;
+  params.algo = SearchAlgo::kSingleCta;
+
+  std::vector<ScalingSample> samples;
+  double base_qps = 0;
+  for (size_t threads : {1ul, 2ul, 4ul, 8ul}) {
+    params.num_threads = threads;
+    // Warm once (thread pool spin-up, cache priming), then measure the
+    // best of three runs.
+    (void)Search(*index, data.queries, params);
+    double best = 0;
+    for (int rep = 0; rep < 3; rep++) {
+      auto result = Search(*index, data.queries, params);
+      if (!result.ok()) {
+        std::fprintf(stderr, "search failed: %s\n",
+                     result.status().ToString().c_str());
+        std::abort();
+      }
+      if (result->host_qps > best) best = result->host_qps;
+    }
+    if (threads == 1) base_qps = best;
+    samples.push_back({threads, best, base_qps > 0 ? best / base_qps : 0});
+  }
+  return samples;
+}
+
+}  // namespace
+
+int main() {
+  const std::string active = SimdLevelName(ActiveSimdLevel());
+  std::printf("{\n");
+  std::printf("  \"bench\": \"dispatch\",\n");
+  std::printf("  \"simd_level\": \"%s\",\n", active.c_str());
+  std::printf("  \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+
+  std::printf("  \"distance_kernels\": [\n");
+  const auto kernels = BenchKernels();
+  for (size_t i = 0; i < kernels.size(); i++) {
+    const auto& s = kernels[i];
+    std::printf("    {\"dim\": %zu, \"elem\": \"%s\", "
+                "\"scalar_mdist_per_sec\": %.2f, "
+                "\"active_mdist_per_sec\": %.2f, \"speedup\": %.2f}%s\n",
+                s.dim, s.elem, s.scalar_mdps, s.simd_mdps,
+                s.scalar_mdps > 0 ? s.simd_mdps / s.scalar_mdps : 0,
+                i + 1 < kernels.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+
+  std::printf("  \"batch_search_scaling\": [\n");
+  const auto scaling = BenchBatchScaling();
+  for (size_t i = 0; i < scaling.size(); i++) {
+    const auto& s = scaling[i];
+    std::printf("    {\"threads\": %zu, \"qps\": %.1f, \"speedup\": %.2f}%s\n",
+                s.threads, s.qps, s.speedup,
+                i + 1 < scaling.size() ? "," : "");
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return 0;
+}

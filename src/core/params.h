@@ -65,6 +65,11 @@ struct SearchParams {
   size_t hash_bits = 0;          ///< log2 table entries; 0 = auto (8..13)
   size_t team_size = 0;          ///< 0 = auto-pick per dim (§IV-B1)
   uint64_t seed = 77;            ///< random-sampling seed (step 0)
+  /// Host threads for the functional batch execution: 0 = the global
+  /// pool (hardware concurrency), 1 = serial, N = a dedicated N-thread
+  /// pool. Results are byte-identical at any setting — per-query work
+  /// is independent and seeded — so this is purely a throughput knob.
+  size_t num_threads = 0;
 };
 
 /// Thresholds of the Fig. 7 implementation-choice rule. The paper

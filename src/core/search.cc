@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <vector>
 
 #include "core/search_internal.h"
 #include "util/thread_pool.h"
@@ -14,6 +16,7 @@ namespace {
 using internal_search::DatasetView;
 using internal_search::ResolveConfig;
 using internal_search::ResolvedConfig;
+using internal_search::SearchScratch;
 
 /// Threads per CTA used by the two kernels (matches the cuVS defaults:
 /// wide CTAs for single-CTA mode, slimmer CTAs in multi-CTA mode so many
@@ -109,8 +112,11 @@ Result<SearchResult> Search(const CagraIndex& index,
                                     std::numeric_limits<float>::infinity());
   std::vector<KernelCounters> per_query(batch);
 
-  Timer timer;
-  GlobalThreadPool().ParallelFor(0, batch, [&](size_t q) {
+  // Queries are independent (the "one CTA per query" mapping, executed
+  // as host threads): each worker slot keeps its own scratch — visited
+  // table + search buffers — allocated lazily on first use, so results
+  // are byte-identical to a serial run at any thread count.
+  auto run_query = [&](SearchScratch* scratch, size_t q) {
     KernelCounters& counters = per_query[q];
     const uint64_t query_seed = cfg.seed + 0x1000003ULL * q;
     uint32_t* ids = result.neighbors.ids.data() + q * cfg.k;
@@ -119,18 +125,49 @@ Result<SearchResult> Search(const CagraIndex& index,
     if (algo == SearchAlgo::kMultiCta) {
       iters = internal_search::SearchMultiCta(dataset, index.graph(),
                                               queries.Row(q), cfg, query_seed,
-                                              ids, dists, &counters);
+                                              ids, dists, &counters, scratch);
     } else {
       iters = internal_search::SearchSingleCta(dataset, index.graph(),
                                                queries.Row(q), cfg,
                                                query_seed, ids, dists,
-                                               &counters);
+                                               &counters, scratch);
     }
     counters.iterations = iters;
     counters.max_iterations = iters;
     counters.queries = 1;
-  });
+  };
+
+  Timer timer;
+  size_t host_threads = 1;
+  if (params.num_threads == 1) {
+    SearchScratch scratch;
+    for (size_t q = 0; q < batch; q++) run_query(&scratch, q);
+  } else {
+    // Dedicated pool when an explicit width was requested (bench
+    // scaling sweeps); the process-wide pool otherwise. The calling
+    // thread drains chunks alongside the workers (see ParallelForSlotted),
+    // so it counts toward the width: a dedicated pool gets
+    // num_threads - 1 workers, and host_threads reports workers + 1.
+    std::unique_ptr<ThreadPool> local_pool;
+    ThreadPool* pool = &GlobalThreadPool();
+    if (params.num_threads > 1) {
+      local_pool = std::make_unique<ThreadPool>(params.num_threads - 1);
+      pool = local_pool.get();
+    }
+    host_threads = pool->num_threads() + 1;
+    std::vector<std::unique_ptr<SearchScratch>> scratch(pool->num_slots());
+    pool->ParallelForSlotted(0, batch, [&](size_t slot, size_t q) {
+      if (scratch[slot] == nullptr) {
+        scratch[slot] = std::make_unique<SearchScratch>();
+      }
+      run_query(scratch[slot].get(), q);
+    });
+  }
   result.host_seconds = timer.Seconds();
+  result.host_threads = host_threads;
+  result.host_qps = result.host_seconds > 0
+                        ? static_cast<double>(batch) / result.host_seconds
+                        : 0.0;
 
   for (const auto& c : per_query) result.counters.Add(c);
   result.counters.kernel_launches = 1;  // single fused kernel (§IV-C1)

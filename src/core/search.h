@@ -22,6 +22,8 @@ struct SearchResult {
   double modeled_seconds = 0;  ///< cost.total
   double modeled_qps = 0;
   double host_seconds = 0;     ///< wall time of the functional execution
+  double host_qps = 0;         ///< batch / host_seconds
+  size_t host_threads = 1;     ///< host threads the batch ran across
   SearchAlgo algo_used = SearchAlgo::kSingleCta;
   size_t team_size_used = 0;
 };

@@ -7,6 +7,30 @@
 namespace cagra {
 namespace internal_search {
 
+VisitedSet& SearchScratch::EnsureVisited(size_t capacity) {
+  // Reset() and a fresh allocation are both O(capacity); reuse avoids
+  // the allocator, not the wipe.
+  if (visited == nullptr || visited->capacity() != capacity) {
+    visited = std::make_unique<VisitedSet>(capacity);
+  } else {
+    visited->Reset();
+  }
+  return *visited;
+}
+
+void SearchScratch::FlushBatch(const DatasetView& dataset, const float* query,
+                               std::vector<KeyValue>* buffer,
+                               KernelCounters* counters) {
+  batch_dists.resize(batch_ids.size());
+  dataset.DistanceBatch(query, batch_ids.data(), batch_ids.size(),
+                        batch_dists.data(), counters);
+  for (size_t i = 0; i < batch_ids.size(); i++) {
+    (*buffer)[batch_slots[i]] = {batch_dists[i], batch_ids[i]};
+  }
+  batch_ids.clear();
+  batch_slots.clear();
+}
+
 ResolvedConfig ResolveConfig(const SearchParams& params, SearchAlgo algo,
                              size_t graph_degree, size_t dataset_size) {
   ResolvedConfig cfg{};

@@ -3,12 +3,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/index.h"
 #include "core/params.h"
 #include "gpusim/counters.h"
 #include "util/bitonic.h"
+#include "util/visited_set.h"
 
 namespace cagra {
 namespace internal_search {
@@ -46,6 +48,35 @@ class DatasetView {
                            index_.dim());
   }
 
+  /// Batched variant of Distance: out[i] = distance(query, row ids[i]).
+  /// fp32/fp16 go through the SIMD-dispatched gather primitives so the
+  /// candidate-expansion hot loop prices one function call per batch,
+  /// not per pair; counters charge the same bytes/flops either way.
+  void DistanceBatch(const float* query, const uint32_t* ids, size_t n,
+                     float* out, KernelCounters* counters) const {
+    counters->distance_computations += n;
+    counters->distance_elements += n * index_.dim();
+    counters->device_vector_bytes += n * RowBytes();
+    switch (precision_) {
+      case Precision::kFp16:
+        ComputeDistanceGather(index_.metric(), query,
+                              index_.half_dataset().data().data(),
+                              index_.dim(), ids, n, out);
+        return;
+      case Precision::kInt8:
+        for (size_t i = 0; i < n; i++) {
+          out[i] = QuantizedDistance(index_.metric(), query,
+                                     index_.int8_dataset(), ids[i]);
+        }
+        return;
+      case Precision::kFp32:
+        break;
+    }
+    ComputeDistanceGather(index_.metric(), query,
+                          index_.dataset().data().data(), index_.dim(), ids,
+                          n, out);
+  }
+
   size_t ElemBytes() const {
     switch (precision_) {
       case Precision::kFp16: return sizeof(Half);
@@ -77,6 +108,46 @@ struct ResolvedConfig {
   uint64_t seed;
 };
 
+/// Reusable per-worker workspace for the batch-parallel search: the
+/// visited table and every buffer a query needs, so a worker thread
+/// allocates once per Search() call instead of once per query. Results
+/// are unaffected by reuse — each query fully reinitializes the state
+/// it reads — which keeps parallel search byte-identical to serial.
+struct SearchScratch {
+  std::unique_ptr<VisitedSet> visited;
+
+  // Single-CTA buffers (Fig. 6 layout) + the step-0 seeding buffer.
+  std::vector<KeyValue> topm;
+  std::vector<KeyValue> candidates;
+  std::vector<KeyValue> init;
+  std::vector<uint32_t> parents;
+
+  // Batched-distance staging: fresh node ids and their target slots.
+  std::vector<uint32_t> batch_ids;
+  std::vector<uint32_t> batch_slots;
+  std::vector<float> batch_dists;
+
+  // Multi-CTA per-CTA buffers and the final merge list.
+  struct CtaState {
+    std::vector<KeyValue> topm;
+    std::vector<KeyValue> candidates;
+    bool active = true;
+  };
+  std::vector<CtaState> ctas;
+  std::vector<KeyValue> merged;
+
+  /// Returns a wiped visited table with exactly `capacity` slots,
+  /// reusing the previous allocation when the capacity matches.
+  VisitedSet& EnsureVisited(size_t capacity);
+
+  /// Runs the staged batch (batch_ids/batch_slots) through one batched
+  /// distance call and scatters {distance, id} into
+  /// (*buffer)[batch_slots[i]], then clears the staging vectors. The
+  /// shared tail of every candidate-fill loop.
+  void FlushBatch(const DatasetView& dataset, const float* query,
+                  std::vector<KeyValue>* buffer, KernelCounters* counters);
+};
+
 /// Resolves SearchParams defaults against an index + batch size: auto
 /// max_iterations, hash sizing (§IV-B3: >= 2x expected visits, shared
 /// tables clamped to 2^8..2^13 with resets), Table II hash placement.
@@ -85,12 +156,13 @@ ResolvedConfig ResolveConfig(const SearchParams& params, SearchAlgo algo,
 
 /// Runs one query in single-CTA mode (§IV-C1). Appends k ids/distances
 /// to `out_ids`/`out_dists` (preallocated, offset q*k) and accumulates
-/// counters. Returns the iteration count for the query.
+/// counters. `scratch` is this worker's reusable workspace (never
+/// shared across concurrent queries). Returns the iteration count.
 size_t SearchSingleCta(const DatasetView& dataset,
                        const FixedDegreeGraph& graph, const float* query,
                        const ResolvedConfig& cfg, uint64_t query_seed,
                        uint32_t* out_ids, float* out_dists,
-                       KernelCounters* counters);
+                       KernelCounters* counters, SearchScratch* scratch);
 
 /// Runs one query in multi-CTA mode (§IV-C2): cfg.cta_per_query CTAs,
 /// each with a 32-entry local top-M and p=1, sharing one device-memory
@@ -99,7 +171,7 @@ size_t SearchMultiCta(const DatasetView& dataset,
                       const FixedDegreeGraph& graph, const float* query,
                       const ResolvedConfig& cfg, uint64_t query_seed,
                       uint32_t* out_ids, float* out_dists,
-                      KernelCounters* counters);
+                      KernelCounters* counters, SearchScratch* scratch);
 
 /// Sorts the candidate segment and merges it into the sorted top-M
 /// segment, charging bitonic or radix cost per the §IV-B2 rule

@@ -21,14 +21,14 @@ size_t SearchMultiCta(const DatasetView& dataset,
                       const FixedDegreeGraph& graph, const float* query,
                       const ResolvedConfig& cfg, uint64_t query_seed,
                       uint32_t* out_ids, float* out_dists,
-                      KernelCounters* counters) {
+                      KernelCounters* counters, SearchScratch* scratch) {
   const size_t n = dataset.size();
   const size_t d = graph.degree();
   const size_t num_ctas = cfg.cta_per_query;
 
   // One visited table per *query*, shared by its CTAs, in device memory
   // (Table II). A node claimed by one CTA is never recomputed by another.
-  VisitedSet visited(1ull << cfg.hash_bits);
+  VisitedSet& visited = scratch->EnsureVisited(1ull << cfg.hash_bits);
   counters->hash_table_device_bytes += visited.MemoryBytes();
   auto charged_insert = [&](uint32_t node) {
     const size_t before = visited.stats().probes;
@@ -37,35 +37,41 @@ size_t SearchMultiCta(const DatasetView& dataset,
     return fresh;
   };
 
-  struct CtaState {
-    std::vector<KeyValue> topm;
-    std::vector<KeyValue> candidates;
-    bool active = true;
-  };
-  std::vector<CtaState> ctas(num_ctas);
+  // Batched-distance staging shared by the seeding and expansion steps:
+  // candidates[batch_slots[i]] of the CTA being filled gets batch_ids[i],
+  // via SearchScratch::FlushBatch.
+  std::vector<uint32_t>& batch_ids = scratch->batch_ids;
+  std::vector<uint32_t>& batch_slots = scratch->batch_slots;
+
+  std::vector<SearchScratch::CtaState>& ctas = scratch->ctas;
+  ctas.resize(num_ctas);
 
   // --- Step 0 per CTA: d random samples into its candidate list.
   for (size_t c = 0; c < num_ctas; c++) {
-    CtaState& cta = ctas[c];
+    SearchScratch::CtaState& cta = ctas[c];
+    cta.active = true;
     cta.topm.assign(kLocalTopM, KeyValue{kInf, kInvalidEntry});
-    cta.candidates.resize(d);
+    cta.candidates.assign(d, KeyValue{kInf, kInvalidEntry});
     Pcg32 rng(query_seed ^ (0x9e3779b97f4a7c15ULL * (c + 1)), 0xbeef + c);
+    batch_ids.clear();
+    batch_slots.clear();
     for (size_t i = 0; i < d; i++) {
       const uint32_t node = rng.NextBounded(static_cast<uint32_t>(n));
       if (charged_insert(node)) {
-        cta.candidates[i] = {dataset.Distance(query, node, counters), node};
-      } else {
-        cta.candidates[i] = {kInf, kInvalidEntry};
+        batch_ids.push_back(node);
+        batch_slots.push_back(static_cast<uint32_t>(i));
       }
     }
+    scratch->FlushBatch(dataset, query, &cta.candidates, counters);
   }
 
   // --- Lockstep iterations: every active CTA merges its buffer, expands
-  // its single best non-parent node (p = 1), and refills its candidates.
+  // its single best non-parent node (p = 1), and refills its candidates
+  // with one batched distance call per CTA.
   size_t iterations = 0;
   while (iterations < cfg.max_iterations) {
     bool any_active = false;
-    for (CtaState& cta : ctas) {
+    for (SearchScratch::CtaState& cta : ctas) {
       if (!cta.active) continue;
       SortAndMerge(&cta.topm, &cta.candidates, counters);
 
@@ -89,25 +95,24 @@ size_t SearchMultiCta(const DatasetView& dataset,
       const uint32_t* nbrs = graph.Neighbors(parent);
       for (size_t j = 0; j < d; j++) {
         const uint32_t node = nbrs[j];
-        if (node >= n) {
-          cta.candidates[j] = {kInf, kInvalidEntry};
-          continue;
-        }
+        cta.candidates[j] = {kInf, kInvalidEntry};
+        if (node >= n) continue;
         if (charged_insert(node)) {
-          cta.candidates[j] = {dataset.Distance(query, node, counters), node};
-        } else {
-          cta.candidates[j] = {kInf, kInvalidEntry};
+          batch_ids.push_back(node);
+          batch_slots.push_back(static_cast<uint32_t>(j));
         }
       }
+      scratch->FlushBatch(dataset, query, &cta.candidates, counters);
     }
     iterations++;
     if (!any_active && iterations >= cfg.min_iterations) break;
   }
 
   // --- Result merge: gather all CTA-local lists, sort, dedupe, top-k.
-  std::vector<KeyValue> merged;
+  std::vector<KeyValue>& merged = scratch->merged;
+  merged.clear();
   merged.reserve(num_ctas * kLocalTopM);
-  for (const CtaState& cta : ctas) {
+  for (const SearchScratch::CtaState& cta : ctas) {
     for (const auto& entry : cta.topm) {
       if (entry.value == kInvalidEntry || entry.key == kInf) continue;
       merged.push_back(KeyValue{entry.key, entry.value & kIndexMask});

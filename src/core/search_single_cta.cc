@@ -29,17 +29,19 @@ size_t SearchSingleCta(const DatasetView& dataset,
                        const FixedDegreeGraph& graph, const float* query,
                        const ResolvedConfig& cfg, uint64_t query_seed,
                        uint32_t* out_ids, float* out_dists,
-                       KernelCounters* counters) {
+                       KernelCounters* counters, SearchScratch* scratch) {
   const size_t n = dataset.size();
   const size_t d = graph.degree();
   const size_t num_candidates = cfg.search_width * d;
 
   // Buffer layout of Fig. 6: internal top-M (sorted ascending) followed
-  // by the candidate list.
-  std::vector<KeyValue> topm(cfg.itopk, KeyValue{kInf, kInvalidEntry});
-  std::vector<KeyValue> candidates(num_candidates);
+  // by the candidate list. All buffers live in the per-worker scratch.
+  std::vector<KeyValue>& topm = scratch->topm;
+  std::vector<KeyValue>& candidates = scratch->candidates;
+  topm.assign(cfg.itopk, KeyValue{kInf, kInvalidEntry});
+  candidates.assign(num_candidates, KeyValue{kInf, kInvalidEntry});
 
-  VisitedSet visited(1ull << cfg.hash_bits);
+  VisitedSet& visited = scratch->EnsureVisited(1ull << cfg.hash_bits);
   if (!cfg.hash_in_shared) {
     // A device-memory table is allocated and zeroed per query (§IV-B3);
     // the cost model charges its initialization traffic.
@@ -47,29 +49,40 @@ size_t SearchSingleCta(const DatasetView& dataset,
   }
   Pcg32 rng(query_seed, 0xc0ffee);
 
+  // Fresh nodes awaiting their (batched) distance computation: the id
+  // and the buffer slot the result lands in.
+  std::vector<uint32_t>& batch_ids = scratch->batch_ids;
+  std::vector<uint32_t>& batch_slots = scratch->batch_slots;
+
   // --- Step 0: random sampling. The whole buffer (internal top-M +
   // candidate list, Fig. 6) is seeded with uniform random nodes so the
   // search starts from M + p*d basins; duplicates are filtered through
-  // the visited table exactly like graph-expanded candidates.
+  // the visited table exactly like graph-expanded candidates. Distances
+  // for the deduplicated sample run as one batched kernel call.
   {
-    std::vector<KeyValue> init(cfg.itopk + num_candidates,
-                               KeyValue{kInf, kInvalidEntry});
-    for (auto& slot : init) {
+    std::vector<KeyValue>& init = scratch->init;
+    init.assign(cfg.itopk + num_candidates, KeyValue{kInf, kInvalidEntry});
+    batch_ids.clear();
+    batch_slots.clear();
+    for (size_t slot = 0; slot < init.size(); slot++) {
       const uint32_t node = rng.NextBounded(static_cast<uint32_t>(n));
       const size_t before = visited.stats().probes;
       const bool fresh = visited.InsertIfAbsent(node);
       ChargeProbes(visited, before, cfg.hash_in_shared, counters);
       if (fresh) {
-        slot = {dataset.Distance(query, node, counters), node};
+        batch_ids.push_back(node);
+        batch_slots.push_back(static_cast<uint32_t>(slot));
       }
     }
+    scratch->FlushBatch(dataset, query, &init, counters);
     counters->sort_exchanges += BitonicSorter::Sort(&init);
     std::copy(init.begin(), init.begin() + cfg.itopk, topm.begin());
     std::copy(init.begin() + cfg.itopk, init.end(), candidates.begin());
   }
 
   size_t iterations = 0;
-  std::vector<uint32_t> parents;
+  std::vector<uint32_t>& parents = scratch->parents;
+  parents.clear();
   parents.reserve(cfg.search_width);
   while (true) {
     // --- Step 1: update internal top-M from the whole buffer.
@@ -107,30 +120,32 @@ size_t SearchSingleCta(const DatasetView& dataset,
     }
 
     // --- Steps 2b + 3: fill the candidate list with the parents'
-    // neighbors, computing distances only for first-time nodes.
+    // neighbors. The visited-table pass collects first-time nodes, then
+    // one batched kernel call computes all their distances (the paper's
+    // team-per-candidate parallelism, expressed as SIMD lanes here).
+    batch_ids.clear();
+    batch_slots.clear();
     size_t slot = 0;
     for (const uint32_t parent : parents) {
       const uint32_t* nbrs = graph.Neighbors(parent);
       counters->device_graph_bytes += d * sizeof(uint32_t);
       for (size_t j = 0; j < d; j++, slot++) {
         const uint32_t node = nbrs[j];
-        if (node >= n) {  // kInvalid padding
-          candidates[slot] = {kInf, kInvalidEntry};
-          continue;
-        }
+        candidates[slot] = {kInf, kInvalidEntry};
+        if (node >= n) continue;  // kInvalid padding
         const size_t before = visited.stats().probes;
         const bool fresh = visited.InsertIfAbsent(node);
         ChargeProbes(visited, before, cfg.hash_in_shared, counters);
         if (fresh) {
-          candidates[slot] = {dataset.Distance(query, node, counters), node};
-        } else {
-          candidates[slot] = {kInf, kInvalidEntry};
+          batch_ids.push_back(node);
+          batch_slots.push_back(static_cast<uint32_t>(slot));
         }
       }
     }
     for (; slot < num_candidates; slot++) {
       candidates[slot] = {kInf, kInvalidEntry};
     }
+    scratch->FlushBatch(dataset, query, &candidates, counters);
   }
 
   // --- Output: top-k of the internal list, parent flags stripped,

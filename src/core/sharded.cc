@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
+#include <vector>
 
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace cagra {
@@ -74,10 +77,35 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
   out.neighbors.distances.assign(queries.rows() * k,
                                  std::numeric_limits<float>::infinity());
 
-  double slowest_shard = 0.0;
+  // Shards search in parallel on the host pool, mirroring the paper's
+  // one-GPU-per-shard execution. The inner per-query ParallelFor nests
+  // inside this one; the pool is re-entrant so that composes safely.
+  // Merging stays sequential in shard order, which keeps the output
+  // independent of scheduling.
+  const size_t num_shards = shards_.size();
+  std::vector<std::optional<Result<SearchResult>>> shard_results(num_shards);
   Timer host;
-  for (size_t s = 0; s < shards_.size(); s++) {
-    auto r = cagra::Search(shards_[s], queries, params, precision, device);
+  auto search_shard = [&](size_t s) {
+    shard_results[s].emplace(
+        cagra::Search(shards_[s], queries, params, precision, device));
+  };
+  if (params.num_threads != 0) {
+    // An explicit width is a total budget: run shards sequentially and
+    // let each per-shard Search use the full width (num_threads == 1
+    // is then fully serial). Fanning shards out here too would
+    // multiply the budget by num_shards.
+    for (size_t s = 0; s < num_shards; s++) search_shard(s);
+  } else {
+    GlobalThreadPool().ParallelFor(0, num_shards, search_shard);
+  }
+  out.host_seconds = host.Seconds();
+  out.host_qps = out.host_seconds > 0
+                     ? static_cast<double>(queries.rows()) / out.host_seconds
+                     : 0.0;
+
+  double slowest_shard = 0.0;
+  for (size_t s = 0; s < num_shards; s++) {
+    Result<SearchResult>& r = *shard_results[s];
     if (!r.ok()) return r.status();
     slowest_shard = std::max(slowest_shard, r->modeled_seconds);
     out.counters.Add(r->counters);
@@ -86,6 +114,7 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
       out.algo_used = r->algo_used;
       out.team_size_used = r->team_size_used;
       out.cost = r->cost;
+      out.host_threads = r->host_threads;
     }
     for (size_t q = 0; q < queries.rows(); q++) {
       for (size_t i = 0; i < k; i++) {
@@ -96,7 +125,6 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
       }
     }
   }
-  out.host_seconds = host.Seconds();
 
   for (size_t q = 0; q < queries.rows(); q++) {
     auto& cands = merged[q];

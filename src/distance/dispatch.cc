@@ -1,0 +1,100 @@
+// Runtime kernel dispatch: pick the widest ISA tier the CPU supports,
+// once, at first use (the usearch/SIMSIMD dynamic-dispatch pattern).
+// CAGRA_FORCE_SCALAR=1 pins the reference kernels for A/B testing.
+#include "distance/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace cagra {
+
+namespace {
+
+using distance_kernels::KernelTable;
+
+// __builtin_cpu_supports is gcc/clang-only, matching the -m* flags the
+// build passes; other compilers get the scalar tier until they grow a
+// __cpuidex path.
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CAGRA_HAS_CPUID_DISPATCH 1
+#endif
+
+bool CpuHasAvx2() {
+#ifdef CAGRA_HAS_CPUID_DISPATCH
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+         __builtin_cpu_supports("f16c");
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512() {
+#ifdef CAGRA_HAS_CPUID_DISPATCH
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl") && __builtin_cpu_supports("f16c");
+#else
+  return false;
+#endif
+}
+
+bool ForceScalarEnv() {
+  const char* v = std::getenv("CAGRA_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+SimdLevel SelectLevel() {
+  if (ForceScalarEnv()) return SimdLevel::kScalar;
+  if (SimdLevelAvailable(SimdLevel::kAvx512)) return SimdLevel::kAvx512;
+  if (SimdLevelAvailable(SimdLevel::kAvx2)) return SimdLevel::kAvx2;
+  return SimdLevel::kScalar;
+}
+
+}  // namespace
+
+std::string SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool SimdLevelAvailable(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kAvx2:
+      return distance_kernels::Avx2Table() != nullptr && CpuHasAvx2();
+    case SimdLevel::kAvx512:
+      return distance_kernels::Avx512Table() != nullptr && CpuHasAvx512();
+  }
+  return false;
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = SelectLevel();
+  return level;
+}
+
+const KernelTable& KernelTableForLevel(SimdLevel level) {
+  // Fall back unless the tier is both compiled in AND executable on
+  // this CPU — returning a compiled-in table the CPU can't run would
+  // hand the caller a SIGILL.
+  if (!SimdLevelAvailable(level)) return *distance_kernels::ScalarTable();
+  switch (level) {
+    case SimdLevel::kScalar: break;
+    case SimdLevel::kAvx2: return *distance_kernels::Avx2Table();
+    case SimdLevel::kAvx512: return *distance_kernels::Avx512Table();
+  }
+  return *distance_kernels::ScalarTable();
+}
+
+const KernelTable& ActiveKernelTable() {
+  static const KernelTable& table = KernelTableForLevel(ActiveSimdLevel());
+  return table;
+}
+
+}  // namespace cagra

@@ -1,8 +1,108 @@
 #include "distance/distance.h"
 
 #include <cmath>
+#include <type_traits>
+
+#include "distance/simd.h"
 
 namespace cagra {
+
+namespace {
+
+using distance_kernels::KernelTable;
+
+/// Distance to rows two ahead is prefetched in the batch loops: the
+/// gather pattern (graph expansion) is cache-hostile by construction.
+constexpr size_t kPrefetchAhead = 2;
+
+inline void PrefetchRow(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 1);
+#else
+  (void)p;
+#endif
+}
+
+inline float CosineFromParts(float dot, float norm2_a, float norm2_b) {
+  const float denom = std::sqrt(norm2_a) * std::sqrt(norm2_b);
+  if (denom == 0.0f) return 1.0f;
+  return 1.0f - dot / denom;
+}
+
+inline float PairDistance(const KernelTable& k, Metric metric, const float* a,
+                          const float* b, size_t dim) {
+  switch (metric) {
+    case Metric::kL2:
+      return k.l2_f32(a, b, dim);
+    case Metric::kInnerProduct:
+      return -k.dot_f32(a, b, dim);
+    case Metric::kCosine:
+      return CosineFromParts(k.dot_f32(a, b, dim), k.dot_f32(a, a, dim),
+                             k.dot_f32(b, b, dim));
+  }
+  return 0.0f;
+}
+
+inline float PairDistance(const KernelTable& k, Metric metric,
+                          const float* query, const Half* item, size_t dim) {
+  switch (metric) {
+    case Metric::kL2:
+      return k.l2_f16(query, item, dim);
+    case Metric::kInnerProduct:
+      return -k.dot_f16(query, item, dim);
+    case Metric::kCosine:
+      return CosineFromParts(k.dot_f16(query, item, dim),
+                             k.dot_f32(query, query, dim),
+                             k.norm2_f16(item, dim));
+  }
+  return 0.0f;
+}
+
+/// Shared body of the batch/gather entry points: `row(i)` yields the
+/// i-th row pointer (contiguous or gathered), so the metric switch and
+/// the query-norm hoisting are written once per element type.
+template <typename T, typename RowFn>
+void BatchDistance(const KernelTable& k, Metric metric, const float* query,
+                   size_t dim, size_t n, const RowFn& row, float* out) {
+  switch (metric) {
+    case Metric::kL2:
+      for (size_t i = 0; i < n; i++) {
+        if (i + kPrefetchAhead < n) PrefetchRow(row(i + kPrefetchAhead));
+        if constexpr (std::is_same_v<T, Half>) {
+          out[i] = k.l2_f16(query, row(i), dim);
+        } else {
+          out[i] = k.l2_f32(query, row(i), dim);
+        }
+      }
+      break;
+    case Metric::kInnerProduct:
+      for (size_t i = 0; i < n; i++) {
+        if (i + kPrefetchAhead < n) PrefetchRow(row(i + kPrefetchAhead));
+        if constexpr (std::is_same_v<T, Half>) {
+          out[i] = -k.dot_f16(query, row(i), dim);
+        } else {
+          out[i] = -k.dot_f32(query, row(i), dim);
+        }
+      }
+      break;
+    case Metric::kCosine: {
+      const float query_norm2 = k.dot_f32(query, query, dim);
+      for (size_t i = 0; i < n; i++) {
+        if (i + kPrefetchAhead < n) PrefetchRow(row(i + kPrefetchAhead));
+        if constexpr (std::is_same_v<T, Half>) {
+          out[i] = CosineFromParts(k.dot_f16(query, row(i), dim), query_norm2,
+                                   k.norm2_f16(row(i), dim));
+        } else {
+          out[i] = CosineFromParts(k.dot_f32(query, row(i), dim), query_norm2,
+                                   k.dot_f32(row(i), row(i), dim));
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
 
 std::string MetricName(Metric metric) {
   switch (metric) {
@@ -14,97 +114,44 @@ std::string MetricName(Metric metric) {
 }
 
 float L2Squared(const float* a, const float* b, size_t dim) {
-  // Four accumulators so the compiler can vectorize without reassociation
-  // flags; dim is typically 96-960 so the scalar tail is negligible.
-  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
-  size_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    const float d0 = a[i] - b[i];
-    const float d1 = a[i + 1] - b[i + 1];
-    const float d2 = a[i + 2] - b[i + 2];
-    const float d3 = a[i + 3] - b[i + 3];
-    acc0 += d0 * d0;
-    acc1 += d1 * d1;
-    acc2 += d2 * d2;
-    acc3 += d3 * d3;
-  }
-  float acc = (acc0 + acc1) + (acc2 + acc3);
-  for (; i < dim; i++) {
-    const float d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return ActiveKernelTable().l2_f32(a, b, dim);
 }
-
-namespace {
-
-float Dot(const float* a, const float* b, size_t dim) {
-  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
-  size_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
-  }
-  float acc = (acc0 + acc1) + (acc2 + acc3);
-  for (; i < dim; i++) acc += a[i] * b[i];
-  return acc;
-}
-
-float Norm(const float* a, size_t dim) { return std::sqrt(Dot(a, a, dim)); }
-
-}  // namespace
 
 float ComputeDistance(Metric metric, const float* a, const float* b,
                       size_t dim) {
-  switch (metric) {
-    case Metric::kL2:
-      return L2Squared(a, b, dim);
-    case Metric::kInnerProduct:
-      return -Dot(a, b, dim);
-    case Metric::kCosine: {
-      const float denom = Norm(a, dim) * Norm(b, dim);
-      if (denom == 0.0f) return 1.0f;
-      return 1.0f - Dot(a, b, dim) / denom;
-    }
-  }
-  return 0.0f;
+  return PairDistance(ActiveKernelTable(), metric, a, b, dim);
 }
 
 float ComputeDistance(Metric metric, const float* query, const Half* item,
                       size_t dim) {
-  // Convert lane-by-lane; on GPU this is the HMMA/float2half path, here a
-  // software conversion. Accuracy effects of fp16 storage are therefore
-  // identical to hardware.
-  switch (metric) {
-    case Metric::kL2: {
-      float acc = 0.f;
-      for (size_t i = 0; i < dim; i++) {
-        const float d = query[i] - item[i].ToFloat();
-        acc += d * d;
-      }
-      return acc;
-    }
-    case Metric::kInnerProduct: {
-      float acc = 0.f;
-      for (size_t i = 0; i < dim; i++) acc += query[i] * item[i].ToFloat();
-      return -acc;
-    }
-    case Metric::kCosine: {
-      float dot = 0.f, nq = 0.f, ni = 0.f;
-      for (size_t i = 0; i < dim; i++) {
-        const float v = item[i].ToFloat();
-        dot += query[i] * v;
-        nq += query[i] * query[i];
-        ni += v * v;
-      }
-      const float denom = std::sqrt(nq) * std::sqrt(ni);
-      if (denom == 0.0f) return 1.0f;
-      return 1.0f - dot / denom;
-    }
-  }
-  return 0.0f;
+  return PairDistance(ActiveKernelTable(), metric, query, item, dim);
+}
+
+void ComputeDistanceBatch(Metric metric, const float* query,
+                          const float* rows, size_t n, size_t dim,
+                          float* out) {
+  BatchDistance<float>(ActiveKernelTable(), metric, query, dim, n,
+                       [&](size_t i) { return rows + i * dim; }, out);
+}
+
+void ComputeDistanceBatch(Metric metric, const float* query, const Half* rows,
+                          size_t n, size_t dim, float* out) {
+  BatchDistance<Half>(ActiveKernelTable(), metric, query, dim, n,
+                      [&](size_t i) { return rows + i * dim; }, out);
+}
+
+void ComputeDistanceGather(Metric metric, const float* query,
+                           const float* base, size_t dim,
+                           const uint32_t* ids, size_t n, float* out) {
+  BatchDistance<float>(ActiveKernelTable(), metric, query, dim, n,
+                       [&](size_t i) { return base + ids[i] * dim; }, out);
+}
+
+void ComputeDistanceGather(Metric metric, const float* query,
+                           const Half* base, size_t dim, const uint32_t* ids,
+                           size_t n, float* out) {
+  BatchDistance<Half>(ActiveKernelTable(), metric, query, dim, n,
+                      [&](size_t i) { return base + ids[i] * dim; }, out);
 }
 
 }  // namespace cagra

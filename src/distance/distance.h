@@ -22,6 +22,8 @@ enum class Metric {
 std::string MetricName(Metric metric);
 
 /// Computes the distance between two `dim`-element fp32 vectors.
+/// Dispatches to the widest SIMD tier the CPU supports (see
+/// distance/simd.h; CAGRA_FORCE_SCALAR=1 pins the reference kernels).
 float ComputeDistance(Metric metric, const float* a, const float* b,
                       size_t dim);
 
@@ -32,6 +34,26 @@ float ComputeDistance(Metric metric, const float* query, const Half* item,
 
 /// Squared-L2 fast path used by inner loops.
 float L2Squared(const float* a, const float* b, size_t dim);
+
+/// One query against `n` contiguous rows (`rows` is row-major with
+/// stride `dim`); out[i] = distance(query, rows + i*dim). The query's
+/// norm is computed once per call for cosine. This is the bruteforce /
+/// ground-truth inner loop.
+void ComputeDistanceBatch(Metric metric, const float* query,
+                          const float* rows, size_t n, size_t dim,
+                          float* out);
+void ComputeDistanceBatch(Metric metric, const float* query, const Half* rows,
+                          size_t n, size_t dim, float* out);
+
+/// One query against `n` rows gathered by id from a row-major `base`;
+/// out[i] = distance(query, base + ids[i]*dim). This is the graph-search
+/// candidate-expansion inner loop (rows arrive as neighbor ids).
+void ComputeDistanceGather(Metric metric, const float* query,
+                           const float* base, size_t dim,
+                           const uint32_t* ids, size_t n, float* out);
+void ComputeDistanceGather(Metric metric, const float* query,
+                           const Half* base, size_t dim, const uint32_t* ids,
+                           size_t n, float* out);
 
 }  // namespace cagra
 

@@ -1,0 +1,41 @@
+#ifndef CAGRA_DISTANCE_KERNELS_H_
+#define CAGRA_DISTANCE_KERNELS_H_
+
+#include <cstddef>
+
+#include "util/half.h"
+
+namespace cagra {
+namespace distance_kernels {
+
+/// Reduction kernels one ISA tier provides. All kernels return plain
+/// float sums; metric composition (negating dot products, cosine
+/// normalization) lives in distance.cc so every tier shares one
+/// definition of each metric.
+///
+/// fp16 kernels take the fp32 query against Half-stored rows — the
+/// paper's FP16 storage mode (§IV-C1) keeps the query in fp32.
+struct KernelTable {
+  const char* name;
+
+  float (*l2_f32)(const float* a, const float* b, size_t dim);
+  float (*dot_f32)(const float* a, const float* b, size_t dim);
+  float (*l2_f16)(const float* query, const Half* item, size_t dim);
+  float (*dot_f16)(const float* query, const Half* item, size_t dim);
+  /// Sum of squares of an fp16 row (cosine denominator).
+  float (*norm2_f16)(const Half* item, size_t dim);
+};
+
+/// Always available; the reference the SIMD tiers are tested against.
+const KernelTable* ScalarTable();
+
+/// Return nullptr when the tier was not compiled in (non-x86 target or
+/// a compiler without the ISA flags); dispatch then falls through to
+/// the next tier down.
+const KernelTable* Avx2Table();
+const KernelTable* Avx512Table();
+
+}  // namespace distance_kernels
+}  // namespace cagra
+
+#endif  // CAGRA_DISTANCE_KERNELS_H_

@@ -1,0 +1,142 @@
+// AVX2 + FMA + F16C kernels, 8-lane fp32 with two accumulators to hide
+// FMA latency. This file is the only one compiled with -mavx2; the
+// guard below turns it into an empty tier when the compiler or target
+// lacks the ISA, and dispatch.cc checks CPUID before ever calling in.
+#include "distance/kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__) && defined(__F16C__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace cagra {
+namespace distance_kernels {
+
+namespace {
+
+float ReduceAdd(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 sum = _mm_add_ps(lo, hi);
+  sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+  sum = _mm_add_ss(sum, _mm_shuffle_ps(sum, sum, 0x55));
+  return _mm_cvtss_f32(sum);
+}
+
+/// Loads 8 halfs and widens to fp32 (F16C, round-exact like Half).
+__m256 LoadHalf8(const Half* p) {
+  return _mm256_cvtph_ps(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+float Avx2L2F32(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float acc = ReduceAdd(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; i++) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float Avx2DotF32(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  float acc = ReduceAdd(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; i++) acc += a[i] * b[i];
+  return acc;
+}
+
+float Avx2L2F16(const float* query, const Half* item, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(query + i),
+                                   LoadHalf8(item + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float acc = ReduceAdd(acc0);
+  for (; i < dim; i++) {
+    const float d = query[i] - item[i].ToFloat();
+    acc += d * d;
+  }
+  return acc;
+}
+
+float Avx2DotF16(const float* query, const Half* item, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(query + i), LoadHalf8(item + i),
+                           acc0);
+  }
+  float acc = ReduceAdd(acc0);
+  for (; i < dim; i++) acc += query[i] * item[i].ToFloat();
+  return acc;
+}
+
+float Avx2Norm2F16(const Half* item, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 v = LoadHalf8(item + i);
+    acc0 = _mm256_fmadd_ps(v, v, acc0);
+  }
+  float acc = ReduceAdd(acc0);
+  for (; i < dim; i++) {
+    const float v = item[i].ToFloat();
+    acc += v * v;
+  }
+  return acc;
+}
+
+constexpr KernelTable kAvx2Table = {
+    "avx2",     Avx2L2F32,  Avx2DotF32,
+    Avx2L2F16,  Avx2DotF16, Avx2Norm2F16,
+};
+
+}  // namespace
+
+const KernelTable* Avx2Table() { return &kAvx2Table; }
+
+}  // namespace distance_kernels
+}  // namespace cagra
+
+#else  // !(__AVX2__ && __FMA__ && __F16C__)
+
+namespace cagra {
+namespace distance_kernels {
+
+const KernelTable* Avx2Table() { return nullptr; }
+
+}  // namespace distance_kernels
+}  // namespace cagra
+
+#endif

@@ -1,0 +1,145 @@
+// AVX-512 kernels, 16-lane fp32 with masked tails so odd dims never
+// fall back to a scalar remainder loop. Requires F+BW+VL (masked 16-bit
+// loads for the fp16 tails); dispatch.cc checks all three via CPUID.
+#include "distance/kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace cagra {
+namespace distance_kernels {
+
+namespace {
+
+/// Loads 16 halfs (optionally masked) and widens to fp32.
+__m512 LoadHalf16(const Half* p) {
+  return _mm512_cvtph_ps(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+}
+
+__m512 LoadHalf16Masked(const Half* p, __mmask16 m) {
+  return _mm512_cvtph_ps(
+      _mm256_maskz_loadu_epi16(m, reinterpret_cast<const void*>(p)));
+}
+
+float Avx512L2F32(const float* a, const float* b, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    const __m512 d0 =
+        _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    const __m512 d1 = _mm512_sub_ps(_mm512_loadu_ps(a + i + 16),
+                                    _mm512_loadu_ps(b + i + 16));
+    acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm512_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 d =
+        _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    acc0 = _mm512_fmadd_ps(d, d, acc0);
+  }
+  if (i < dim) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (dim - i)) - 1);
+    const __m512 d = _mm512_sub_ps(_mm512_maskz_loadu_ps(m, a + i),
+                                   _mm512_maskz_loadu_ps(m, b + i));
+    acc0 = _mm512_fmadd_ps(d, d, acc0);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+float Avx512DotF32(const float* a, const float* b, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16),
+                           _mm512_loadu_ps(b + i + 16), acc1);
+  }
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+  }
+  if (i < dim) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (dim - i)) - 1);
+    acc0 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, a + i),
+                           _mm512_maskz_loadu_ps(m, b + i), acc0);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+float Avx512L2F16(const float* query, const Half* item, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 d =
+        _mm512_sub_ps(_mm512_loadu_ps(query + i), LoadHalf16(item + i));
+    acc0 = _mm512_fmadd_ps(d, d, acc0);
+  }
+  if (i < dim) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (dim - i)) - 1);
+    const __m512 d = _mm512_sub_ps(_mm512_maskz_loadu_ps(m, query + i),
+                                   LoadHalf16Masked(item + i, m));
+    acc0 = _mm512_fmadd_ps(d, d, acc0);
+  }
+  return _mm512_reduce_add_ps(acc0);
+}
+
+float Avx512DotF16(const float* query, const Half* item, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(query + i), LoadHalf16(item + i),
+                           acc0);
+  }
+  if (i < dim) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (dim - i)) - 1);
+    acc0 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, query + i),
+                           LoadHalf16Masked(item + i, m), acc0);
+  }
+  return _mm512_reduce_add_ps(acc0);
+}
+
+float Avx512Norm2F16(const Half* item, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 v = LoadHalf16(item + i);
+    acc0 = _mm512_fmadd_ps(v, v, acc0);
+  }
+  if (i < dim) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (dim - i)) - 1);
+    const __m512 v = LoadHalf16Masked(item + i, m);
+    acc0 = _mm512_fmadd_ps(v, v, acc0);
+  }
+  return _mm512_reduce_add_ps(acc0);
+}
+
+constexpr KernelTable kAvx512Table = {
+    "avx512",     Avx512L2F32,  Avx512DotF32,
+    Avx512L2F16,  Avx512DotF16, Avx512Norm2F16,
+};
+
+}  // namespace
+
+const KernelTable* Avx512Table() { return &kAvx512Table; }
+
+}  // namespace distance_kernels
+}  // namespace cagra
+
+#else  // !(__AVX512F__ && __AVX512BW__ && __AVX512VL__)
+
+namespace cagra {
+namespace distance_kernels {
+
+const KernelTable* Avx512Table() { return nullptr; }
+
+}  // namespace distance_kernels
+}  // namespace cagra
+
+#endif

@@ -1,0 +1,80 @@
+// Scalar reference kernels. Four independent accumulators let the
+// compiler vectorize at the baseline target (SSE2 on x86-64) without
+// reassociation flags; dim is typically 96-960 so the tail is cheap.
+#include "distance/kernels.h"
+
+namespace cagra {
+namespace distance_kernels {
+
+namespace {
+
+float ScalarL2F32(const float* a, const float* b, size_t dim) {
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  float acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < dim; i++) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float ScalarDotF32(const float* a, const float* b, size_t dim) {
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  float acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < dim; i++) acc += a[i] * b[i];
+  return acc;
+}
+
+float ScalarL2F16(const float* query, const Half* item, size_t dim) {
+  float acc = 0.f;
+  for (size_t i = 0; i < dim; i++) {
+    const float d = query[i] - item[i].ToFloat();
+    acc += d * d;
+  }
+  return acc;
+}
+
+float ScalarDotF16(const float* query, const Half* item, size_t dim) {
+  float acc = 0.f;
+  for (size_t i = 0; i < dim; i++) acc += query[i] * item[i].ToFloat();
+  return acc;
+}
+
+float ScalarNorm2F16(const Half* item, size_t dim) {
+  float acc = 0.f;
+  for (size_t i = 0; i < dim; i++) {
+    const float v = item[i].ToFloat();
+    acc += v * v;
+  }
+  return acc;
+}
+
+constexpr KernelTable kScalarTable = {
+    "scalar",       ScalarL2F32,  ScalarDotF32,
+    ScalarL2F16,    ScalarDotF16, ScalarNorm2F16,
+};
+
+}  // namespace
+
+const KernelTable* ScalarTable() { return &kScalarTable; }
+
+}  // namespace distance_kernels
+}  // namespace cagra

@@ -1,0 +1,40 @@
+#ifndef CAGRA_DISTANCE_SIMD_H_
+#define CAGRA_DISTANCE_SIMD_H_
+
+#include <string>
+
+#include "distance/kernels.h"
+
+namespace cagra {
+
+/// ISA tier of the distance kernels, from the portable reference up.
+enum class SimdLevel {
+  kScalar,
+  kAvx2,
+  kAvx512,
+};
+
+std::string SimdLevelName(SimdLevel level);
+
+/// True when the running CPU can execute the tier (CPUID; includes the
+/// FMA/F16C/BW/VL companions each tier's kernels rely on) AND the tier
+/// was compiled into this binary.
+bool SimdLevelAvailable(SimdLevel level);
+
+/// The tier every distance call dispatches to. Selected once at first
+/// use: the best available tier, unless the CAGRA_FORCE_SCALAR=1
+/// environment variable forces the reference kernels (the CI scalar
+/// job and A/B benching use this).
+SimdLevel ActiveSimdLevel();
+
+/// Kernel table for an explicit tier (test/bench hook — callers pin a
+/// tier to compare against the scalar reference). Falls back to the
+/// scalar table when the tier is unavailable.
+const distance_kernels::KernelTable& KernelTableForLevel(SimdLevel level);
+
+/// Table for ActiveSimdLevel(); what ComputeDistance et al. use.
+const distance_kernels::KernelTable& ActiveKernelTable();
+
+}  // namespace cagra
+
+#endif  // CAGRA_DISTANCE_SIMD_H_

@@ -1,9 +1,19 @@
 #include "knn/bruteforce.h"
 
+#include <algorithm>
+
 #include "util/bounded_heap.h"
 #include "util/thread_pool.h"
 
 namespace cagra {
+
+namespace {
+
+/// Rows scored per batched kernel call in the exhaustive scans. Keeps
+/// the distance buffer in L1 while amortizing the dispatch overhead.
+constexpr size_t kScanBlock = 256;
+
+}  // namespace
 
 NeighborList ExactSearch(const Matrix<float>& base,
                          const Matrix<float>& queries, size_t k,
@@ -16,10 +26,15 @@ NeighborList ExactSearch(const Matrix<float>& base,
   GlobalThreadPool().ParallelFor(0, queries.rows(), [&](size_t q) {
     BoundedHeap heap(k);
     const float* query = queries.Row(q);
-    for (size_t i = 0; i < base.rows(); i++) {
-      const float d = ComputeDistance(metric, query, base.Row(i), base.dim());
-      if (d < heap.WorstDistance()) {
-        heap.Push(d, static_cast<uint32_t>(i));
+    float block_dists[kScanBlock];
+    for (size_t i0 = 0; i0 < base.rows(); i0 += kScanBlock) {
+      const size_t block = std::min(kScanBlock, base.rows() - i0);
+      ComputeDistanceBatch(metric, query, base.Row(i0), block, base.dim(),
+                           block_dists);
+      for (size_t j = 0; j < block; j++) {
+        if (block_dists[j] < heap.WorstDistance()) {
+          heap.Push(block_dists[j], static_cast<uint32_t>(i0 + j));
+        }
       }
     }
     auto sorted = heap.ExtractSorted();
@@ -47,11 +62,16 @@ FixedDegreeGraph ExactKnnGraph(const Matrix<float>& base, size_t k,
   GlobalThreadPool().ParallelFor(0, base.rows(), [&](size_t v) {
     BoundedHeap heap(k);
     const float* vec = base.Row(v);
-    for (size_t i = 0; i < base.rows(); i++) {
-      if (i == v) continue;
-      const float d = ComputeDistance(metric, vec, base.Row(i), base.dim());
-      if (d < heap.WorstDistance()) {
-        heap.Push(d, static_cast<uint32_t>(i));
+    float block_dists[kScanBlock];
+    for (size_t i0 = 0; i0 < base.rows(); i0 += kScanBlock) {
+      const size_t block = std::min(kScanBlock, base.rows() - i0);
+      ComputeDistanceBatch(metric, vec, base.Row(i0), block, base.dim(),
+                           block_dists);
+      for (size_t j = 0; j < block; j++) {
+        if (i0 + j == v) continue;
+        if (block_dists[j] < heap.WorstDistance()) {
+          heap.Push(block_dists[j], static_cast<uint32_t>(i0 + j));
+        }
       }
     }
     auto sorted = heap.ExtractSorted();

@@ -151,26 +151,38 @@ FixedDegreeGraph BuildKnnGraphNnDescent(const Matrix<float>& base,
 
       size_t local_updates = 0;
       size_t local_distances = 0;
-      auto join = [&](uint32_t a, uint32_t b) {
-        if (a == b) return;
-        const float d =
-            ComputeDistance(metric, base.Row(a), base.Row(b), base.dim());
-        local_distances++;
-        {
-          std::lock_guard<std::mutex> lock(locks[a]);
-          local_updates += lists[a].Insert(d, b);
-        }
-        {
-          std::lock_guard<std::mutex> lock(locks[b]);
-          local_updates += lists[b].Insert(d, a);
-        }
-      };
-      // new x new (unordered pairs) and new x old.
+      // new x new (unordered pairs) and new x old. Each anchor's join
+      // partners are gathered first so all their distances run as one
+      // SIMD-dispatched batch; inserts then proceed in the same order
+      // the per-pair loop used, under the same per-node locks.
+      std::vector<uint32_t> partners;
+      std::vector<float> partner_dists;
       for (size_t i = 0; i < all_new.size(); i++) {
+        const uint32_t a = all_new[i];
+        partners.clear();
         for (size_t j = i + 1; j < all_new.size(); j++) {
-          join(all_new[i], all_new[j]);
+          if (all_new[j] != a) partners.push_back(all_new[j]);
         }
-        for (const uint32_t o : all_old) join(all_new[i], o);
+        for (const uint32_t o : all_old) {
+          if (o != a) partners.push_back(o);
+        }
+        partner_dists.resize(partners.size());
+        ComputeDistanceGather(metric, base.Row(a), base.data().data(),
+                              base.dim(), partners.data(), partners.size(),
+                              partner_dists.data());
+        local_distances += partners.size();
+        for (size_t p = 0; p < partners.size(); p++) {
+          const uint32_t b = partners[p];
+          const float d = partner_dists[p];
+          {
+            std::lock_guard<std::mutex> lock(locks[a]);
+            local_updates += lists[a].Insert(d, b);
+          }
+          {
+            std::lock_guard<std::mutex> lock(locks[b]);
+            local_updates += lists[b].Insert(d, a);
+          }
+        }
       }
       updates.fetch_add(local_updates, std::memory_order_relaxed);
       distance_count.fetch_add(local_distances, std::memory_order_relaxed);

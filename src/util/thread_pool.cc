@@ -1,8 +1,54 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace cagra {
+
+namespace {
+
+/// Pool identity of the current thread, set once in WorkerLoop. Lets
+/// ParallelForSlotted hand workers their stable slot and foreign
+/// threads (including workers of *other* pools) the extra caller slot.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker_index = 0;
+
+/// Shared state of one ParallelFor batch. Chunks are claimed via an
+/// atomic ticket by the caller and any worker that picks up a helper
+/// task; the caller always drains the batch itself if no worker is
+/// free, which is what makes nested ParallelFor deadlock-free.
+struct BatchState {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t chunk = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+
+  /// Claims and runs chunks until the ticket runs out. `fn` is only
+  /// dereferenced under a successful claim, which the caller's wait
+  /// guarantees happens before ParallelFor returns.
+  void Drain(size_t slot) {
+    while (true) {
+      const size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const size_t lo = begin + c * chunk;
+      const size_t hi = std::min(end, lo + chunk);
+      for (size_t i = lo; i < hi; i++) (*fn)(slot, i);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -11,7 +57,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; i++) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -24,7 +70,9 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_pool = this;
+  tls_worker_index = worker_index;
   while (true) {
     std::function<void()> task;
     {
@@ -38,40 +86,49 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t begin, size_t end,
-                             const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelForSlotted(
+    size_t begin, size_t end,
+    const std::function<void(size_t, size_t)>& fn) {
   if (begin >= end) return;
   const size_t total = end - begin;
-  const size_t num_chunks =
-      std::min(total, std::max<size_t>(1, threads_.size()));
-  if (num_chunks == 1) {
-    for (size_t i = begin; i < end; i++) fn(i);
+  const size_t caller_slot =
+      tls_pool == this ? tls_worker_index : threads_.size();
+
+  // Over-decompose ~4x for dynamic balance (per-query search cost
+  // varies); small loops run inline on the caller.
+  const size_t num_chunks = std::min(total, num_slots() * 4);
+  if (num_chunks <= 1) {
+    for (size_t i = begin; i < end; i++) fn(caller_slot, i);
     return;
   }
 
-  std::atomic<size_t> remaining(num_chunks);
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  auto state = std::make_shared<BatchState>();
+  state->begin = begin;
+  state->end = end;
+  state->num_chunks = num_chunks;
+  state->chunk = (total + num_chunks - 1) / num_chunks;
+  state->fn = &fn;
 
-  const size_t chunk = (total + num_chunks - 1) / num_chunks;
+  const size_t helpers = std::min(threads_.size(), num_chunks - 1);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (size_t c = 0; c < num_chunks; c++) {
-      const size_t lo = begin + c * chunk;
-      const size_t hi = std::min(end, lo + chunk);
-      tasks_.push([&, lo, hi] {
-        for (size_t i = lo; i < hi; i++) fn(i);
-        if (remaining.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> done_lock(done_mutex);
-          done_cv.notify_one();
-        }
-      });
+    for (size_t h = 0; h < helpers; h++) {
+      tasks_.push([state] { state->Drain(tls_worker_index); });
     }
   }
-  cv_.notify_all();
+  if (helpers > 0) cv_.notify_all();
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  state->Drain(caller_slot);
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->num_chunks;
+  });
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  ParallelForSlotted(begin, end, [&fn](size_t, size_t i) { fn(i); });
 }
 
 ThreadPool& GlobalThreadPool() {

@@ -11,11 +11,17 @@
 
 namespace cagra {
 
-/// Minimal fixed-size worker pool with a ParallelFor primitive. Graph
+/// Fixed-size worker pool with a ParallelFor primitive. Graph
 /// construction (NN-descent, CAGRA optimization) is expressed as
 /// independent per-node work, matching the paper's claim that the
 /// optimization "allows for many computations to be executed in parallel
-/// without complex dependencies" (§III-B2).
+/// without complex dependencies" (§III-B2); batch search fans queries
+/// out the same way (one "CTA" per query on the host).
+///
+/// ParallelFor is re-entrant: the calling thread claims chunks itself
+/// while workers help, so nested calls (sharded search -> per-shard
+/// search -> per-query loop) cannot deadlock even on a single-worker
+/// pool — the caller alone drains its own batch in the worst case.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means hardware concurrency.
@@ -27,14 +33,27 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// Number of distinct worker-slot values ParallelForSlotted can pass:
+  /// one per worker plus one for the calling (non-worker) thread.
+  size_t num_slots() const { return threads_.size() + 1; }
+
   /// Runs fn(i) for i in [begin, end), partitioned into contiguous chunks
-  /// across the pool. Blocks until all iterations complete. fn must be
-  /// safe to invoke concurrently for distinct i.
+  /// across the pool plus the calling thread. Blocks until all
+  /// iterations complete. fn must be safe to invoke concurrently for
+  /// distinct i.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& fn);
 
+  /// ParallelFor variant handing fn the executing thread's stable slot
+  /// in [0, num_slots()): pool workers get their worker index, any other
+  /// calling thread gets num_threads(). Two concurrent invocations of fn
+  /// never share a slot, so callers can keep per-slot scratch state
+  /// (VisitedSet, search buffers) without locking.
+  void ParallelForSlotted(size_t begin, size_t end,
+                          const std::function<void(size_t slot, size_t i)>& fn);
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> threads_;
   std::queue<std::function<void()>> tasks_;

@@ -1,0 +1,258 @@
+// Dispatch-layer tests: every compiled-in SIMD tier must agree with the
+// scalar reference kernels across awkward dims and fp16 inputs, the
+// batched primitives must agree with the pairwise API, and the
+// thread-parallel batch search must be byte-identical to a serial run.
+// CTest runs this binary twice: once as-is and once under
+// CAGRA_FORCE_SCALAR=1 (distance_dispatch_test_scalar).
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/search.h"
+#include "core/sharded.h"
+#include "dataset/profile.h"
+#include "dataset/synthetic.h"
+#include "distance/distance.h"
+#include "distance/simd.h"
+#include "util/rng.h"
+
+namespace cagra {
+namespace {
+
+using distance_kernels::KernelTable;
+
+// The ISSUE's accuracy bar for SIMD vs scalar: reassociation only.
+constexpr double kTolerance = 1e-4;
+const size_t kDims[] = {1, 3, 17, 128, 961};
+
+std::vector<float> RandomVec(size_t dim, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<float> v(dim);
+  for (auto& x : v) x = rng.NextFloat() * 2.0f - 1.0f;
+  return v;
+}
+
+std::vector<Half> ToHalfVec(const std::vector<float>& v) {
+  std::vector<Half> h(v.size());
+  for (size_t i = 0; i < v.size(); i++) h[i] = Half(v[i]);
+  return h;
+}
+
+std::vector<SimdLevel> AvailableLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (SimdLevelAvailable(SimdLevel::kAvx2)) levels.push_back(SimdLevel::kAvx2);
+  if (SimdLevelAvailable(SimdLevel::kAvx512)) {
+    levels.push_back(SimdLevel::kAvx512);
+  }
+  return levels;
+}
+
+TEST(DispatchTest, ForceScalarEnvPinsScalar) {
+  const char* force = std::getenv("CAGRA_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' && force[0] != '0') {
+    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+    EXPECT_EQ(ActiveKernelTable().name, std::string("scalar"));
+  } else {
+    // Unforced, the active tier must be the widest available one.
+    const std::vector<SimdLevel> levels = AvailableLevels();
+    EXPECT_EQ(ActiveSimdLevel(), levels.back());
+  }
+}
+
+TEST(DispatchTest, EveryLevelReportsAName) {
+  for (SimdLevel level : AvailableLevels()) {
+    EXPECT_FALSE(SimdLevelName(level).empty());
+    EXPECT_EQ(KernelTableForLevel(level).name, SimdLevelName(level));
+  }
+}
+
+TEST(DispatchTest, SimdKernelsMatchScalarReference) {
+  const KernelTable& ref = KernelTableForLevel(SimdLevel::kScalar);
+  for (SimdLevel level : AvailableLevels()) {
+    const KernelTable& table = KernelTableForLevel(level);
+    for (size_t dim : kDims) {
+      const auto a = RandomVec(dim, dim * 7 + 1);
+      const auto b = RandomVec(dim, dim * 7 + 2);
+      const auto hb = ToHalfVec(b);
+      const double scale = std::max<double>(1.0, dim);
+      EXPECT_NEAR(table.l2_f32(a.data(), b.data(), dim),
+                  ref.l2_f32(a.data(), b.data(), dim), kTolerance * scale)
+          << table.name << " l2_f32 dim=" << dim;
+      EXPECT_NEAR(table.dot_f32(a.data(), b.data(), dim),
+                  ref.dot_f32(a.data(), b.data(), dim), kTolerance * scale)
+          << table.name << " dot_f32 dim=" << dim;
+      EXPECT_NEAR(table.l2_f16(a.data(), hb.data(), dim),
+                  ref.l2_f16(a.data(), hb.data(), dim), kTolerance * scale)
+          << table.name << " l2_f16 dim=" << dim;
+      EXPECT_NEAR(table.dot_f16(a.data(), hb.data(), dim),
+                  ref.dot_f16(a.data(), hb.data(), dim), kTolerance * scale)
+          << table.name << " dot_f16 dim=" << dim;
+      EXPECT_NEAR(table.norm2_f16(hb.data(), dim),
+                  ref.norm2_f16(hb.data(), dim), kTolerance * scale)
+          << table.name << " norm2_f16 dim=" << dim;
+    }
+  }
+}
+
+TEST(DispatchTest, SimdMatchesDoubleReferenceL2) {
+  // Guards against a tier being self-consistently wrong: compare against
+  // an order-independent double-precision sum, not just the scalar table.
+  for (SimdLevel level : AvailableLevels()) {
+    const KernelTable& table = KernelTableForLevel(level);
+    for (size_t dim : kDims) {
+      const auto a = RandomVec(dim, dim * 11 + 3);
+      const auto b = RandomVec(dim, dim * 11 + 4);
+      double expected = 0;
+      for (size_t i = 0; i < dim; i++) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        expected += d * d;
+      }
+      EXPECT_NEAR(table.l2_f32(a.data(), b.data(), dim), expected,
+                  kTolerance * std::max(1.0, expected))
+          << table.name << " dim=" << dim;
+    }
+  }
+}
+
+TEST(DispatchTest, BatchMatchesPairwise) {
+  constexpr size_t kRows = 37;
+  for (size_t dim : kDims) {
+    Matrix<float> rows(kRows, dim);
+    Pcg32 rng(dim * 13 + 5);
+    for (auto& x : *rows.mutable_data()) x = rng.NextFloat() * 2.0f - 1.0f;
+    const auto query = RandomVec(dim, dim * 13 + 6);
+    const Matrix<Half> hrows = ToHalf(rows);
+
+    for (Metric metric :
+         {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+      std::vector<float> got(kRows);
+      ComputeDistanceBatch(metric, query.data(), rows.data().data(), kRows,
+                           dim, got.data());
+      for (size_t i = 0; i < kRows; i++) {
+        EXPECT_FLOAT_EQ(got[i],
+                        ComputeDistance(metric, query.data(), rows.Row(i),
+                                        dim))
+            << MetricName(metric) << " fp32 row=" << i << " dim=" << dim;
+      }
+
+      ComputeDistanceBatch(metric, query.data(), hrows.data().data(), kRows,
+                           dim, got.data());
+      for (size_t i = 0; i < kRows; i++) {
+        EXPECT_FLOAT_EQ(got[i],
+                        ComputeDistance(metric, query.data(), hrows.Row(i),
+                                        dim))
+            << MetricName(metric) << " fp16 row=" << i << " dim=" << dim;
+      }
+    }
+  }
+}
+
+TEST(DispatchTest, GatherMatchesPairwise) {
+  constexpr size_t kRows = 64;
+  const size_t dim = 33;
+  Matrix<float> rows(kRows, dim);
+  Pcg32 rng(99);
+  for (auto& x : *rows.mutable_data()) x = rng.NextFloat() * 2.0f - 1.0f;
+  const auto query = RandomVec(dim, 100);
+  const Matrix<Half> hrows = ToHalf(rows);
+
+  // Out-of-order, repeating ids — the graph-expansion access pattern.
+  std::vector<uint32_t> ids;
+  for (size_t i = 0; i < 50; i++) {
+    ids.push_back(rng.NextBounded(kRows));
+  }
+
+  for (Metric metric : {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+    std::vector<float> got(ids.size());
+    ComputeDistanceGather(metric, query.data(), rows.data().data(), dim,
+                          ids.data(), ids.size(), got.data());
+    for (size_t i = 0; i < ids.size(); i++) {
+      EXPECT_FLOAT_EQ(got[i], ComputeDistance(metric, query.data(),
+                                              rows.Row(ids[i]), dim))
+          << MetricName(metric) << " fp32 i=" << i;
+    }
+
+    ComputeDistanceGather(metric, query.data(), hrows.data().data(), dim,
+                          ids.data(), ids.size(), got.data());
+    for (size_t i = 0; i < ids.size(); i++) {
+      EXPECT_FLOAT_EQ(got[i], ComputeDistance(metric, query.data(),
+                                              hrows.Row(ids[i]), dim))
+          << MetricName(metric) << " fp16 i=" << i;
+    }
+  }
+}
+
+class ParallelSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const DatasetProfile* profile = FindProfile("DEEP-1M");
+    ASSERT_NE(profile, nullptr);
+    data_ = GenerateDataset(*profile, 3000, 64, 7);
+    BuildParams bp;
+    bp.graph_degree = 16;
+    auto built = CagraIndex::Build(data_.base, bp);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    index_ = std::move(built.value());
+  }
+
+  SyntheticData data_;
+  CagraIndex index_;
+};
+
+TEST_F(ParallelSearchTest, ParallelBatchIdenticalToSerial) {
+  for (SearchAlgo algo : {SearchAlgo::kSingleCta, SearchAlgo::kMultiCta}) {
+    SearchParams params;
+    params.k = 10;
+    params.itopk = 64;
+    params.algo = algo;
+
+    params.num_threads = 1;
+    auto serial = Search(index_, data_.queries, params);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+    for (size_t threads : {size_t{0}, size_t{3}, size_t{8}}) {
+      params.num_threads = threads;
+      auto parallel = Search(index_, data_.queries, params);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      // Byte-identical: same ids in the same order, bit-equal distances.
+      EXPECT_EQ(parallel->neighbors.ids, serial->neighbors.ids)
+          << "algo=" << static_cast<int>(algo) << " threads=" << threads;
+      EXPECT_EQ(parallel->neighbors.distances, serial->neighbors.distances)
+          << "algo=" << static_cast<int>(algo) << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelSearchTest, ParallelShardedIdenticalToSerial) {
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto sharded = ShardedCagraIndex::Build(data_.base, bp, 3);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  SearchParams params;
+  params.k = 10;
+  params.num_threads = 1;
+  auto serial = sharded->Search(data_.queries, params);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  params.num_threads = 0;
+  auto parallel = sharded->Search(data_.queries, params);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(parallel->neighbors.ids, serial->neighbors.ids);
+  EXPECT_EQ(parallel->neighbors.distances, serial->neighbors.distances);
+}
+
+TEST_F(ParallelSearchTest, RecordsHostThroughput) {
+  SearchParams params;
+  params.k = 10;
+  auto result = Search(index_, data_.queries, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->host_qps, 0.0);
+  EXPECT_GE(result->host_threads, 1u);
+}
+
+}  // namespace
+}  // namespace cagra
