@@ -1,7 +1,9 @@
-// Dispatch bench: scalar vs SIMD distance-kernel throughput and
-// 1/2/4/8-thread batch-search QPS, emitted as one JSON object for the
-// bench trajectory. Not a google-benchmark binary on purpose — the
-// output contract is machine-readable JSON on stdout.
+// Dispatch bench: scalar vs SIMD distance-kernel throughput (fp32/fp16
+// one-row kernels, int8 one-vs-many vs the per-element QuantizedDistance
+// baseline, multi-row batch vs one-row-per-call loops) and 1/2/4/8-thread
+// batch-search QPS, emitted as one JSON object for the bench trajectory.
+// Not a google-benchmark binary on purpose — the output contract is
+// machine-readable JSON on stdout; CI uploads it as a build artifact.
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -10,6 +12,7 @@
 #include "bench/common.h"
 #include "core/index.h"
 #include "core/search.h"
+#include "dataset/quantize.h"
 #include "distance/simd.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -66,6 +69,129 @@ std::vector<KernelSample> BenchKernels() {
     samples.push_back({dim, "fp16",
                        MeasureKernel(scalar.l2_f16, query, hrows),
                        MeasureKernel(simd.l2_f16, query, hrows)});
+  }
+  return samples;
+}
+
+/// Measures a whole-batch functor (scoring `rows_per_call` rows per
+/// invocation) in million distances/sec.
+template <typename Fn>
+double MeasureBatchFn(size_t rows_per_call, const Fn& fn,
+                      double min_seconds = 0.2) {
+  size_t reps = 0;
+  Timer timer;
+  do {
+    fn();
+    reps += rows_per_call;
+  } while (timer.Seconds() < min_seconds);
+  return static_cast<double>(reps) / timer.Seconds() / 1e6;
+}
+
+struct Int8Sample {
+  size_t dim;
+  double baseline_mdps;  ///< per-element QuantizedDistance, one row/call
+  double active_mdps;    ///< dispatched int8 one-vs-many batch
+};
+
+/// int8 one-vs-many: the dispatched batch path (vector-register decode,
+/// multi-row kernels) against the per-element QuantizedDistance loop the
+/// quantized search used before the int8 kernel tier existed.
+std::vector<Int8Sample> BenchInt8() {
+  std::vector<Int8Sample> samples;
+  for (size_t dim : {96ul, 128ul, 256ul, 960ul}) {
+    const size_t kRows = std::max<size_t>(256, (1ul << 20) / dim);
+    Pcg32 rng(dim + 1);
+    std::vector<float> query(dim);
+    for (auto& x : query) x = rng.NextFloat();
+    Matrix<float> rows(kRows, dim);
+    for (auto& x : *rows.mutable_data()) x = rng.NextFloat() * 2.0f - 1.0f;
+    const QuantizedDataset q = QuantizeInt8(rows);
+
+    volatile float sink = 0.f;
+    const double baseline = MeasureBatchFn(kRows, [&] {
+      float acc = 0.f;
+      for (size_t i = 0; i < kRows; i++) {
+        acc += QuantizedDistance(Metric::kL2, query.data(), q, i);
+      }
+      sink = sink + acc;
+    });
+    std::vector<float> out(kRows);
+    const double active = MeasureBatchFn(kRows, [&] {
+      ComputeDistanceBatch(Metric::kL2, query.data(), q.codes.data().data(),
+                           q.scale.data(), q.offset.data(), kRows, dim,
+                           out.data());
+      sink = sink + out[0];
+    });
+    (void)sink;
+    samples.push_back({dim, baseline, active});
+  }
+  return samples;
+}
+
+struct MultiRowSample {
+  size_t dim;
+  const char* elem;
+  double single_mdps;  ///< one-row-per-call loop over the active kernel
+  double multi_mdps;   ///< ComputeDistanceBatch (x4 multi-row inside)
+};
+
+/// Multi-row scan: ComputeDistanceBatch (4 rows per kernel call, shared
+/// query stream) against the one-row-per-call loop the bruteforce scan
+/// used before — same active tier on both sides, so the delta is purely
+/// the multi-row batching.
+std::vector<MultiRowSample> BenchMultiRow() {
+  const KernelTable& simd = ActiveKernelTable();
+  std::vector<MultiRowSample> samples;
+  for (size_t dim : {96ul, 128ul, 256ul, 960ul}) {
+    const size_t kRows = std::max<size_t>(256, (1ul << 20) / (dim * 4));
+    Pcg32 rng(dim + 2);
+    std::vector<float> query(dim);
+    for (auto& x : query) x = rng.NextFloat();
+    Matrix<float> rows(kRows, dim);
+    for (auto& x : *rows.mutable_data()) x = rng.NextFloat() * 2.0f - 1.0f;
+    const Matrix<Half> hrows = ToHalf(rows);
+    const QuantizedDataset q = QuantizeInt8(rows);
+    std::vector<float> out(kRows);
+
+    samples.push_back(
+        {dim, "fp32", MeasureBatchFn(kRows,
+                                     [&] {
+                                       for (size_t i = 0; i < kRows; i++) {
+                                         out[i] = simd.l2_f32(
+                                             query.data(), rows.Row(i), dim);
+                                       }
+                                     }),
+         MeasureBatchFn(kRows, [&] {
+           ComputeDistanceBatch(Metric::kL2, query.data(),
+                                rows.data().data(), kRows, dim, out.data());
+         })});
+    samples.push_back(
+        {dim, "fp16", MeasureBatchFn(kRows,
+                                     [&] {
+                                       for (size_t i = 0; i < kRows; i++) {
+                                         out[i] = simd.l2_f16(
+                                             query.data(), hrows.Row(i), dim);
+                                       }
+                                     }),
+         MeasureBatchFn(kRows, [&] {
+           ComputeDistanceBatch(Metric::kL2, query.data(),
+                                hrows.data().data(), kRows, dim, out.data());
+         })});
+    samples.push_back(
+        {dim, "int8",
+         MeasureBatchFn(kRows,
+                        [&] {
+                          for (size_t i = 0; i < kRows; i++) {
+                            out[i] = simd.l2_i8(query.data(), q.codes.Row(i),
+                                                q.scale.data(),
+                                                q.offset.data(), dim);
+                          }
+                        }),
+         MeasureBatchFn(kRows, [&] {
+           ComputeDistanceBatch(Metric::kL2, query.data(),
+                                q.codes.data().data(), q.scale.data(),
+                                q.offset.data(), kRows, dim, out.data());
+         })});
   }
   return samples;
 }
@@ -137,6 +263,32 @@ int main() {
                 s.dim, s.elem, s.scalar_mdps, s.simd_mdps,
                 s.scalar_mdps > 0 ? s.simd_mdps / s.scalar_mdps : 0,
                 i + 1 < kernels.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+
+  std::printf("  \"int8_kernels\": [\n");
+  const auto int8 = BenchInt8();
+  for (size_t i = 0; i < int8.size(); i++) {
+    const auto& s = int8[i];
+    std::printf("    {\"dim\": %zu, "
+                "\"quantized_distance_mdist_per_sec\": %.2f, "
+                "\"batch_mdist_per_sec\": %.2f, \"speedup\": %.2f}%s\n",
+                s.dim, s.baseline_mdps, s.active_mdps,
+                s.baseline_mdps > 0 ? s.active_mdps / s.baseline_mdps : 0,
+                i + 1 < int8.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+
+  std::printf("  \"multirow\": [\n");
+  const auto multirow = BenchMultiRow();
+  for (size_t i = 0; i < multirow.size(); i++) {
+    const auto& s = multirow[i];
+    std::printf("    {\"dim\": %zu, \"elem\": \"%s\", "
+                "\"single_row_mdist_per_sec\": %.2f, "
+                "\"multi_row_mdist_per_sec\": %.2f, \"speedup\": %.2f}%s\n",
+                s.dim, s.elem, s.single_mdps, s.multi_mdps,
+                s.single_mdps > 0 ? s.multi_mdps / s.single_mdps : 0,
+                i + 1 < multirow.size() ? "," : "");
   }
   std::printf("  ],\n");
 

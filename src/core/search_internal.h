@@ -38,9 +38,11 @@ class DatasetView {
       case Precision::kFp16:
         return ComputeDistance(index_.metric(), query,
                                index_.half_dataset().Row(id), index_.dim());
-      case Precision::kInt8:
-        return QuantizedDistance(index_.metric(), query,
-                                 index_.int8_dataset(), id);
+      case Precision::kInt8: {
+        const QuantizedDataset& q = index_.int8_dataset();
+        return ComputeDistance(index_.metric(), query, q.codes.Row(id),
+                               q.scale.data(), q.offset.data(), index_.dim());
+      }
       case Precision::kFp32:
         break;
     }
@@ -49,9 +51,12 @@ class DatasetView {
   }
 
   /// Batched variant of Distance: out[i] = distance(query, row ids[i]).
-  /// fp32/fp16 go through the SIMD-dispatched gather primitives so the
-  /// candidate-expansion hot loop prices one function call per batch,
-  /// not per pair; counters charge the same bytes/flops either way.
+  /// All three storage types go through the SIMD-dispatched gather
+  /// primitives (multi-row kernels inside) so the candidate-expansion
+  /// hot loop prices one function call per batch, not per pair — int8
+  /// included: its affine decode runs in vector registers, never through
+  /// the per-element QuantizedDistance path. Counters charge the same
+  /// bytes/flops either way.
   void DistanceBatch(const float* query, const uint32_t* ids, size_t n,
                      float* out, KernelCounters* counters) const {
     counters->distance_computations += n;
@@ -63,12 +68,13 @@ class DatasetView {
                               index_.half_dataset().data().data(),
                               index_.dim(), ids, n, out);
         return;
-      case Precision::kInt8:
-        for (size_t i = 0; i < n; i++) {
-          out[i] = QuantizedDistance(index_.metric(), query,
-                                     index_.int8_dataset(), ids[i]);
-        }
+      case Precision::kInt8: {
+        const QuantizedDataset& q = index_.int8_dataset();
+        ComputeDistanceGather(index_.metric(), query, q.codes.data().data(),
+                              q.scale.data(), q.offset.data(), index_.dim(),
+                              ids, n, out);
         return;
+      }
       case Precision::kFp32:
         break;
     }

@@ -49,12 +49,17 @@ float QuantizedDistance(Metric metric, const float* query,
                         const QuantizedDataset& data, size_t row) {
   const size_t dim = data.dim();
   const int8_t* code = data.codes.Row(row);
+  // Hoisted once, not re-resolved through the vectors inside the metric
+  // loops: this function is the per-element decode reference the SIMD
+  // int8 kernels are pinned against, and the hoist keeps its inner loops
+  // free of the std::vector indirection.
+  const float* scale = data.scale.data();
+  const float* offset = data.offset.data();
   switch (metric) {
     case Metric::kL2: {
       float acc = 0.f;
       for (size_t d = 0; d < dim; d++) {
-        const float v = static_cast<float>(code[d]) * data.scale[d] +
-                        data.offset[d];
+        const float v = static_cast<float>(code[d]) * scale[d] + offset[d];
         const float diff = query[d] - v;
         acc += diff * diff;
       }
@@ -63,16 +68,17 @@ float QuantizedDistance(Metric metric, const float* query,
     case Metric::kInnerProduct: {
       float acc = 0.f;
       for (size_t d = 0; d < dim; d++) {
-        acc += query[d] * (static_cast<float>(code[d]) * data.scale[d] +
-                           data.offset[d]);
+        acc += query[d] * (static_cast<float>(code[d]) * scale[d] +
+                           offset[d]);
       }
       return -acc;
     }
     case Metric::kCosine: {
+      // Quantized cosine decodes and normalizes the int8 row itself — it
+      // never falls back to the fp32 dataset (quantize_test pins this).
       float dot = 0.f, nq = 0.f, nv = 0.f;
       for (size_t d = 0; d < dim; d++) {
-        const float v = static_cast<float>(code[d]) * data.scale[d] +
-                        data.offset[d];
+        const float v = static_cast<float>(code[d]) * scale[d] + offset[d];
         dot += query[d] * v;
         nq += query[d] * query[d];
         nv += v * v;

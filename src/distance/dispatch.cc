@@ -3,6 +3,7 @@
 // CAGRA_FORCE_SCALAR=1 pins the reference kernels for A/B testing.
 #include "distance/simd.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -11,6 +12,27 @@ namespace cagra {
 namespace {
 
 using distance_kernels::KernelTable;
+
+/// Every slot of a compiled-in table must be wired: a tier that lags the
+/// KernelTable surface (e.g. after the int8/multi-row expansion) would
+/// otherwise SIGSEGV at a call site far from the actual omission. An
+/// explicit check, not an assert — it must fire in Release builds (the
+/// only kind CI ships), and it runs only on the cold table-selection
+/// path.
+const KernelTable* Checked(const KernelTable* t) {
+  if (t != nullptr &&
+      !(t->name && t->l2_f32 && t->dot_f32 && t->l2_f16 && t->dot_f16 &&
+        t->norm2_f16 && t->l2_i8 && t->dot_i8 && t->norm2_i8 &&
+        t->l2_f32x4 && t->dot_f32x4 && t->l2_f16x4 && t->dot_f16x4 &&
+        t->l2_i8x4 && t->dot_i8x4)) {
+    std::fprintf(stderr,
+                 "fatal: kernel table '%s' has unwired slots (tier lags the "
+                 "KernelTable surface)\n",
+                 t->name != nullptr ? t->name : "?");
+    std::abort();
+  }
+  return t;
+}
 
 // __builtin_cpu_supports is gcc/clang-only, matching the -m* flags the
 // build passes; other compilers get the scalar tier until they grow a
@@ -67,9 +89,10 @@ bool SimdLevelAvailable(SimdLevel level) {
     case SimdLevel::kScalar:
       return true;
     case SimdLevel::kAvx2:
-      return distance_kernels::Avx2Table() != nullptr && CpuHasAvx2();
+      return Checked(distance_kernels::Avx2Table()) != nullptr && CpuHasAvx2();
     case SimdLevel::kAvx512:
-      return distance_kernels::Avx512Table() != nullptr && CpuHasAvx512();
+      return Checked(distance_kernels::Avx512Table()) != nullptr &&
+             CpuHasAvx512();
   }
   return false;
 }
@@ -83,13 +106,13 @@ const KernelTable& KernelTableForLevel(SimdLevel level) {
   // Fall back unless the tier is both compiled in AND executable on
   // this CPU — returning a compiled-in table the CPU can't run would
   // hand the caller a SIGILL.
-  if (!SimdLevelAvailable(level)) return *distance_kernels::ScalarTable();
+  if (!SimdLevelAvailable(level)) return *Checked(distance_kernels::ScalarTable());
   switch (level) {
     case SimdLevel::kScalar: break;
     case SimdLevel::kAvx2: return *distance_kernels::Avx2Table();
     case SimdLevel::kAvx512: return *distance_kernels::Avx512Table();
   }
-  return *distance_kernels::ScalarTable();
+  return *Checked(distance_kernels::ScalarTable());
 }
 
 const KernelTable& ActiveKernelTable() {

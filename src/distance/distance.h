@@ -32,28 +32,48 @@ float ComputeDistance(Metric metric, const float* a, const float* b,
 float ComputeDistance(Metric metric, const float* query, const Half* item,
                       size_t dim);
 
+/// Computes the distance between an fp32 query and an int8 affine-coded
+/// row (value = code[d] * scale[d] + offset[d], the §V-E compression
+/// direction). The decode runs inside the dispatched SIMD kernel —
+/// sign-extend + convert + FMA in vector registers, never through a
+/// dequantized temporary.
+float ComputeDistance(Metric metric, const float* query, const int8_t* code,
+                      const float* scale, const float* offset, size_t dim);
+
 /// Squared-L2 fast path used by inner loops.
 float L2Squared(const float* a, const float* b, size_t dim);
 
 /// One query against `n` contiguous rows (`rows` is row-major with
 /// stride `dim`); out[i] = distance(query, rows + i*dim). The query's
-/// norm is computed once per call for cosine. This is the bruteforce /
-/// ground-truth inner loop.
+/// norm is computed once per call for cosine, and full groups of four
+/// rows run through the multi-row kernels (shared query stream,
+/// interleaved accumulators); out[i] is bit-identical to the pairwise
+/// call either way. This is the bruteforce / ground-truth inner loop.
 void ComputeDistanceBatch(Metric metric, const float* query,
                           const float* rows, size_t n, size_t dim,
                           float* out);
 void ComputeDistanceBatch(Metric metric, const float* query, const Half* rows,
                           size_t n, size_t dim, float* out);
+void ComputeDistanceBatch(Metric metric, const float* query,
+                          const int8_t* rows, const float* scale,
+                          const float* offset, size_t n, size_t dim,
+                          float* out);
 
 /// One query against `n` rows gathered by id from a row-major `base`;
-/// out[i] = distance(query, base + ids[i]*dim). This is the graph-search
-/// candidate-expansion inner loop (rows arrive as neighbor ids).
+/// out[i] = distance(query, base + ids[i]*dim). Same multi-row batching
+/// and bit-compatibility as ComputeDistanceBatch. This is the
+/// graph-search candidate-expansion inner loop (rows arrive as neighbor
+/// ids).
 void ComputeDistanceGather(Metric metric, const float* query,
                            const float* base, size_t dim,
                            const uint32_t* ids, size_t n, float* out);
 void ComputeDistanceGather(Metric metric, const float* query,
                            const Half* base, size_t dim, const uint32_t* ids,
                            size_t n, float* out);
+void ComputeDistanceGather(Metric metric, const float* query,
+                           const int8_t* base, const float* scale,
+                           const float* offset, size_t dim,
+                           const uint32_t* ids, size_t n, float* out);
 
 }  // namespace cagra
 

@@ -2,11 +2,17 @@
 #define CAGRA_DISTANCE_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "util/half.h"
 
 namespace cagra {
 namespace distance_kernels {
+
+/// Rows per multi-row kernel call. Four interleaved accumulator sets
+/// amortize the query loads and loop overhead while staying inside the
+/// AVX2 register file (4 rows x 2 accumulators + query + temps < 16).
+constexpr size_t kMultiRowWidth = 4;
 
 /// Reduction kernels one ISA tier provides. All kernels return plain
 /// float sums; metric composition (negating dot products, cosine
@@ -15,6 +21,19 @@ namespace distance_kernels {
 ///
 /// fp16 kernels take the fp32 query against Half-stored rows — the
 /// paper's FP16 storage mode (§IV-C1) keeps the query in fp32.
+///
+/// int8 kernels take the fp32 query against affine-coded rows
+/// (value = code[d] * scale[d] + offset[d], the §V-E compression
+/// direction); the decode runs in vector registers (sign-extend +
+/// convert + FMA against the per-dimension scale/offset vectors), never
+/// through a dequantized temporary.
+///
+/// The *x4 multi-row kernels score kMultiRowWidth rows per call with
+/// one shared query stream and interleaved accumulators. Each row's
+/// floating-point operations execute in exactly the same order as the
+/// corresponding single-row kernel of the same tier, so out[r] is
+/// bit-identical to the single-row call — the batch entry points rely
+/// on this to stay bit-compatible with the pairwise API.
 struct KernelTable {
   const char* name;
 
@@ -24,6 +43,29 @@ struct KernelTable {
   float (*dot_f16)(const float* query, const Half* item, size_t dim);
   /// Sum of squares of an fp16 row (cosine denominator).
   float (*norm2_f16)(const Half* item, size_t dim);
+
+  float (*l2_i8)(const float* query, const int8_t* code, const float* scale,
+                 const float* offset, size_t dim);
+  float (*dot_i8)(const float* query, const int8_t* code, const float* scale,
+                  const float* offset, size_t dim);
+  /// Sum of squares of a decoded int8 row (cosine denominator).
+  float (*norm2_i8)(const int8_t* code, const float* scale,
+                    const float* offset, size_t dim);
+
+  void (*l2_f32x4)(const float* query, const float* const* rows, size_t dim,
+                   float* out);
+  void (*dot_f32x4)(const float* query, const float* const* rows, size_t dim,
+                    float* out);
+  void (*l2_f16x4)(const float* query, const Half* const* rows, size_t dim,
+                   float* out);
+  void (*dot_f16x4)(const float* query, const Half* const* rows, size_t dim,
+                    float* out);
+  void (*l2_i8x4)(const float* query, const int8_t* const* rows,
+                  const float* scale, const float* offset, size_t dim,
+                  float* out);
+  void (*dot_i8x4)(const float* query, const int8_t* const* rows,
+                   const float* scale, const float* offset, size_t dim,
+                   float* out);
 };
 
 /// Always available; the reference the SIMD tiers are tested against.

@@ -117,9 +117,287 @@ float Avx2Norm2F16(const Half* item, size_t dim) {
   return acc;
 }
 
+/// Loads 8 int8 codes, sign-extends to epi32, converts to fp32, and
+/// applies the per-dimension affine decode with one FMA — the §V-E
+/// dequantize-in-registers step. The variant taking preloaded
+/// scale/offset chunks is the one decode body per tier (the x4 kernels
+/// load the chunks once and reuse them across rows).
+__m256 DecodeI8x8Pre(const int8_t* code, __m256 scale, __m256 offset) {
+  const __m256i w = _mm256_cvtepi8_epi32(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(code)));
+  return _mm256_fmadd_ps(_mm256_cvtepi32_ps(w), scale, offset);
+}
+
+__m256 DecodeI8x8(const int8_t* code, const float* scale,
+                  const float* offset) {
+  return DecodeI8x8Pre(code, _mm256_loadu_ps(scale), _mm256_loadu_ps(offset));
+}
+
+inline float DecodeI8Scalar(int8_t code, float scale, float offset) {
+  return static_cast<float>(code) * scale + offset;
+}
+
+float Avx2L2I8(const float* query, const int8_t* code, const float* scale,
+               const float* offset, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(query + i),
+                                    DecodeI8x8(code + i, scale + i,
+                                               offset + i));
+    const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(query + i + 8),
+                                    DecodeI8x8(code + i + 8, scale + i + 8,
+                                               offset + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(query + i),
+                                   DecodeI8x8(code + i, scale + i,
+                                              offset + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float acc = ReduceAdd(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; i++) {
+    const float d = query[i] - DecodeI8Scalar(code[i], scale[i], offset[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+float Avx2DotI8(const float* query, const int8_t* code, const float* scale,
+                const float* offset, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(query + i),
+                           DecodeI8x8(code + i, scale + i, offset + i), acc0);
+    acc1 = _mm256_fmadd_ps(
+        _mm256_loadu_ps(query + i + 8),
+        DecodeI8x8(code + i + 8, scale + i + 8, offset + i + 8), acc1);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(query + i),
+                           DecodeI8x8(code + i, scale + i, offset + i), acc0);
+  }
+  float acc = ReduceAdd(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; i++) {
+    acc += query[i] * DecodeI8Scalar(code[i], scale[i], offset[i]);
+  }
+  return acc;
+}
+
+float Avx2Norm2I8(const int8_t* code, const float* scale, const float* offset,
+                  size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 v = DecodeI8x8(code + i, scale + i, offset + i);
+    acc0 = _mm256_fmadd_ps(v, v, acc0);
+  }
+  float acc = ReduceAdd(acc0);
+  for (; i < dim; i++) {
+    const float v = DecodeI8Scalar(code[i], scale[i], offset[i]);
+    acc += v * v;
+  }
+  return acc;
+}
+
+// Multi-row kernels: 4 rows per call, one shared query stream, four
+// interleaved accumulator sets. Each row's op sequence mirrors the
+// single-row kernel exactly (same chunking, same accumulator split, same
+// reduction order), so out[r] is bit-identical to the single-row call.
+// The row count is hand-unrolled into the register allocation; a wider
+// kMultiRowWidth needs new kernels, not a silent partial write.
+static_assert(kMultiRowWidth == 4,
+              "AVX2 x4 kernels are hand-mirrored for 4 rows");
+
+void Avx2L2F32x4(const float* query, const float* const* rows, size_t dim,
+                 float* out) {
+  __m256 acc0[4], acc1[4];
+  for (size_t r = 0; r < 4; r++) acc0[r] = acc1[r] = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256 q0 = _mm256_loadu_ps(query + i);
+    const __m256 q1 = _mm256_loadu_ps(query + i + 8);
+    for (size_t r = 0; r < 4; r++) {
+      const __m256 d0 = _mm256_sub_ps(q0, _mm256_loadu_ps(rows[r] + i));
+      const __m256 d1 = _mm256_sub_ps(q1, _mm256_loadu_ps(rows[r] + i + 8));
+      acc0[r] = _mm256_fmadd_ps(d0, d0, acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(d1, d1, acc1[r]);
+    }
+  }
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 q0 = _mm256_loadu_ps(query + i);
+    for (size_t r = 0; r < 4; r++) {
+      const __m256 d = _mm256_sub_ps(q0, _mm256_loadu_ps(rows[r] + i));
+      acc0[r] = _mm256_fmadd_ps(d, d, acc0[r]);
+    }
+  }
+  for (size_t r = 0; r < 4; r++) {
+    float acc = ReduceAdd(_mm256_add_ps(acc0[r], acc1[r]));
+    for (size_t j = i; j < dim; j++) {
+      const float d = query[j] - rows[r][j];
+      acc += d * d;
+    }
+    out[r] = acc;
+  }
+}
+
+void Avx2DotF32x4(const float* query, const float* const* rows, size_t dim,
+                  float* out) {
+  __m256 acc0[4], acc1[4];
+  for (size_t r = 0; r < 4; r++) acc0[r] = acc1[r] = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256 q0 = _mm256_loadu_ps(query + i);
+    const __m256 q1 = _mm256_loadu_ps(query + i + 8);
+    for (size_t r = 0; r < 4; r++) {
+      acc0[r] = _mm256_fmadd_ps(q0, _mm256_loadu_ps(rows[r] + i), acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(q1, _mm256_loadu_ps(rows[r] + i + 8),
+                                acc1[r]);
+    }
+  }
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 q0 = _mm256_loadu_ps(query + i);
+    for (size_t r = 0; r < 4; r++) {
+      acc0[r] = _mm256_fmadd_ps(q0, _mm256_loadu_ps(rows[r] + i), acc0[r]);
+    }
+  }
+  for (size_t r = 0; r < 4; r++) {
+    float acc = ReduceAdd(_mm256_add_ps(acc0[r], acc1[r]));
+    for (size_t j = i; j < dim; j++) acc += query[j] * rows[r][j];
+    out[r] = acc;
+  }
+}
+
+void Avx2L2F16x4(const float* query, const Half* const* rows, size_t dim,
+                 float* out) {
+  __m256 acc0[4];
+  for (size_t r = 0; r < 4; r++) acc0[r] = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 q0 = _mm256_loadu_ps(query + i);
+    for (size_t r = 0; r < 4; r++) {
+      const __m256 d = _mm256_sub_ps(q0, LoadHalf8(rows[r] + i));
+      acc0[r] = _mm256_fmadd_ps(d, d, acc0[r]);
+    }
+  }
+  for (size_t r = 0; r < 4; r++) {
+    float acc = ReduceAdd(acc0[r]);
+    for (size_t j = i; j < dim; j++) {
+      const float d = query[j] - rows[r][j].ToFloat();
+      acc += d * d;
+    }
+    out[r] = acc;
+  }
+}
+
+void Avx2DotF16x4(const float* query, const Half* const* rows, size_t dim,
+                  float* out) {
+  __m256 acc0[4];
+  for (size_t r = 0; r < 4; r++) acc0[r] = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 q0 = _mm256_loadu_ps(query + i);
+    for (size_t r = 0; r < 4; r++) {
+      acc0[r] = _mm256_fmadd_ps(q0, LoadHalf8(rows[r] + i), acc0[r]);
+    }
+  }
+  for (size_t r = 0; r < 4; r++) {
+    float acc = ReduceAdd(acc0[r]);
+    for (size_t j = i; j < dim; j++) acc += query[j] * rows[r][j].ToFloat();
+    out[r] = acc;
+  }
+}
+
+void Avx2L2I8x4(const float* query, const int8_t* const* rows,
+                const float* scale, const float* offset, size_t dim,
+                float* out) {
+  __m256 acc0[4], acc1[4];
+  for (size_t r = 0; r < 4; r++) acc0[r] = acc1[r] = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256 q0 = _mm256_loadu_ps(query + i);
+    const __m256 q1 = _mm256_loadu_ps(query + i + 8);
+    const __m256 s0 = _mm256_loadu_ps(scale + i);
+    const __m256 s1 = _mm256_loadu_ps(scale + i + 8);
+    const __m256 o0 = _mm256_loadu_ps(offset + i);
+    const __m256 o1 = _mm256_loadu_ps(offset + i + 8);
+    for (size_t r = 0; r < 4; r++) {
+      const __m256 d0 = _mm256_sub_ps(q0, DecodeI8x8Pre(rows[r] + i, s0, o0));
+      const __m256 d1 =
+          _mm256_sub_ps(q1, DecodeI8x8Pre(rows[r] + i + 8, s1, o1));
+      acc0[r] = _mm256_fmadd_ps(d0, d0, acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(d1, d1, acc1[r]);
+    }
+  }
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 q0 = _mm256_loadu_ps(query + i);
+    const __m256 s0 = _mm256_loadu_ps(scale + i);
+    const __m256 o0 = _mm256_loadu_ps(offset + i);
+    for (size_t r = 0; r < 4; r++) {
+      const __m256 d = _mm256_sub_ps(q0, DecodeI8x8Pre(rows[r] + i, s0, o0));
+      acc0[r] = _mm256_fmadd_ps(d, d, acc0[r]);
+    }
+  }
+  for (size_t r = 0; r < 4; r++) {
+    float acc = ReduceAdd(_mm256_add_ps(acc0[r], acc1[r]));
+    for (size_t j = i; j < dim; j++) {
+      const float d =
+          query[j] - DecodeI8Scalar(rows[r][j], scale[j], offset[j]);
+      acc += d * d;
+    }
+    out[r] = acc;
+  }
+}
+
+void Avx2DotI8x4(const float* query, const int8_t* const* rows,
+                 const float* scale, const float* offset, size_t dim,
+                 float* out) {
+  __m256 acc0[4], acc1[4];
+  for (size_t r = 0; r < 4; r++) acc0[r] = acc1[r] = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256 q0 = _mm256_loadu_ps(query + i);
+    const __m256 q1 = _mm256_loadu_ps(query + i + 8);
+    const __m256 s0 = _mm256_loadu_ps(scale + i);
+    const __m256 s1 = _mm256_loadu_ps(scale + i + 8);
+    const __m256 o0 = _mm256_loadu_ps(offset + i);
+    const __m256 o1 = _mm256_loadu_ps(offset + i + 8);
+    for (size_t r = 0; r < 4; r++) {
+      acc0[r] =
+          _mm256_fmadd_ps(q0, DecodeI8x8Pre(rows[r] + i, s0, o0), acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(q1, DecodeI8x8Pre(rows[r] + i + 8, s1, o1),
+                                acc1[r]);
+    }
+  }
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 q0 = _mm256_loadu_ps(query + i);
+    const __m256 s0 = _mm256_loadu_ps(scale + i);
+    const __m256 o0 = _mm256_loadu_ps(offset + i);
+    for (size_t r = 0; r < 4; r++) {
+      acc0[r] =
+          _mm256_fmadd_ps(q0, DecodeI8x8Pre(rows[r] + i, s0, o0), acc0[r]);
+    }
+  }
+  for (size_t r = 0; r < 4; r++) {
+    float acc = ReduceAdd(_mm256_add_ps(acc0[r], acc1[r]));
+    for (size_t j = i; j < dim; j++) {
+      acc += query[j] * DecodeI8Scalar(rows[r][j], scale[j], offset[j]);
+    }
+    out[r] = acc;
+  }
+}
+
 constexpr KernelTable kAvx2Table = {
-    "avx2",     Avx2L2F32,  Avx2DotF32,
-    Avx2L2F16,  Avx2DotF16, Avx2Norm2F16,
+    "avx2",       Avx2L2F32,   Avx2DotF32,  Avx2L2F16,
+    Avx2DotF16,   Avx2Norm2F16,
+    Avx2L2I8,     Avx2DotI8,   Avx2Norm2I8,
+    Avx2L2F32x4,  Avx2DotF32x4, Avx2L2F16x4, Avx2DotF16x4,
+    Avx2L2I8x4,   Avx2DotI8x4,
 };
 
 }  // namespace

@@ -120,9 +120,326 @@ float Avx512Norm2F16(const Half* item, size_t dim) {
   return _mm512_reduce_add_ps(acc0);
 }
 
+/// Loads 16 int8 codes, widens to 16 epi32 lanes (vpmovsxbd), converts
+/// to fp32, and applies the per-dimension affine decode with one FMA —
+/// the §V-E dequantize-in-registers step. The variant taking preloaded
+/// scale/offset chunks is the one decode body per tier (the x4 kernels
+/// load the chunks once and reuse them across rows).
+__m512 DecodeI8x16Pre(const int8_t* code, __m512 scale, __m512 offset) {
+  const __m512i w = _mm512_cvtepi8_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(code)));
+  return _mm512_fmadd_ps(_mm512_cvtepi32_ps(w), scale, offset);
+}
+
+__m512 DecodeI8x16(const int8_t* code, const float* scale,
+                   const float* offset) {
+  return DecodeI8x16Pre(code, _mm512_loadu_ps(scale),
+                        _mm512_loadu_ps(offset));
+}
+
+/// Masked decode for the tail: masked lanes of code/scale/offset load as
+/// zero, so the decoded value is exactly 0 and contributes nothing.
+__m512 DecodeI8x16Masked(const int8_t* code, const float* scale,
+                         const float* offset, __mmask16 m) {
+  const __m512i w =
+      _mm512_cvtepi8_epi32(_mm_maskz_loadu_epi8(m, code));
+  return _mm512_fmadd_ps(_mm512_cvtepi32_ps(w),
+                         _mm512_maskz_loadu_ps(m, scale),
+                         _mm512_maskz_loadu_ps(m, offset));
+}
+
+float Avx512L2I8(const float* query, const int8_t* code, const float* scale,
+                 const float* offset, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    const __m512 d0 = _mm512_sub_ps(_mm512_loadu_ps(query + i),
+                                    DecodeI8x16(code + i, scale + i,
+                                                offset + i));
+    const __m512 d1 = _mm512_sub_ps(
+        _mm512_loadu_ps(query + i + 16),
+        DecodeI8x16(code + i + 16, scale + i + 16, offset + i + 16));
+    acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm512_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 d = _mm512_sub_ps(_mm512_loadu_ps(query + i),
+                                   DecodeI8x16(code + i, scale + i,
+                                               offset + i));
+    acc0 = _mm512_fmadd_ps(d, d, acc0);
+  }
+  if (i < dim) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (dim - i)) - 1);
+    const __m512 d =
+        _mm512_sub_ps(_mm512_maskz_loadu_ps(m, query + i),
+                      DecodeI8x16Masked(code + i, scale + i, offset + i, m));
+    acc0 = _mm512_fmadd_ps(d, d, acc0);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+float Avx512DotI8(const float* query, const int8_t* code, const float* scale,
+                  const float* offset, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(query + i),
+                           DecodeI8x16(code + i, scale + i, offset + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(
+        _mm512_loadu_ps(query + i + 16),
+        DecodeI8x16(code + i + 16, scale + i + 16, offset + i + 16), acc1);
+  }
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(query + i),
+                           DecodeI8x16(code + i, scale + i, offset + i),
+                           acc0);
+  }
+  if (i < dim) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (dim - i)) - 1);
+    acc0 = _mm512_fmadd_ps(
+        _mm512_maskz_loadu_ps(m, query + i),
+        DecodeI8x16Masked(code + i, scale + i, offset + i, m), acc0);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+float Avx512Norm2I8(const int8_t* code, const float* scale,
+                    const float* offset, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 v = DecodeI8x16(code + i, scale + i, offset + i);
+    acc0 = _mm512_fmadd_ps(v, v, acc0);
+  }
+  if (i < dim) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (dim - i)) - 1);
+    const __m512 v = DecodeI8x16Masked(code + i, scale + i, offset + i, m);
+    acc0 = _mm512_fmadd_ps(v, v, acc0);
+  }
+  return _mm512_reduce_add_ps(acc0);
+}
+
+// Multi-row kernels: 4 rows per call, one shared query stream, four
+// interleaved accumulator sets (8 of the 32 zmm registers). Each row's
+// op sequence mirrors the single-row kernel exactly (same chunking, same
+// accumulator split, same masked tail, same reduction order), so out[r]
+// is bit-identical to the single-row call. The row count is
+// hand-unrolled into the register allocation; a wider kMultiRowWidth
+// needs new kernels, not a silent partial write.
+static_assert(kMultiRowWidth == 4,
+              "AVX-512 x4 kernels are hand-mirrored for 4 rows");
+
+void Avx512L2F32x4(const float* query, const float* const* rows, size_t dim,
+                   float* out) {
+  __m512 acc0[4], acc1[4];
+  for (size_t r = 0; r < 4; r++) acc0[r] = acc1[r] = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    const __m512 q0 = _mm512_loadu_ps(query + i);
+    const __m512 q1 = _mm512_loadu_ps(query + i + 16);
+    for (size_t r = 0; r < 4; r++) {
+      const __m512 d0 = _mm512_sub_ps(q0, _mm512_loadu_ps(rows[r] + i));
+      const __m512 d1 = _mm512_sub_ps(q1, _mm512_loadu_ps(rows[r] + i + 16));
+      acc0[r] = _mm512_fmadd_ps(d0, d0, acc0[r]);
+      acc1[r] = _mm512_fmadd_ps(d1, d1, acc1[r]);
+    }
+  }
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 q0 = _mm512_loadu_ps(query + i);
+    for (size_t r = 0; r < 4; r++) {
+      const __m512 d = _mm512_sub_ps(q0, _mm512_loadu_ps(rows[r] + i));
+      acc0[r] = _mm512_fmadd_ps(d, d, acc0[r]);
+    }
+  }
+  if (i < dim) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (dim - i)) - 1);
+    const __m512 q0 = _mm512_maskz_loadu_ps(m, query + i);
+    for (size_t r = 0; r < 4; r++) {
+      const __m512 d =
+          _mm512_sub_ps(q0, _mm512_maskz_loadu_ps(m, rows[r] + i));
+      acc0[r] = _mm512_fmadd_ps(d, d, acc0[r]);
+    }
+  }
+  for (size_t r = 0; r < 4; r++) {
+    out[r] = _mm512_reduce_add_ps(_mm512_add_ps(acc0[r], acc1[r]));
+  }
+}
+
+void Avx512DotF32x4(const float* query, const float* const* rows, size_t dim,
+                    float* out) {
+  __m512 acc0[4], acc1[4];
+  for (size_t r = 0; r < 4; r++) acc0[r] = acc1[r] = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    const __m512 q0 = _mm512_loadu_ps(query + i);
+    const __m512 q1 = _mm512_loadu_ps(query + i + 16);
+    for (size_t r = 0; r < 4; r++) {
+      acc0[r] = _mm512_fmadd_ps(q0, _mm512_loadu_ps(rows[r] + i), acc0[r]);
+      acc1[r] = _mm512_fmadd_ps(q1, _mm512_loadu_ps(rows[r] + i + 16),
+                                acc1[r]);
+    }
+  }
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 q0 = _mm512_loadu_ps(query + i);
+    for (size_t r = 0; r < 4; r++) {
+      acc0[r] = _mm512_fmadd_ps(q0, _mm512_loadu_ps(rows[r] + i), acc0[r]);
+    }
+  }
+  if (i < dim) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (dim - i)) - 1);
+    const __m512 q0 = _mm512_maskz_loadu_ps(m, query + i);
+    for (size_t r = 0; r < 4; r++) {
+      acc0[r] = _mm512_fmadd_ps(q0, _mm512_maskz_loadu_ps(m, rows[r] + i),
+                                acc0[r]);
+    }
+  }
+  for (size_t r = 0; r < 4; r++) {
+    out[r] = _mm512_reduce_add_ps(_mm512_add_ps(acc0[r], acc1[r]));
+  }
+}
+
+void Avx512L2F16x4(const float* query, const Half* const* rows, size_t dim,
+                   float* out) {
+  __m512 acc0[4];
+  for (size_t r = 0; r < 4; r++) acc0[r] = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 q0 = _mm512_loadu_ps(query + i);
+    for (size_t r = 0; r < 4; r++) {
+      const __m512 d = _mm512_sub_ps(q0, LoadHalf16(rows[r] + i));
+      acc0[r] = _mm512_fmadd_ps(d, d, acc0[r]);
+    }
+  }
+  if (i < dim) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (dim - i)) - 1);
+    const __m512 q0 = _mm512_maskz_loadu_ps(m, query + i);
+    for (size_t r = 0; r < 4; r++) {
+      const __m512 d = _mm512_sub_ps(q0, LoadHalf16Masked(rows[r] + i, m));
+      acc0[r] = _mm512_fmadd_ps(d, d, acc0[r]);
+    }
+  }
+  for (size_t r = 0; r < 4; r++) out[r] = _mm512_reduce_add_ps(acc0[r]);
+}
+
+void Avx512DotF16x4(const float* query, const Half* const* rows, size_t dim,
+                    float* out) {
+  __m512 acc0[4];
+  for (size_t r = 0; r < 4; r++) acc0[r] = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 q0 = _mm512_loadu_ps(query + i);
+    for (size_t r = 0; r < 4; r++) {
+      acc0[r] = _mm512_fmadd_ps(q0, LoadHalf16(rows[r] + i), acc0[r]);
+    }
+  }
+  if (i < dim) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (dim - i)) - 1);
+    const __m512 q0 = _mm512_maskz_loadu_ps(m, query + i);
+    for (size_t r = 0; r < 4; r++) {
+      acc0[r] =
+          _mm512_fmadd_ps(q0, LoadHalf16Masked(rows[r] + i, m), acc0[r]);
+    }
+  }
+  for (size_t r = 0; r < 4; r++) out[r] = _mm512_reduce_add_ps(acc0[r]);
+}
+
+void Avx512L2I8x4(const float* query, const int8_t* const* rows,
+                  const float* scale, const float* offset, size_t dim,
+                  float* out) {
+  __m512 acc0[4], acc1[4];
+  for (size_t r = 0; r < 4; r++) acc0[r] = acc1[r] = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    const __m512 q0 = _mm512_loadu_ps(query + i);
+    const __m512 q1 = _mm512_loadu_ps(query + i + 16);
+    const __m512 s0 = _mm512_loadu_ps(scale + i);
+    const __m512 s1 = _mm512_loadu_ps(scale + i + 16);
+    const __m512 o0 = _mm512_loadu_ps(offset + i);
+    const __m512 o1 = _mm512_loadu_ps(offset + i + 16);
+    for (size_t r = 0; r < 4; r++) {
+      const __m512 d0 =
+          _mm512_sub_ps(q0, DecodeI8x16Pre(rows[r] + i, s0, o0));
+      const __m512 d1 =
+          _mm512_sub_ps(q1, DecodeI8x16Pre(rows[r] + i + 16, s1, o1));
+      acc0[r] = _mm512_fmadd_ps(d0, d0, acc0[r]);
+      acc1[r] = _mm512_fmadd_ps(d1, d1, acc1[r]);
+    }
+  }
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 q0 = _mm512_loadu_ps(query + i);
+    const __m512 s0 = _mm512_loadu_ps(scale + i);
+    const __m512 o0 = _mm512_loadu_ps(offset + i);
+    for (size_t r = 0; r < 4; r++) {
+      const __m512 d = _mm512_sub_ps(q0, DecodeI8x16Pre(rows[r] + i, s0, o0));
+      acc0[r] = _mm512_fmadd_ps(d, d, acc0[r]);
+    }
+  }
+  if (i < dim) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (dim - i)) - 1);
+    const __m512 q0 = _mm512_maskz_loadu_ps(m, query + i);
+    for (size_t r = 0; r < 4; r++) {
+      const __m512 d = _mm512_sub_ps(
+          q0, DecodeI8x16Masked(rows[r] + i, scale + i, offset + i, m));
+      acc0[r] = _mm512_fmadd_ps(d, d, acc0[r]);
+    }
+  }
+  for (size_t r = 0; r < 4; r++) {
+    out[r] = _mm512_reduce_add_ps(_mm512_add_ps(acc0[r], acc1[r]));
+  }
+}
+
+void Avx512DotI8x4(const float* query, const int8_t* const* rows,
+                   const float* scale, const float* offset, size_t dim,
+                   float* out) {
+  __m512 acc0[4], acc1[4];
+  for (size_t r = 0; r < 4; r++) acc0[r] = acc1[r] = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    const __m512 q0 = _mm512_loadu_ps(query + i);
+    const __m512 q1 = _mm512_loadu_ps(query + i + 16);
+    const __m512 s0 = _mm512_loadu_ps(scale + i);
+    const __m512 s1 = _mm512_loadu_ps(scale + i + 16);
+    const __m512 o0 = _mm512_loadu_ps(offset + i);
+    const __m512 o1 = _mm512_loadu_ps(offset + i + 16);
+    for (size_t r = 0; r < 4; r++) {
+      acc0[r] =
+          _mm512_fmadd_ps(q0, DecodeI8x16Pre(rows[r] + i, s0, o0), acc0[r]);
+      acc1[r] = _mm512_fmadd_ps(q1, DecodeI8x16Pre(rows[r] + i + 16, s1, o1),
+                                acc1[r]);
+    }
+  }
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 q0 = _mm512_loadu_ps(query + i);
+    const __m512 s0 = _mm512_loadu_ps(scale + i);
+    const __m512 o0 = _mm512_loadu_ps(offset + i);
+    for (size_t r = 0; r < 4; r++) {
+      acc0[r] =
+          _mm512_fmadd_ps(q0, DecodeI8x16Pre(rows[r] + i, s0, o0), acc0[r]);
+    }
+  }
+  if (i < dim) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (dim - i)) - 1);
+    const __m512 q0 = _mm512_maskz_loadu_ps(m, query + i);
+    for (size_t r = 0; r < 4; r++) {
+      acc0[r] = _mm512_fmadd_ps(
+          q0, DecodeI8x16Masked(rows[r] + i, scale + i, offset + i, m),
+          acc0[r]);
+    }
+  }
+  for (size_t r = 0; r < 4; r++) {
+    out[r] = _mm512_reduce_add_ps(_mm512_add_ps(acc0[r], acc1[r]));
+  }
+}
+
 constexpr KernelTable kAvx512Table = {
-    "avx512",     Avx512L2F32,  Avx512DotF32,
-    Avx512L2F16,  Avx512DotF16, Avx512Norm2F16,
+    "avx512",       Avx512L2F32,   Avx512DotF32,  Avx512L2F16,
+    Avx512DotF16,   Avx512Norm2F16,
+    Avx512L2I8,     Avx512DotI8,   Avx512Norm2I8,
+    Avx512L2F32x4,  Avx512DotF32x4, Avx512L2F16x4, Avx512DotF16x4,
+    Avx512L2I8x4,   Avx512DotI8x4,
 };
 
 }  // namespace

@@ -67,9 +67,94 @@ float ScalarNorm2F16(const Half* item, size_t dim) {
   return acc;
 }
 
+// int8 kernels: per-dimension affine decode (code * scale + offset)
+// fused into the reduction. These are the decode reference the SIMD
+// tiers are pinned against, so they stay single-accumulator.
+
+float ScalarL2I8(const float* query, const int8_t* code, const float* scale,
+                 const float* offset, size_t dim) {
+  float acc = 0.f;
+  for (size_t i = 0; i < dim; i++) {
+    const float v = static_cast<float>(code[i]) * scale[i] + offset[i];
+    const float d = query[i] - v;
+    acc += d * d;
+  }
+  return acc;
+}
+
+float ScalarDotI8(const float* query, const int8_t* code, const float* scale,
+                  const float* offset, size_t dim) {
+  float acc = 0.f;
+  for (size_t i = 0; i < dim; i++) {
+    acc += query[i] * (static_cast<float>(code[i]) * scale[i] + offset[i]);
+  }
+  return acc;
+}
+
+float ScalarNorm2I8(const int8_t* code, const float* scale,
+                    const float* offset, size_t dim) {
+  float acc = 0.f;
+  for (size_t i = 0; i < dim; i++) {
+    const float v = static_cast<float>(code[i]) * scale[i] + offset[i];
+    acc += v * v;
+  }
+  return acc;
+}
+
+// Multi-row kernels: the scalar tier has no shared query stream to
+// amortize, so each row just runs the single-row kernel (trivially
+// bit-identical, which is all the batch entry points require).
+
+void ScalarL2F32x4(const float* query, const float* const* rows, size_t dim,
+                   float* out) {
+  for (size_t r = 0; r < kMultiRowWidth; r++) {
+    out[r] = ScalarL2F32(query, rows[r], dim);
+  }
+}
+
+void ScalarDotF32x4(const float* query, const float* const* rows, size_t dim,
+                    float* out) {
+  for (size_t r = 0; r < kMultiRowWidth; r++) {
+    out[r] = ScalarDotF32(query, rows[r], dim);
+  }
+}
+
+void ScalarL2F16x4(const float* query, const Half* const* rows, size_t dim,
+                   float* out) {
+  for (size_t r = 0; r < kMultiRowWidth; r++) {
+    out[r] = ScalarL2F16(query, rows[r], dim);
+  }
+}
+
+void ScalarDotF16x4(const float* query, const Half* const* rows, size_t dim,
+                    float* out) {
+  for (size_t r = 0; r < kMultiRowWidth; r++) {
+    out[r] = ScalarDotF16(query, rows[r], dim);
+  }
+}
+
+void ScalarL2I8x4(const float* query, const int8_t* const* rows,
+                  const float* scale, const float* offset, size_t dim,
+                  float* out) {
+  for (size_t r = 0; r < kMultiRowWidth; r++) {
+    out[r] = ScalarL2I8(query, rows[r], scale, offset, dim);
+  }
+}
+
+void ScalarDotI8x4(const float* query, const int8_t* const* rows,
+                   const float* scale, const float* offset, size_t dim,
+                   float* out) {
+  for (size_t r = 0; r < kMultiRowWidth; r++) {
+    out[r] = ScalarDotI8(query, rows[r], scale, offset, dim);
+  }
+}
+
 constexpr KernelTable kScalarTable = {
-    "scalar",       ScalarL2F32,  ScalarDotF32,
-    ScalarL2F16,    ScalarDotF16, ScalarNorm2F16,
+    "scalar",       ScalarL2F32,   ScalarDotF32,  ScalarL2F16,
+    ScalarDotF16,   ScalarNorm2F16,
+    ScalarL2I8,     ScalarDotI8,   ScalarNorm2I8,
+    ScalarL2F32x4,  ScalarDotF32x4, ScalarL2F16x4, ScalarDotF16x4,
+    ScalarL2I8x4,   ScalarDotI8x4,
 };
 
 }  // namespace

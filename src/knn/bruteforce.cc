@@ -13,37 +13,77 @@ namespace {
 /// the distance buffer in L1 while amortizing the dispatch overhead.
 constexpr size_t kScanBlock = 256;
 
-}  // namespace
+constexpr uint32_t kNoSkip = 0xffffffffu;
 
-NeighborList ExactSearch(const Matrix<float>& base,
-                         const Matrix<float>& queries, size_t k,
-                         Metric metric) {
-  NeighborList out;
-  out.k = k;
-  out.ids.resize(queries.rows() * k, 0xffffffffu);
-  out.distances.resize(queries.rows() * k, 0.0f);
-
-  GlobalThreadPool().ParallelFor(0, queries.rows(), [&](size_t q) {
+/// Shared body of every exhaustive scan: for each query index in
+/// [0, num_queries), scores the base in kScanBlock-row blocks via
+/// score(q, i0, block, dists), keeps the k nearest ids (excluding
+/// skip(q); pass kNoSkip for none), and hands the ascending-sorted
+/// result to emit(q, sorted). Parallelized over queries.
+template <typename ScoreFn, typename SkipFn, typename EmitFn>
+void BlockScan(size_t base_rows, size_t num_queries, size_t k,
+               const ScoreFn& score, const SkipFn& skip, const EmitFn& emit) {
+  GlobalThreadPool().ParallelFor(0, num_queries, [&](size_t q) {
     BoundedHeap heap(k);
-    const float* query = queries.Row(q);
+    const uint32_t skip_id = skip(q);
     float block_dists[kScanBlock];
-    for (size_t i0 = 0; i0 < base.rows(); i0 += kScanBlock) {
-      const size_t block = std::min(kScanBlock, base.rows() - i0);
-      ComputeDistanceBatch(metric, query, base.Row(i0), block, base.dim(),
-                           block_dists);
+    for (size_t i0 = 0; i0 < base_rows; i0 += kScanBlock) {
+      const size_t block = std::min(kScanBlock, base_rows - i0);
+      score(q, i0, block, block_dists);
       for (size_t j = 0; j < block; j++) {
+        if (i0 + j == skip_id) continue;
         if (block_dists[j] < heap.WorstDistance()) {
           heap.Push(block_dists[j], static_cast<uint32_t>(i0 + j));
         }
       }
     }
-    auto sorted = heap.ExtractSorted();
-    for (size_t i = 0; i < sorted.size(); i++) {
-      out.ids[q * k + i] = sorted[i].id;
-      out.distances[q * k + i] = sorted[i].distance;
-    }
+    emit(q, heap.ExtractSorted());
   });
+}
+
+/// BlockScan specialization shared by the ExactSearch overloads: scan
+/// everything (no self-skip) and emit into a fresh NeighborList.
+template <typename ScoreFn>
+NeighborList ScanToNeighborList(size_t base_rows, size_t num_queries,
+                                size_t k, const ScoreFn& score) {
+  NeighborList out;
+  out.k = k;
+  out.ids.resize(num_queries * k, kNoSkip);
+  out.distances.resize(num_queries * k, 0.0f);
+  BlockScan(base_rows, num_queries, k, score,
+            [](size_t) { return kNoSkip; },
+            [&](size_t q, const auto& sorted) {
+              for (size_t i = 0; i < sorted.size(); i++) {
+                out.ids[q * k + i] = sorted[i].id;
+                out.distances[q * k + i] = sorted[i].distance;
+              }
+            });
   return out;
+}
+
+}  // namespace
+
+NeighborList ExactSearch(const Matrix<float>& base,
+                         const Matrix<float>& queries, size_t k,
+                         Metric metric) {
+  return ScanToNeighborList(
+      base.rows(), queries.rows(), k,
+      [&](size_t q, size_t i0, size_t block, float* dists) {
+        ComputeDistanceBatch(metric, queries.Row(q), base.Row(i0), block,
+                             base.dim(), dists);
+      });
+}
+
+NeighborList ExactSearch(const QuantizedDataset& base,
+                         const Matrix<float>& queries, size_t k,
+                         Metric metric) {
+  return ScanToNeighborList(
+      base.rows(), queries.rows(), k,
+      [&](size_t q, size_t i0, size_t block, float* dists) {
+        ComputeDistanceBatch(metric, queries.Row(q), base.codes.Row(i0),
+                             base.scale.data(), base.offset.data(), block,
+                             base.dim(), dists);
+      });
 }
 
 Matrix<uint32_t> ComputeGroundTruth(const Matrix<float>& base,
@@ -59,25 +99,17 @@ Matrix<uint32_t> ComputeGroundTruth(const Matrix<float>& base,
 FixedDegreeGraph ExactKnnGraph(const Matrix<float>& base, size_t k,
                                Metric metric) {
   FixedDegreeGraph g(base.rows(), k);
-  GlobalThreadPool().ParallelFor(0, base.rows(), [&](size_t v) {
-    BoundedHeap heap(k);
-    const float* vec = base.Row(v);
-    float block_dists[kScanBlock];
-    for (size_t i0 = 0; i0 < base.rows(); i0 += kScanBlock) {
-      const size_t block = std::min(kScanBlock, base.rows() - i0);
-      ComputeDistanceBatch(metric, vec, base.Row(i0), block, base.dim(),
-                           block_dists);
-      for (size_t j = 0; j < block; j++) {
-        if (i0 + j == v) continue;
-        if (block_dists[j] < heap.WorstDistance()) {
-          heap.Push(block_dists[j], static_cast<uint32_t>(i0 + j));
-        }
-      }
-    }
-    auto sorted = heap.ExtractSorted();
-    uint32_t* nbrs = g.MutableNeighbors(v);
-    for (size_t i = 0; i < sorted.size(); i++) nbrs[i] = sorted[i].id;
-  });
+  BlockScan(
+      base.rows(), base.rows(), k,
+      [&](size_t v, size_t i0, size_t block, float* dists) {
+        ComputeDistanceBatch(metric, base.Row(v), base.Row(i0), block,
+                             base.dim(), dists);
+      },
+      [](size_t v) { return static_cast<uint32_t>(v); },
+      [&](size_t v, const auto& sorted) {
+        uint32_t* nbrs = g.MutableNeighbors(v);
+        for (size_t i = 0; i < sorted.size(); i++) nbrs[i] = sorted[i].id;
+      });
   return g;
 }
 

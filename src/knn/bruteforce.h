@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "dataset/matrix.h"
+#include "dataset/quantize.h"
 #include "dataset/recall.h"
 #include "distance/distance.h"
 #include "graph/fixed_degree_graph.h"
@@ -15,6 +16,14 @@ namespace cagra {
 /// produce ground truth for every recall measurement in the benches.
 /// Parallelized over queries.
 NeighborList ExactSearch(const Matrix<float>& base,
+                         const Matrix<float>& queries, size_t k,
+                         Metric metric);
+
+/// Exhaustive scan over an int8-quantized dataset (§V-E: the compressed
+/// copy is the only one resident when the fp32 dataset exceeds memory).
+/// Distances decode in vector registers via the dispatched int8 kernels;
+/// results are exact w.r.t. the decoded values.
+NeighborList ExactSearch(const QuantizedDataset& base,
                          const Matrix<float>& queries, size_t k,
                          Metric metric);
 

@@ -79,20 +79,37 @@ FixedDegreeGraph BuildKnnGraphNnDescent(const Matrix<float>& base,
   std::unique_ptr<std::mutex[]> locks(new std::mutex[n]);
   std::atomic<size_t> distance_count{0};
 
-  // --- Random initialization.
+  // --- Random initialization. Candidates are sampled in rounds: a whole
+  // chunk of ids is drawn up front, their distances run as one batched
+  // gather call, and only then do the inserts happen. Termination checks
+  // the list's actual fill level between rounds, so how many ids get
+  // sampled no longer depends on the result of each individual insert —
+  // the sampling/termination coupling the old per-pair loop had.
   GlobalThreadPool().ParallelFor(0, n, [&](size_t v) {
     Pcg32 rng(params.seed + v, 17);
     lists[v].Init(k);
-    size_t added = 0;
+    // 2k candidates per round: one round usually fills the list even
+    // with the duplicates and self-hits the sampler may draw.
+    const size_t chunk = 2 * k;
+    std::vector<uint32_t> cand;
+    std::vector<float> cand_dists;
+    cand.reserve(chunk);
     size_t attempts = 0;
-    while (added < k && attempts < 100 * k) {
-      attempts++;
-      const uint32_t u = rng.NextBounded(static_cast<uint32_t>(n));
-      if (u == v) continue;
-      const float d =
-          ComputeDistance(metric, base.Row(v), base.Row(u), base.dim());
-      distance_count.fetch_add(1, std::memory_order_relaxed);
-      added += lists[v].Insert(d, u);
+    while (lists[v].entries().size() < k && attempts < 100 * k) {
+      cand.clear();
+      while (cand.size() < chunk && attempts < 100 * k) {
+        attempts++;
+        const uint32_t u = rng.NextBounded(static_cast<uint32_t>(n));
+        if (u != v) cand.push_back(u);
+      }
+      cand_dists.resize(cand.size());
+      ComputeDistanceGather(metric, base.Row(v), base.data().data(),
+                            base.dim(), cand.data(), cand.size(),
+                            cand_dists.data());
+      distance_count.fetch_add(cand.size(), std::memory_order_relaxed);
+      for (size_t i = 0; i < cand.size(); i++) {
+        lists[v].Insert(cand_dists[i], cand[i]);
+      }
     }
   });
 

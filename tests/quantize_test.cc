@@ -1,3 +1,6 @@
+// Quantization tests. CTest runs this binary twice — natively and under
+// CAGRA_FORCE_SCALAR=1 (quantize_test_scalar) — so the int8 search path
+// is covered through both the SIMD and the reference kernels.
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -5,8 +8,10 @@
 #include "core/search.h"
 #include "dataset/profile.h"
 #include "dataset/quantize.h"
+#include "dataset/recall.h"
 #include "dataset/synthetic.h"
 #include "knn/bruteforce.h"
+#include "util/rng.h"
 
 namespace cagra {
 namespace {
@@ -82,6 +87,63 @@ TEST(QuantizeTest, EmptyDataset) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(QuantizeTest, CosineOperatesOnDecodedValuesNotFp32) {
+  // Coarse quantization (wide per-dim ranges, few rows) makes the
+  // decoded row measurably different from the fp32 row. Quantized
+  // cosine must track the *decoded* values — matching a double-precision
+  // decode-then-cosine reference and differing from the fp32 cosine —
+  // i.e. no silent fall-back to the fp32 dataset.
+  Matrix<float> m(4, 8);
+  Pcg32 rng(77);
+  for (auto& x : *m.mutable_data()) x = rng.NextFloat() * 200.0f - 100.0f;
+  const QuantizedDataset q = QuantizeInt8(m);
+  std::vector<float> query(8);
+  for (auto& x : query) x = rng.NextFloat() * 2.0f - 1.0f;
+
+  for (size_t row = 0; row < m.rows(); row++) {
+    double dot = 0, nq = 0, nv = 0;
+    for (size_t d = 0; d < m.dim(); d++) {
+      const double v = static_cast<double>(q.Decode(row, d));
+      dot += query[d] * v;
+      nq += static_cast<double>(query[d]) * query[d];
+      nv += v * v;
+    }
+    const double expected = 1.0 - dot / (std::sqrt(nq) * std::sqrt(nv));
+    const float got = QuantizedDistance(Metric::kCosine, query.data(), q, row);
+    EXPECT_NEAR(got, expected, 1e-4) << "row=" << row;
+
+    const float fp32 = ComputeDistance(Metric::kCosine, query.data(),
+                                       m.Row(row), m.dim());
+    EXPECT_NE(got, fp32) << "row=" << row
+                         << ": quantized cosine returned the fp32 value";
+  }
+}
+
+TEST(QuantizeTest, QuantizedBruteforceAgreesWithFp32) {
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 1000, 16, 13);
+  const QuantizedDataset q = QuantizeInt8(data.base);
+  const auto exact = ExactSearch(data.base, data.queries, 10, p->metric);
+  const auto quant = ExactSearch(q, data.queries, 10, p->metric);
+  ASSERT_EQ(quant.ids.size(), exact.ids.size());
+  // Quantization perturbs distances, so rankings may differ near ties;
+  // demand strong (not perfect) agreement of the top-10 sets.
+  size_t hits = 0;
+  for (size_t i = 0; i < data.queries.rows(); i++) {
+    for (size_t a = 0; a < 10; a++) {
+      for (size_t b = 0; b < 10; b++) {
+        if (quant.ids[i * 10 + a] == exact.ids[i * 10 + b]) {
+          hits++;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(hits) /
+                static_cast<double>(10 * data.queries.rows()),
+            0.85);
+}
+
 // ------------------------------------------------- end-to-end search
 
 TEST(Int8SearchTest, RequiresEnable) {
@@ -123,6 +185,52 @@ TEST(Int8SearchTest, RecallCloseToFp32AndQuarterTraffic) {
   EXPECT_LT(int8->counters.device_vector_bytes,
             fp32->counters.device_vector_bytes / 3);
   EXPECT_EQ(int8->launch.elem_bytes, 1u);
+}
+
+TEST(Int8SearchTest, AbsoluteRecallFloor) {
+  // An absolute bar, not just "close to fp32": a broken int8 kernel that
+  // degraded both modes together would slip past the relative test.
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 2000, 32, 21);
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto index = CagraIndex::Build(data.base, bp);
+  ASSERT_TRUE(index.ok());
+  index->EnableInt8Quantization();
+  const auto gt = ComputeGroundTruth(data.base, data.queries, 10, p->metric);
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  sp.algo = SearchAlgo::kSingleCta;
+  auto int8 = Search(*index, data.queries, sp, Precision::kInt8);
+  ASSERT_TRUE(int8.ok());
+  EXPECT_GT(ComputeRecall(int8->neighbors, gt), 0.8);
+}
+
+TEST(Int8SearchTest, MultiCtaRecallMatchesSingleCta) {
+  // The multi-CTA mode shares DatasetView's batched int8 path; its
+  // recall must stay in the same band as single-CTA on the same index.
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 2000, 32, 23);
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto index = CagraIndex::Build(data.base, bp);
+  ASSERT_TRUE(index.ok());
+  index->EnableInt8Quantization();
+  const auto gt = ComputeGroundTruth(data.base, data.queries, 10, p->metric);
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  sp.algo = SearchAlgo::kMultiCta;
+  sp.cta_per_query = 2;
+  auto multi = Search(*index, data.queries, sp, Precision::kInt8);
+  ASSERT_TRUE(multi.ok());
+  sp.algo = SearchAlgo::kSingleCta;
+  auto single = Search(*index, data.queries, sp, Precision::kInt8);
+  ASSERT_TRUE(single.ok());
+  EXPECT_NEAR(ComputeRecall(multi->neighbors, gt),
+              ComputeRecall(single->neighbors, gt), 0.1);
+  EXPECT_GT(ComputeRecall(multi->neighbors, gt), 0.7);
 }
 
 TEST(Int8SearchTest, ModeledQpsAtLeastFp32) {
