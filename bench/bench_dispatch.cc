@@ -12,7 +12,9 @@
 #include "bench/common.h"
 #include "core/index.h"
 #include "core/search.h"
+#include "dataset/pq.h"
 #include "dataset/quantize.h"
+#include "distance/pq_fastscan.h"
 #include "distance/simd.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -196,6 +198,84 @@ std::vector<MultiRowSample> BenchMultiRow() {
   return samples;
 }
 
+struct PqSample {
+  size_t dim;
+  size_t m;
+  double decode_mdps;      ///< PqDistance: per-element codebook decode
+  double scalar_adc_mdps;  ///< scalar LUT scan, one row per call
+  double batch_adc_mdps;   ///< dispatched ADC batch (x4 kernels inside)
+  double fastscan_mdps;    ///< vpermi2b quantized-LUT scan; 0 = unavailable
+};
+
+/// PQ ADC scan: the gather-free scalar LUT reference against the
+/// dispatched batch path and (where the CPU has AVX512-VBMI) the
+/// quantized-LUT vpermi2b fast scan. Codebooks train on a small sample;
+/// scan throughput only depends on the code bytes, which are drawn
+/// randomly to decouple the bench from training cost.
+std::vector<PqSample> BenchPq() {
+  const KernelTable& scalar = KernelTableForLevel(SimdLevel::kScalar);
+  std::vector<PqSample> samples;
+  for (size_t dim : {96ul, 256ul, 960ul}) {
+    const size_t m = dim / 4;
+    // ~2MB of codes: past L1/L2 like the other kernel benches.
+    const size_t kRows = std::max<size_t>(1024, (2ul << 20) / m);
+    Pcg32 rng(dim + 3);
+    Matrix<float> sample_rows(512, dim);
+    for (auto& x : *sample_rows.mutable_data()) {
+      x = rng.NextFloat() * 2.0f - 1.0f;
+    }
+    PqTrainParams tp;
+    tp.kmeans_iterations = 2;
+    tp.sample_size = 512;
+    PqDataset pq = TrainPq(sample_rows, tp);
+    pq.codes = Matrix<uint8_t>(kRows, m);
+    for (auto& c : *pq.codes.mutable_data()) {
+      c = static_cast<uint8_t>(rng.NextBounded(256));
+    }
+
+    std::vector<float> query(dim);
+    for (auto& x : query) x = rng.NextFloat();
+    PqAdcTable table;
+    BuildAdcTable(pq, query.data(), Metric::kL2, &table);
+
+    volatile float sink = 0.f;
+    const double decode = MeasureBatchFn(kRows, [&] {
+      float acc = 0.f;
+      for (size_t i = 0; i < kRows; i++) {
+        acc += PqDistance(Metric::kL2, query.data(), pq, i);
+      }
+      sink = sink + acc;
+    });
+    const double scalar_adc = MeasureBatchFn(kRows, [&] {
+      float acc = 0.f;
+      for (size_t i = 0; i < kRows; i++) {
+        acc += scalar.adc(table.dist.data(), pq.codes.Row(i), m);
+      }
+      sink = sink + acc;
+    });
+    std::vector<float> out(kRows);
+    const double batch_adc = MeasureBatchFn(kRows, [&] {
+      ComputeDistanceAdcBatch(table, pq.codes.data().data(), kRows,
+                              out.data());
+      sink = sink + out[0];
+    });
+    double fastscan = 0.0;
+    if (PqFastScanSimdAvailable()) {
+      const QuantizedAdcTable q8 = QuantizeAdcTable(table.dist.data(), m);
+      const std::vector<uint8_t> codes_col = SubspaceMajorCodes(pq);
+      std::vector<uint32_t> acc(kRows);
+      fastscan = MeasureBatchFn(kRows, [&] {
+        PqFastScan(q8.lut.data(), codes_col.data(), kRows, kRows, m,
+                   acc.data());
+        sink = sink + static_cast<float>(acc[0]);
+      });
+    }
+    (void)sink;
+    samples.push_back({dim, m, decode, scalar_adc, batch_adc, fastscan});
+  }
+  return samples;
+}
+
 struct ScalingSample {
   size_t threads;
   double qps;
@@ -276,6 +356,28 @@ int main() {
                 s.dim, s.baseline_mdps, s.active_mdps,
                 s.baseline_mdps > 0 ? s.active_mdps / s.baseline_mdps : 0,
                 i + 1 < int8.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+
+  std::printf("  \"pq_kernels\": [\n");
+  const auto pq = BenchPq();
+  for (size_t i = 0; i < pq.size(); i++) {
+    const auto& s = pq[i];
+    std::printf("    {\"dim\": %zu, \"m\": %zu, "
+                "\"decode_mdist_per_sec\": %.2f, "
+                "\"scalar_adc_mdist_per_sec\": %.2f, "
+                "\"batch_adc_mdist_per_sec\": %.2f, "
+                "\"batch_adc_speedup\": %.2f, "
+                "\"fastscan_mdist_per_sec\": %.2f, "
+                "\"fastscan_speedup\": %.2f}%s\n",
+                s.dim, s.m, s.decode_mdps, s.scalar_adc_mdps,
+                s.batch_adc_mdps,
+                s.scalar_adc_mdps > 0 ? s.batch_adc_mdps / s.scalar_adc_mdps
+                                      : 0,
+                s.fastscan_mdps,
+                s.scalar_adc_mdps > 0 ? s.fastscan_mdps / s.scalar_adc_mdps
+                                      : 0,
+                i + 1 < pq.size() ? "," : "");
   }
   std::printf("  ],\n");
 

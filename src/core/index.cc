@@ -81,6 +81,10 @@ void CagraIndex::EnableInt8Quantization() {
   if (int8_.empty() && !dataset_.empty()) int8_ = QuantizeInt8(dataset_);
 }
 
+void CagraIndex::EnablePq(const PqTrainParams& params) {
+  if (pq_.empty() && !dataset_.empty()) pq_ = TrainPq(dataset_, params);
+}
+
 namespace {
 constexpr uint64_t kIndexMagic = 0x43414752414958ULL;  // "CAGRAIX"
 

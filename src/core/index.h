@@ -7,6 +7,7 @@
 #include "core/optimize.h"
 #include "core/params.h"
 #include "dataset/matrix.h"
+#include "dataset/pq.h"
 #include "dataset/quantize.h"
 #include "graph/fixed_degree_graph.h"
 #include "knn/nn_descent.h"
@@ -56,6 +57,13 @@ class CagraIndex {
   bool HasInt8() const { return !int8_.empty(); }
   const QuantizedDataset& int8_dataset() const { return int8_; }
 
+  /// Materializes the product-quantized copy (M bytes/row, default
+  /// M = dim/4 — 1/16 of fp32; the §V-E PQ compression mode). Searches
+  /// with Precision::kPq go through per-query ADC lookup tables.
+  void EnablePq(const PqTrainParams& params = PqTrainParams{});
+  bool HasPq() const { return !pq_.empty(); }
+  const PqDataset& pq_dataset() const { return pq_; }
+
   const Matrix<float>& dataset() const { return dataset_; }
   const Matrix<Half>& half_dataset() const { return half_; }
   const FixedDegreeGraph& graph() const { return graph_; }
@@ -75,6 +83,7 @@ class CagraIndex {
   Matrix<float> dataset_;
   Matrix<Half> half_;
   QuantizedDataset int8_;
+  PqDataset pq_;
   FixedDegreeGraph graph_;
   Metric metric_ = Metric::kL2;
 };

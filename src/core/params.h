@@ -33,9 +33,10 @@ struct BuildParams {
   double nn_descent_termination_delta = 0.001;
 };
 
-/// Dataset storage precision for the search: fp32/fp16 per §IV-C1, int8
-/// scalar quantization per the §V-E compression direction.
-enum class Precision { kFp32, kFp16, kInt8 };
+/// Dataset storage mode for the search: fp32/fp16 per §IV-C1, int8
+/// scalar quantization and PQ (product quantization, searched via
+/// per-query ADC lookup tables) per the §V-E compression direction.
+enum class Precision { kFp32, kFp16, kInt8, kPq };
 
 /// Hash-table management for the visited list (§IV-B3 / Table II).
 enum class HashMode {
@@ -54,7 +55,9 @@ enum class SearchAlgo {
 /// CAGRA search parameters.
 struct SearchParams {
   size_t k = 10;                 ///< neighbors to return
-  size_t itopk = 64;             ///< M: internal top-M list length (>= k)
+  /// M: internal top-M list length. Must be >= k when set explicitly;
+  /// 0 = auto (max(64, k), the historical default widened for large k).
+  size_t itopk = 0;
   size_t search_width = 1;       ///< p: parents expanded per iteration
   size_t max_iterations = 0;     ///< 0 = auto (scaled from itopk)
   size_t min_iterations = 0;

@@ -72,7 +72,10 @@ Result<SearchResult> Search(const CagraIndex& index,
     return Status::InvalidArgument("query dim does not match index dim");
   }
   if (params.k == 0) return Status::InvalidArgument("k must be >= 1");
-  if (params.k > std::max(params.itopk, params.k)) {
+  // itopk == 0 is the auto default (ResolveItopk widens it past k); an
+  // *explicit* itopk below k is a degenerate request — the old check
+  // here compared k against max(itopk, k) and could never fire.
+  if (params.itopk != 0 && params.k > params.itopk) {
     return Status::InvalidArgument("k must be <= itopk");
   }
   if (precision == Precision::kFp16 && !index.HasHalfPrecision()) {
@@ -83,6 +86,10 @@ Result<SearchResult> Search(const CagraIndex& index,
     return Status::InvalidArgument(
         "int8 search requires EnableInt8Quantization() on the index");
   }
+  if (precision == Precision::kPq && !index.HasPq()) {
+    return Status::InvalidArgument(
+        "PQ search requires EnablePq() on the index");
+  }
 
   const size_t batch = queries.rows();
   const size_t d = index.degree();
@@ -92,7 +99,8 @@ Result<SearchResult> Search(const CagraIndex& index,
   thresholds.max_batch_for_multi = device.sm_count;
   SearchAlgo algo = params.algo;
   if (algo == SearchAlgo::kAuto) {
-    algo = ChooseAlgo(batch, std::max(params.itopk, params.k), thresholds);
+    algo = ChooseAlgo(batch, internal_search::ResolveItopk(params),
+                      thresholds);
   }
 
   ResolvedConfig cfg = ResolveConfig(params, algo, d, index.size());
@@ -178,7 +186,10 @@ Result<SearchResult> Search(const CagraIndex& index,
   launch.ctas_per_query = cfg.cta_per_query;
   launch.threads_per_cta = algo == SearchAlgo::kMultiCta ? kMultiCtaThreads
                                                          : kSingleCtaThreads;
-  launch.dim = index.dim();
+  // The cost model prices row traffic as dim * elem_bytes: PQ rows are
+  // M one-byte code lookups, not dim decoded elements, so the launch
+  // reports the per-distance element count (M for PQ, dim otherwise).
+  launch.dim = dataset.ElementsPerDistance();
   launch.elem_bytes = dataset.ElemBytes();
   launch.candidates_per_iter =
       algo == SearchAlgo::kMultiCta ? d : cfg.search_width * d;

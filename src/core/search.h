@@ -32,7 +32,8 @@ struct SearchResult {
 /// mode by the Fig. 7 rule when params.algo == kAuto, the team size by
 /// the §IV-B1 occupancy model when params.team_size == 0, and the hash
 /// management per Table II when params.hash_mode == kAuto.
-/// Requires: params.k <= params.itopk; queries.dim() == index.dim();
+/// Requires: params.k <= params.itopk when itopk is set explicitly
+/// (itopk == 0 resolves to the auto default); queries.dim() == index.dim();
 /// Precision::kFp16 requires index.HasHalfPrecision().
 Result<SearchResult> Search(const CagraIndex& index,
                             const Matrix<float>& queries,

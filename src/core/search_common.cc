@@ -18,7 +18,8 @@ VisitedSet& SearchScratch::EnsureVisited(size_t capacity) {
   return *visited;
 }
 
-void SearchScratch::FlushBatch(const DatasetView& dataset, const float* query,
+void SearchScratch::FlushBatch(const DatasetView& dataset,
+                               const DatasetView::QueryView& query,
                                std::vector<KeyValue>* buffer,
                                KernelCounters* counters) {
   batch_dists.resize(batch_ids.size());
@@ -35,7 +36,7 @@ ResolvedConfig ResolveConfig(const SearchParams& params, SearchAlgo algo,
                              size_t graph_degree, size_t dataset_size) {
   ResolvedConfig cfg{};
   cfg.k = params.k;
-  cfg.itopk = std::max(params.itopk, params.k);
+  cfg.itopk = ResolveItopk(params);
   cfg.search_width = std::max<size_t>(1, params.search_width);
   cfg.seed = params.seed;
 

@@ -1,6 +1,7 @@
 #ifndef CAGRA_CORE_SEARCH_INTERNAL_H_
 #define CAGRA_CORE_SEARCH_INTERNAL_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -21,64 +22,97 @@ constexpr uint32_t kParentFlag = 0x80000000u;
 constexpr uint32_t kIndexMask = 0x7fffffffu;
 constexpr uint32_t kInvalidEntry = 0xffffffffu;
 
-/// Counter-instrumented accessor over the fp32/fp16/int8 dataset copy;
-/// every distance charges the device bytes + flops the GPU kernel would
-/// spend.
+/// Counter-instrumented accessor over the fp32/fp16/int8/PQ dataset
+/// copy; every distance charges the device bytes + flops the GPU kernel
+/// would spend.
+///
+/// PQ is the one mode with per-query state: the ADC lookup tables.
+/// Callers obtain a QueryView once per query via Prepare() (which
+/// builds the tables into worker-owned scratch and charges the codebook
+/// traffic) and pass it to every Distance/DistanceBatch call; for the
+/// other modes Prepare is a free passthrough.
 class DatasetView {
  public:
   DatasetView(const CagraIndex& index, Precision precision)
       : index_(index), precision_(precision) {}
 
-  float Distance(const float* query, uint32_t id,
+  /// A query prepared for this view: the raw fp32 query plus, for PQ,
+  /// the per-query ADC tables (owned by the caller's scratch).
+  struct QueryView {
+    const float* query = nullptr;
+    const PqAdcTable* adc = nullptr;
+  };
+
+  QueryView Prepare(const float* query, PqAdcTable* adc_storage,
+                    KernelCounters* counters) const {
+    if (precision_ != Precision::kPq) return {query, nullptr};
+    const PqDataset& pq = index_.pq_dataset();
+    BuildAdcTable(pq, query, index_.metric(), adc_storage);
+    // Building the tables scores every centroid once (kNumCentroids
+    // full-dim distance equivalents) and streams the codebook.
+    counters->distance_computations += PqDataset::kNumCentroids;
+    counters->distance_elements += PqDataset::kNumCentroids * index_.dim();
+    counters->device_vector_bytes += pq.CodebookBytes();
+    return {query, adc_storage};
+  }
+
+  float Distance(const QueryView& q, uint32_t id,
                  KernelCounters* counters) const {
     counters->distance_computations++;
-    counters->distance_elements += index_.dim();
+    counters->distance_elements += ElementsPerDistance();
     counters->device_vector_bytes += RowBytes();
     switch (precision_) {
       case Precision::kFp16:
-        return ComputeDistance(index_.metric(), query,
+        return ComputeDistance(index_.metric(), q.query,
                                index_.half_dataset().Row(id), index_.dim());
       case Precision::kInt8: {
-        const QuantizedDataset& q = index_.int8_dataset();
-        return ComputeDistance(index_.metric(), query, q.codes.Row(id),
-                               q.scale.data(), q.offset.data(), index_.dim());
+        const QuantizedDataset& i8 = index_.int8_dataset();
+        return ComputeDistance(index_.metric(), q.query, i8.codes.Row(id),
+                               i8.scale.data(), i8.offset.data(),
+                               index_.dim());
       }
+      case Precision::kPq:
+        return ComputeDistanceAdc(*q.adc, index_.pq_dataset().codes.Row(id));
       case Precision::kFp32:
         break;
     }
-    return ComputeDistance(index_.metric(), query, index_.dataset().Row(id),
-                           index_.dim());
+    return ComputeDistance(index_.metric(), q.query,
+                           index_.dataset().Row(id), index_.dim());
   }
 
   /// Batched variant of Distance: out[i] = distance(query, row ids[i]).
-  /// All three storage types go through the SIMD-dispatched gather
-  /// primitives (multi-row kernels inside) so the candidate-expansion
-  /// hot loop prices one function call per batch, not per pair — int8
-  /// included: its affine decode runs in vector registers, never through
-  /// the per-element QuantizedDistance path. Counters charge the same
-  /// bytes/flops either way.
-  void DistanceBatch(const float* query, const uint32_t* ids, size_t n,
+  /// All storage types go through the SIMD-dispatched gather primitives
+  /// (multi-row kernels inside) so the candidate-expansion hot loop
+  /// prices one function call per batch, not per pair — int8 decodes in
+  /// vector registers, PQ scans the per-query ADC tables. Counters
+  /// charge the same bytes/flops either way.
+  void DistanceBatch(const QueryView& q, const uint32_t* ids, size_t n,
                      float* out, KernelCounters* counters) const {
     counters->distance_computations += n;
-    counters->distance_elements += n * index_.dim();
+    counters->distance_elements += n * ElementsPerDistance();
     counters->device_vector_bytes += n * RowBytes();
     switch (precision_) {
       case Precision::kFp16:
-        ComputeDistanceGather(index_.metric(), query,
+        ComputeDistanceGather(index_.metric(), q.query,
                               index_.half_dataset().data().data(),
                               index_.dim(), ids, n, out);
         return;
       case Precision::kInt8: {
-        const QuantizedDataset& q = index_.int8_dataset();
-        ComputeDistanceGather(index_.metric(), query, q.codes.data().data(),
-                              q.scale.data(), q.offset.data(), index_.dim(),
-                              ids, n, out);
+        const QuantizedDataset& i8 = index_.int8_dataset();
+        ComputeDistanceGather(index_.metric(), q.query,
+                              i8.codes.data().data(), i8.scale.data(),
+                              i8.offset.data(), index_.dim(), ids, n, out);
         return;
       }
+      case Precision::kPq:
+        ComputeDistanceAdcGather(*q.adc,
+                                 index_.pq_dataset().codes.data().data(),
+                                 ids, n, out);
+        return;
       case Precision::kFp32:
         break;
     }
-    ComputeDistanceGather(index_.metric(), query,
+    ComputeDistanceGather(index_.metric(), q.query,
                           index_.dataset().data().data(), index_.dim(), ids,
                           n, out);
   }
@@ -87,11 +121,28 @@ class DatasetView {
     switch (precision_) {
       case Precision::kFp16: return sizeof(Half);
       case Precision::kInt8: return sizeof(int8_t);
+      // PQ rows are num_subspaces one-byte codes; the launch pairs this
+      // with ElementsPerDistance() (= M) as the dim so the cost model's
+      // dim * elem_bytes matches the real M bytes/row.
+      case Precision::kPq: return 1;
       case Precision::kFp32: break;
     }
     return sizeof(float);
   }
-  size_t RowBytes() const { return index_.dim() * ElemBytes(); }
+  size_t RowBytes() const {
+    if (precision_ == Precision::kPq) {
+      return index_.pq_dataset().RowBytes();
+    }
+    return index_.dim() * ElemBytes();
+  }
+  /// Work one distance computation prices into distance_elements: the
+  /// summed dims for decoded modes, M table adds for ADC.
+  size_t ElementsPerDistance() const {
+    if (precision_ == Precision::kPq) {
+      return index_.pq_dataset().num_subspaces();
+    }
+    return index_.dim();
+  }
   size_t size() const { return index_.size(); }
   size_t dim() const { return index_.dim(); }
 
@@ -122,6 +173,11 @@ struct ResolvedConfig {
 struct SearchScratch {
   std::unique_ptr<VisitedSet> visited;
 
+  /// Per-query ADC tables (PQ searches only); DatasetView::Prepare
+  /// rebuilds them into this storage at the top of every query, reusing
+  /// the allocation across the worker's queries.
+  PqAdcTable adc;
+
   // Single-CTA buffers (Fig. 6 layout) + the step-0 seeding buffer.
   std::vector<KeyValue> topm;
   std::vector<KeyValue> candidates;
@@ -150,9 +206,19 @@ struct SearchScratch {
   /// distance call and scatters {distance, id} into
   /// (*buffer)[batch_slots[i]], then clears the staging vectors. The
   /// shared tail of every candidate-fill loop.
-  void FlushBatch(const DatasetView& dataset, const float* query,
+  void FlushBatch(const DatasetView& dataset,
+                  const DatasetView::QueryView& query,
                   std::vector<KeyValue>* buffer, KernelCounters* counters);
 };
+
+/// Effective internal top-M length: the explicit value, or the
+/// auto default (64, widened to k for large k) when itopk == 0. Shared
+/// by ResolveConfig and the Fig. 7 mode-selection input so both see the
+/// same breadth.
+inline size_t ResolveItopk(const SearchParams& params) {
+  return params.itopk != 0 ? params.itopk
+                           : std::max<size_t>(64, params.k);
+}
 
 /// Resolves SearchParams defaults against an index + batch size: auto
 /// max_iterations, hash sizing (§IV-B3: >= 2x expected visits, shared

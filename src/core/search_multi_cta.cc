@@ -26,6 +26,11 @@ size_t SearchMultiCta(const DatasetView& dataset,
   const size_t d = graph.degree();
   const size_t num_ctas = cfg.cta_per_query;
 
+  // Prepared once per query, shared by every CTA (the GPU equivalent
+  // keeps one ADC table per query in shared memory).
+  const DatasetView::QueryView qv =
+      dataset.Prepare(query, &scratch->adc, counters);
+
   // One visited table per *query*, shared by its CTAs, in device memory
   // (Table II). A node claimed by one CTA is never recomputed by another.
   VisitedSet& visited = scratch->EnsureVisited(1ull << cfg.hash_bits);
@@ -62,7 +67,7 @@ size_t SearchMultiCta(const DatasetView& dataset,
         batch_slots.push_back(static_cast<uint32_t>(i));
       }
     }
-    scratch->FlushBatch(dataset, query, &cta.candidates, counters);
+    scratch->FlushBatch(dataset, qv, &cta.candidates, counters);
   }
 
   // --- Lockstep iterations: every active CTA merges its buffer, expands
@@ -102,7 +107,7 @@ size_t SearchMultiCta(const DatasetView& dataset,
           batch_slots.push_back(static_cast<uint32_t>(j));
         }
       }
-      scratch->FlushBatch(dataset, query, &cta.candidates, counters);
+      scratch->FlushBatch(dataset, qv, &cta.candidates, counters);
     }
     iterations++;
     if (!any_active && iterations >= cfg.min_iterations) break;

@@ -34,6 +34,12 @@ size_t SearchSingleCta(const DatasetView& dataset,
   const size_t d = graph.degree();
   const size_t num_candidates = cfg.search_width * d;
 
+  // Per-query preparation: for PQ this builds the ADC tables every
+  // subsequent distance call scans (charged like the kernel's per-query
+  // codebook pass); for the decoded modes it is free.
+  const DatasetView::QueryView qv =
+      dataset.Prepare(query, &scratch->adc, counters);
+
   // Buffer layout of Fig. 6: internal top-M (sorted ascending) followed
   // by the candidate list. All buffers live in the per-worker scratch.
   std::vector<KeyValue>& topm = scratch->topm;
@@ -74,7 +80,7 @@ size_t SearchSingleCta(const DatasetView& dataset,
         batch_slots.push_back(static_cast<uint32_t>(slot));
       }
     }
-    scratch->FlushBatch(dataset, query, &init, counters);
+    scratch->FlushBatch(dataset, qv, &init, counters);
     counters->sort_exchanges += BitonicSorter::Sort(&init);
     std::copy(init.begin(), init.begin() + cfg.itopk, topm.begin());
     std::copy(init.begin() + cfg.itopk, init.end(), candidates.begin());
@@ -145,7 +151,7 @@ size_t SearchSingleCta(const DatasetView& dataset,
     for (; slot < num_candidates; slot++) {
       candidates[slot] = {kInf, kInvalidEntry};
     }
-    scratch->FlushBatch(dataset, query, &candidates, counters);
+    scratch->FlushBatch(dataset, qv, &candidates, counters);
   }
 
   // --- Output: top-k of the internal list, parent flags stripped,

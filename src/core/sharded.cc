@@ -63,6 +63,7 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
                                                Precision precision,
                                                const DeviceSpec& device) const {
   if (shards_.empty()) return Status::InvalidArgument("no shards built");
+  if (params.k == 0) return Status::InvalidArgument("k must be >= 1");
 
   struct Candidate {
     float distance;
@@ -103,19 +104,22 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
                      ? static_cast<double>(queries.rows()) / out.host_seconds
                      : 0.0;
 
+  // Result metadata aggregates over *all* shards, not shard 0: counters
+  // sum (additive work), host_threads takes the widest shard, and the
+  // modeled cost/launch come from the slowest shard — the one the
+  // parallel execution actually waits for.
   double slowest_shard = 0.0;
+  size_t slowest_index = 0;
+  out.host_threads = 0;
   for (size_t s = 0; s < num_shards; s++) {
     Result<SearchResult>& r = *shard_results[s];
     if (!r.ok()) return r.status();
-    slowest_shard = std::max(slowest_shard, r->modeled_seconds);
-    out.counters.Add(r->counters);
-    if (s == 0) {
-      out.launch = r->launch;
-      out.algo_used = r->algo_used;
-      out.team_size_used = r->team_size_used;
-      out.cost = r->cost;
-      out.host_threads = r->host_threads;
+    if (s == 0 || r->modeled_seconds > slowest_shard) {
+      slowest_shard = r->modeled_seconds;
+      slowest_index = s;
     }
+    out.counters.Add(r->counters);
+    out.host_threads = std::max(out.host_threads, r->host_threads);
     for (size_t q = 0; q < queries.rows(); q++) {
       for (size_t i = 0; i < k; i++) {
         const uint32_t local_id = r->neighbors.ids[q * k + i];
@@ -138,6 +142,14 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
       out.neighbors.ids[q * k + i] = cands[i].id;
       out.neighbors.distances[q * k + i] = cands[i].distance;
     }
+  }
+
+  {
+    const SearchResult& slowest = **shard_results[slowest_index];
+    out.cost = slowest.cost;
+    out.launch = slowest.launch;
+    out.algo_used = slowest.algo_used;
+    out.team_size_used = slowest.team_size_used;
   }
 
   // Shards execute on independent devices in parallel; the query pays

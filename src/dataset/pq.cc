@@ -1,0 +1,245 @@
+#include "dataset/pq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cagra {
+
+namespace {
+
+constexpr size_t kC = PqDataset::kNumCentroids;
+
+/// Copies the m-th subspace segment of a dim-element row into a
+/// dsub-element buffer, zero-padding past the real dimensions. Training,
+/// encoding, LUT building, and the decode reference all pad the same
+/// way, so padded dimensions contribute exactly zero everywhere.
+void CopySub(const float* row, size_t dim, size_t m, size_t dsub,
+             float* out) {
+  const size_t start = m * dsub;
+  for (size_t j = 0; j < dsub; j++) {
+    const size_t d = start + j;
+    out[j] = d < dim ? row[d] : 0.0f;
+  }
+}
+
+/// Index of the nearest codebook centroid for one subspace vector.
+/// Distances run through the dispatched batch kernels (256 contiguous
+/// centroid rows); ties break toward the lower index.
+uint8_t NearestCentroid(const float* sub, const float* centroids_m,
+                        size_t dsub, float* dists) {
+  ComputeDistanceBatch(Metric::kL2, sub, centroids_m, kC, dsub, dists);
+  size_t best = 0;
+  for (size_t c = 1; c < kC; c++) {
+    if (dists[c] < dists[best]) best = c;
+  }
+  return static_cast<uint8_t>(best);
+}
+
+}  // namespace
+
+PqDataset TrainPq(const Matrix<float>& dataset, const PqTrainParams& params) {
+  PqDataset out;
+  const size_t rows = dataset.rows();
+  const size_t dim = dataset.dim();
+  if (rows == 0 || dim == 0) return out;
+
+  size_t m_subs = params.num_subspaces != 0 ? params.num_subspaces
+                                            : std::max<size_t>(1, dim / 4);
+  m_subs = std::min(m_subs, dim);  // at least one real dim per subspace
+  out.dim = dim;
+  out.dsub = (dim + m_subs - 1) / m_subs;
+  out.codes = Matrix<uint8_t>(rows, m_subs);
+  out.centroids.assign(m_subs * kC * out.dsub, 0.0f);
+  out.centroid_norm2.assign(m_subs * kC, 0.0f);
+
+  // Training sample: a partial Fisher-Yates draw without replacement.
+  const size_t sample =
+      std::min(rows, std::max<size_t>(kC, params.sample_size));
+  Pcg32 rng(params.seed, 0x9d5c);
+  std::vector<uint32_t> perm(rows);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (size_t i = 0; i < sample; i++) {
+    const size_t j =
+        i + rng.NextBounded(static_cast<uint32_t>(rows - i));
+    std::swap(perm[i], perm[j]);
+  }
+
+  const size_t dsub = out.dsub;
+  std::vector<float> sub_sample(sample * dsub);
+  std::vector<float> dists(kC);
+  std::vector<uint8_t> assign(sample);
+  std::vector<float> sums(kC * dsub);
+  std::vector<uint32_t> counts(kC);
+
+  // Per-worker scratch for the parallel encode pass (each row's
+  // assignment is independent and writes only its own code byte, so the
+  // result is identical to a serial encode).
+  struct EncodeScratch {
+    std::vector<float> sub;
+    std::vector<float> dists;
+  };
+  std::vector<EncodeScratch> enc(GlobalThreadPool().num_slots());
+  for (auto& e : enc) {
+    e.sub.resize(dsub);
+    e.dists.resize(kC);
+  }
+
+  for (size_t m = 0; m < m_subs; m++) {
+    for (size_t i = 0; i < sample; i++) {
+      CopySub(dataset.Row(perm[i]), dim, m, dsub, &sub_sample[i * dsub]);
+    }
+    float* cent = out.centroids.data() + m * kC * dsub;
+
+    // Init from sampled points (wrapping when the sample is smaller than
+    // the codebook; duplicate centroids just leave dead codes).
+    for (size_t c = 0; c < kC; c++) {
+      std::copy_n(&sub_sample[(c % sample) * dsub], dsub, cent + c * dsub);
+    }
+
+    // Lloyd iterations; empty clusters keep their previous centroid.
+    for (size_t iter = 0; iter < params.kmeans_iterations; iter++) {
+      for (size_t i = 0; i < sample; i++) {
+        assign[i] = NearestCentroid(&sub_sample[i * dsub], cent, dsub,
+                                    dists.data());
+      }
+      std::fill(sums.begin(), sums.end(), 0.0f);
+      std::fill(counts.begin(), counts.end(), 0u);
+      for (size_t i = 0; i < sample; i++) {
+        counts[assign[i]]++;
+        float* dst = &sums[assign[i] * dsub];
+        const float* src = &sub_sample[i * dsub];
+        for (size_t j = 0; j < dsub; j++) dst[j] += src[j];
+      }
+      for (size_t c = 0; c < kC; c++) {
+        if (counts[c] == 0) continue;
+        const float inv = 1.0f / static_cast<float>(counts[c]);
+        for (size_t j = 0; j < dsub; j++) cent[c * dsub + j] = sums[c * dsub + j] * inv;
+      }
+    }
+
+    // Encode every row for this subspace — the O(rows * 256 * dsub)
+    // bulk of training, fanned out over the pool like the other
+    // full-dataset scans — and cache the centroid norms.
+    GlobalThreadPool().ParallelForSlotted(0, rows, [&](size_t slot,
+                                                       size_t r) {
+      EncodeScratch& e = enc[slot];
+      CopySub(dataset.Row(r), dim, m, dsub, e.sub.data());
+      out.codes.MutableRow(r)[m] =
+          NearestCentroid(e.sub.data(), cent, dsub, e.dists.data());
+    });
+    for (size_t c = 0; c < kC; c++) {
+      float n2 = 0.0f;
+      for (size_t j = 0; j < dsub; j++) {
+        n2 += cent[c * dsub + j] * cent[c * dsub + j];
+      }
+      out.centroid_norm2[m * kC + c] = n2;
+    }
+  }
+  return out;
+}
+
+void BuildAdcTable(const PqDataset& pq, const float* query, Metric metric,
+                   PqAdcTable* out) {
+  const size_t m_subs = pq.num_subspaces();
+  const size_t dsub = pq.dsub;
+  const size_t dim = pq.dim;
+  out->num_subspaces = m_subs;
+  out->metric = metric;
+  out->dist.resize(m_subs * kC);
+  out->norm2 = nullptr;
+  out->query_norm2 = 0.0f;
+
+  std::vector<float> qsub(dsub);
+  for (size_t m = 0; m < m_subs; m++) {
+    CopySub(query, dim, m, dsub, qsub.data());
+    float* row = out->dist.data() + m * kC;
+    for (size_t c = 0; c < kC; c++) {
+      const float* cent = pq.Centroid(m, c);
+      float acc = 0.0f;
+      if (metric == Metric::kL2) {
+        for (size_t j = 0; j < dsub; j++) {
+          const float d = qsub[j] - cent[j];
+          acc += d * d;
+        }
+      } else {  // dot partials for kInnerProduct and kCosine
+        for (size_t j = 0; j < dsub; j++) acc += qsub[j] * cent[j];
+      }
+      row[c] = acc;
+    }
+  }
+
+  if (metric == Metric::kCosine) {
+    out->norm2 = pq.centroid_norm2.data();
+    float nq = 0.0f;
+    for (size_t d = 0; d < dim; d++) nq += query[d] * query[d];
+    out->query_norm2 = nq;
+  }
+}
+
+float PqDistance(Metric metric, const float* query, const PqDataset& pq,
+                 size_t row) {
+  const size_t m_subs = pq.num_subspaces();
+  const size_t dsub = pq.dsub;
+  const size_t dim = pq.dim;
+  const uint8_t* code = pq.codes.Row(row);
+  // Per-subspace partials accumulate in the same order BuildAdcTable +
+  // the scalar adc scan use, so the scalar tier reproduces this
+  // reference bit-for-bit on kL2/kInnerProduct.
+  auto subspace_partial = [&](size_t m, bool l2) {
+    const float* cent = pq.Centroid(m, code[m]);
+    const size_t start = m * dsub;
+    float acc = 0.0f;
+    for (size_t j = 0; j < dsub; j++) {
+      const size_t d = start + j;
+      const float q = d < dim ? query[d] : 0.0f;
+      if (l2) {
+        const float diff = q - cent[j];
+        acc += diff * diff;
+      } else {
+        acc += q * cent[j];
+      }
+    }
+    return acc;
+  };
+  switch (metric) {
+    case Metric::kL2: {
+      float acc = 0.0f;
+      for (size_t m = 0; m < m_subs; m++) acc += subspace_partial(m, true);
+      return acc;
+    }
+    case Metric::kInnerProduct: {
+      float acc = 0.0f;
+      for (size_t m = 0; m < m_subs; m++) acc += subspace_partial(m, false);
+      return -acc;
+    }
+    case Metric::kCosine: {
+      float dot = 0.0f, nv = 0.0f, nq = 0.0f;
+      for (size_t m = 0; m < m_subs; m++) {
+        dot += subspace_partial(m, false);
+        nv += pq.centroid_norm2[m * kC + code[m]];
+      }
+      for (size_t d = 0; d < dim; d++) nq += query[d] * query[d];
+      const float denom = std::sqrt(nq) * std::sqrt(nv);
+      if (denom == 0.0f) return 1.0f;
+      return 1.0f - dot / denom;
+    }
+  }
+  return 0.0f;
+}
+
+std::vector<uint8_t> SubspaceMajorCodes(const PqDataset& pq) {
+  const size_t rows = pq.rows();
+  const size_t m_subs = pq.num_subspaces();
+  std::vector<uint8_t> out(rows * m_subs);
+  for (size_t r = 0; r < rows; r++) {
+    const uint8_t* code = pq.codes.Row(r);
+    for (size_t m = 0; m < m_subs; m++) out[m * rows + r] = code[m];
+  }
+  return out;
+}
+
+}  // namespace cagra

@@ -1,0 +1,89 @@
+#ifndef CAGRA_DATASET_PQ_H_
+#define CAGRA_DATASET_PQ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dataset/matrix.h"
+#include "distance/distance.h"
+
+namespace cagra {
+
+/// Product-quantized dataset — the compressed storage mode the paper's
+/// §V-E names for datasets beyond device memory ("data compression
+/// schemes, such as product quantization"). The dim dimensions split
+/// into M subspaces of dsub dims each (the tail zero-padded when M does
+/// not divide dim); every subspace gets a 256-centroid k-means codebook,
+/// and a row stores one byte per subspace — M bytes/row, typically a
+/// quarter of the int8 tier and 1/16 of fp32 at the default M = dim/4.
+///
+/// Searches never reconstruct rows: a per-query ADC table
+/// (BuildAdcTable) reduces every distance to M table lookups + adds
+/// through the dispatched LUT-scan kernels in distance/.
+struct PqDataset {
+  static constexpr size_t kNumCentroids = 256;
+
+  size_t dim = 0;   ///< original (un-padded) dimensionality
+  size_t dsub = 0;  ///< dims per subspace = ceil(dim / M)
+  Matrix<uint8_t> codes;         ///< rows x M
+  std::vector<float> centroids;  ///< M x 256 x dsub, padded dims zero
+  /// Per-centroid squared norms (M x 256), precomputed at train time so
+  /// cosine ADC tables borrow them instead of rebuilding per query.
+  std::vector<float> centroid_norm2;
+
+  size_t rows() const { return codes.rows(); }
+  size_t num_subspaces() const { return codes.dim(); }
+  bool empty() const { return codes.empty(); }
+  size_t RowBytes() const { return codes.dim(); }
+  size_t CodebookBytes() const { return centroids.size() * sizeof(float); }
+
+  const float* Centroid(size_t m, size_t c) const {
+    return centroids.data() + (m * kNumCentroids + c) * dsub;
+  }
+
+  /// Reconstructed value of one element (the decode the ADC shortcut
+  /// avoids; used by the reference distance and tests).
+  float Decode(size_t row, size_t d) const {
+    const size_t m = d / dsub;
+    return Centroid(m, codes.Row(row)[m])[d - m * dsub];
+  }
+};
+
+/// PQ training knobs. The defaults match the usual recipe: a few Lloyd
+/// iterations over a bounded sample are enough for ADC-quality
+/// codebooks, and training cost stays O(sample * 256 * dim * iters).
+struct PqTrainParams {
+  size_t num_subspaces = 0;     ///< M; 0 = auto (max(1, dim / 4))
+  size_t kmeans_iterations = 6; ///< Lloyd iterations per subspace
+  size_t sample_size = 2048;    ///< training rows (capped at the dataset)
+  uint64_t seed = 0x5051;       ///< sampling + init seed
+};
+
+/// Trains per-subspace codebooks on a sample and encodes every row.
+PqDataset TrainPq(const Matrix<float>& dataset,
+                  const PqTrainParams& params = PqTrainParams{});
+
+/// Builds the per-query ADC tables for `metric` (see PqAdcTable in
+/// distance/distance.h). Scalar arithmetic, deterministic across SIMD
+/// tiers; per-subspace partials accumulate in the same order as the
+/// PqDistance reference, so a scalar-tier LUT scan reproduces
+/// PqDistance exactly for kL2/kInnerProduct.
+void BuildAdcTable(const PqDataset& pq, const float* query, Metric metric,
+                   PqAdcTable* out);
+
+/// Distance between an fp32 query and a PQ row, decoding through the
+/// codebook one subspace at a time — the scalar decode reference the
+/// ADC LUT-scan kernels are tested (and benched) against.
+float PqDistance(Metric metric, const float* query, const PqDataset& pq,
+                 size_t row);
+
+/// Subspace-major ("column") copy of the codes — out[m * rows + r] =
+/// codes[r][m] — the layout the quantized-LUT fast scan
+/// (distance/pq_fastscan.h) consumes so one subspace's codes for a
+/// block of rows load contiguously.
+std::vector<uint8_t> SubspaceMajorCodes(const PqDataset& pq);
+
+}  // namespace cagra
+
+#endif  // CAGRA_DATASET_PQ_H_

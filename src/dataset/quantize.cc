@@ -17,17 +17,23 @@ QuantizedDataset QuantizeInt8(const Matrix<float>& dataset) {
   out.offset.assign(dim, 0.0f);
   if (rows == 0) return out;
 
-  // Per-dimension min/max fit.
+  // Per-dimension min/max fit over *finite* values only: one NaN or Inf
+  // would otherwise poison scale/offset for its whole dimension and
+  // silently zero or saturate every code there.
   std::vector<float> lo(dim, std::numeric_limits<float>::max());
   std::vector<float> hi(dim, std::numeric_limits<float>::lowest());
   for (size_t i = 0; i < rows; i++) {
     const float* row = dataset.Row(i);
     for (size_t d = 0; d < dim; d++) {
+      if (!std::isfinite(row[d])) continue;
       lo[d] = std::min(lo[d], row[d]);
       hi[d] = std::max(hi[d], row[d]);
     }
   }
   for (size_t d = 0; d < dim; d++) {
+    if (lo[d] > hi[d]) {  // no finite value in this dimension
+      lo[d] = hi[d] = 0.0f;
+    }
     const float range = hi[d] - lo[d];
     out.scale[d] = range > 0 ? range / 254.0f : 1.0f;
     out.offset[d] = lo[d] + 127.0f * out.scale[d];  // center the range
@@ -37,7 +43,14 @@ QuantizedDataset QuantizeInt8(const Matrix<float>& dataset) {
     const float* row = dataset.Row(i);
     int8_t* code = out.codes.MutableRow(i);
     for (size_t d = 0; d < dim; d++) {
-      const float q = (row[d] - out.offset[d]) / out.scale[d];
+      // Non-finite elements clamp into the fitted range (+Inf to the
+      // max, -Inf to the min, NaN to the center) so lround never sees
+      // them — its behavior on NaN/Inf is undefined.
+      float v = row[d];
+      if (!std::isfinite(v)) {
+        v = v > 0 ? hi[d] : (v < 0 ? lo[d] : out.offset[d]);
+      }
+      const float q = (v - out.offset[d]) / out.scale[d];
       code[d] = static_cast<int8_t>(
           std::clamp(std::lround(q), long{-127}, long{127}));
     }

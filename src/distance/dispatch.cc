@@ -24,7 +24,7 @@ const KernelTable* Checked(const KernelTable* t) {
       !(t->name && t->l2_f32 && t->dot_f32 && t->l2_f16 && t->dot_f16 &&
         t->norm2_f16 && t->l2_i8 && t->dot_i8 && t->norm2_i8 &&
         t->l2_f32x4 && t->dot_f32x4 && t->l2_f16x4 && t->dot_f16x4 &&
-        t->l2_i8x4 && t->dot_i8x4)) {
+        t->l2_i8x4 && t->dot_i8x4 && t->adc && t->adcx4)) {
     std::fprintf(stderr,
                  "fatal: kernel table '%s' has unwired slots (tier lags the "
                  "KernelTable surface)\n",

@@ -228,6 +228,63 @@ void BatchDistanceI8(const KernelTable& k, Metric metric, const float* query,
   }
 }
 
+/// ADC variant of BatchDistance: one per-query LUT, code rows instead of
+/// vectors. The metric term is a single LUT scan; cosine adds a second
+/// scan over the centroid-norm2 table. Same multi-row grouping and
+/// bit-compatibility contract as the other element types.
+template <typename RowFn>
+void BatchAdc(const KernelTable& k, const PqAdcTable& t, size_t n,
+              const RowFn& row, float* out) {
+  const size_t m = t.num_subspaces;
+  const float* lut = t.dist.data();
+  const uint8_t* group[kMultiRowWidth];
+  const auto fill_group = [&](size_t i) {
+    for (size_t r = 0; r < kMultiRowWidth; r++) group[r] = row(i + r);
+    for (size_t j = i + kMultiRowWidth; j < i + 2 * kMultiRowWidth && j < n;
+         j++) {
+      PrefetchRow(row(j));
+    }
+  };
+  switch (t.metric) {
+    case Metric::kL2: {
+      size_t i = 0;
+      for (; i + kMultiRowWidth <= n; i += kMultiRowWidth) {
+        fill_group(i);
+        k.adcx4(lut, group, m, out + i);
+      }
+      for (; i < n; i++) out[i] = k.adc(lut, row(i), m);
+      break;
+    }
+    case Metric::kInnerProduct: {
+      size_t i = 0;
+      for (; i + kMultiRowWidth <= n; i += kMultiRowWidth) {
+        fill_group(i);
+        k.adcx4(lut, group, m, out + i);
+        for (size_t r = 0; r < kMultiRowWidth; r++) out[i + r] = -out[i + r];
+      }
+      for (; i < n; i++) out[i] = -k.adc(lut, row(i), m);
+      break;
+    }
+    case Metric::kCosine: {
+      float norms[kMultiRowWidth];
+      size_t i = 0;
+      for (; i + kMultiRowWidth <= n; i += kMultiRowWidth) {
+        fill_group(i);
+        k.adcx4(lut, group, m, out + i);
+        k.adcx4(t.norm2, group, m, norms);
+        for (size_t r = 0; r < kMultiRowWidth; r++) {
+          out[i + r] = CosineFromParts(out[i + r], t.query_norm2, norms[r]);
+        }
+      }
+      for (; i < n; i++) {
+        out[i] = CosineFromParts(k.adc(lut, row(i), m), t.query_norm2,
+                                 k.adc(t.norm2, row(i), m));
+      }
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 std::string MetricName(Metric metric) {
@@ -300,6 +357,35 @@ void ComputeDistanceGather(Metric metric, const float* query,
                            const uint32_t* ids, size_t n, float* out) {
   BatchDistanceI8(ActiveKernelTable(), metric, query, scale, offset, dim, n,
                   [&](size_t i) { return base + ids[i] * dim; }, out);
+}
+
+float ComputeDistanceAdc(const PqAdcTable& table, const uint8_t* code) {
+  const KernelTable& k = ActiveKernelTable();
+  const size_t m = table.num_subspaces;
+  switch (table.metric) {
+    case Metric::kL2:
+      return k.adc(table.dist.data(), code, m);
+    case Metric::kInnerProduct:
+      return -k.adc(table.dist.data(), code, m);
+    case Metric::kCosine:
+      return CosineFromParts(k.adc(table.dist.data(), code, m),
+                             table.query_norm2, k.adc(table.norm2, code, m));
+  }
+  return 0.0f;
+}
+
+void ComputeDistanceAdcBatch(const PqAdcTable& table, const uint8_t* rows,
+                             size_t n, float* out) {
+  const size_t m = table.num_subspaces;
+  BatchAdc(ActiveKernelTable(), table, n,
+           [&](size_t i) { return rows + i * m; }, out);
+}
+
+void ComputeDistanceAdcGather(const PqAdcTable& table, const uint8_t* base,
+                              const uint32_t* ids, size_t n, float* out) {
+  const size_t m = table.num_subspaces;
+  BatchAdc(ActiveKernelTable(), table, n,
+           [&](size_t i) { return base + ids[i] * m; }, out);
 }
 
 }  // namespace cagra

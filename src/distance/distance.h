@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/half.h"
 
@@ -74,6 +75,38 @@ void ComputeDistanceGather(Metric metric, const float* query,
                            const int8_t* base, const float* scale,
                            const float* offset, size_t dim,
                            const uint32_t* ids, size_t n, float* out);
+
+/// Per-query asymmetric-distance (ADC) lookup tables over a PQ codebook
+/// (§V-E product quantization). Built once per query by
+/// BuildAdcTable() in dataset/pq.h; the scan kernels then price one
+/// table lookup + add per subspace instead of a full per-dimension
+/// decode. `dist` holds M x 256 subspace partials: squared-L2 partials
+/// for kL2, dot partials for kInnerProduct/kCosine. For cosine, `norm2`
+/// borrows the dataset's precomputed per-centroid norm2 partials (valid
+/// while the PqDataset is alive) and `query_norm2` caches |q|^2.
+struct PqAdcTable {
+  size_t num_subspaces = 0;
+  Metric metric = Metric::kL2;
+  std::vector<float> dist;
+  const float* norm2 = nullptr;
+  float query_norm2 = 0.0f;
+};
+
+/// ADC distance of one PQ code row (`num_subspaces` bytes) via the
+/// dispatched LUT-scan kernels; metric composition (inner-product
+/// negation, cosine normalization) mirrors the other storage modes.
+float ComputeDistanceAdc(const PqAdcTable& table, const uint8_t* code);
+
+/// One ADC table against `n` contiguous code rows (row stride =
+/// num_subspaces); full groups of four rows run through the multi-row
+/// adcx4 kernel and out[i] is bit-identical to the pairwise call.
+void ComputeDistanceAdcBatch(const PqAdcTable& table, const uint8_t* rows,
+                             size_t n, float* out);
+
+/// One ADC table against `n` code rows gathered by id from `base`
+/// (row-major, stride num_subspaces) — the PQ candidate-expansion loop.
+void ComputeDistanceAdcGather(const PqAdcTable& table, const uint8_t* base,
+                              const uint32_t* ids, size_t n, float* out);
 
 }  // namespace cagra
 

@@ -14,6 +14,10 @@ namespace distance_kernels {
 /// AVX2 register file (4 rows x 2 accumulators + query + temps < 16).
 constexpr size_t kMultiRowWidth = 4;
 
+/// Entries per subspace in an ADC lookup table (PQ codebooks have 256
+/// centroids per subspace, so a code byte indexes the table directly).
+constexpr size_t kAdcTableStride = 256;
+
 /// Reduction kernels one ISA tier provides. All kernels return plain
 /// float sums; metric composition (negating dot products, cosine
 /// normalization) lives in distance.cc so every tier shares one
@@ -66,6 +70,19 @@ struct KernelTable {
   void (*dot_i8x4)(const float* query, const int8_t* const* rows,
                    const float* scale, const float* offset, size_t dim,
                    float* out);
+
+  /// ADC lookup-table scan over PQ codes (§V-E product quantization):
+  /// returns sum over the `m` subspaces of lut[s * kAdcTableStride +
+  /// code[s]]. The per-query `lut` holds the precomputed subspace
+  /// distance partials; metric composition (negation, cosine) lives in
+  /// distance.cc like every other kernel family. The scalar tier is the
+  /// gather-free reference; SIMD tiers widen the code bytes and gather
+  /// kAdcTableStride-strided table entries in vector registers.
+  float (*adc)(const float* lut, const uint8_t* code, size_t m);
+  /// Multi-row ADC scan: kMultiRowWidth code rows against one shared
+  /// LUT, interleaved accumulators, bit-identical per row to adc().
+  void (*adcx4)(const float* lut, const uint8_t* const* rows, size_t m,
+                float* out);
 };
 
 /// Always available; the reference the SIMD tiers are tested against.

@@ -392,12 +392,69 @@ void Avx2DotI8x4(const float* query, const int8_t* const* rows,
   }
 }
 
+// ADC LUT scan: widen 8 code bytes to epi32 lanes, add the per-lane
+// subspace offsets (lane j of chunk i indexes table (8i+j)), and gather
+// the fp32 table entries. The x4 form mirrors the chunking, gather
+// order, and scalar tail of the one-row kernel exactly, so out[r] is
+// bit-identical to the single-row call.
+
+float Avx2Adc(const float* lut, const uint8_t* code, size_t m) {
+  const __m256i lane = _mm256_setr_epi32(
+      0, 1 * kAdcTableStride, 2 * kAdcTableStride, 3 * kAdcTableStride,
+      4 * kAdcTableStride, 5 * kAdcTableStride, 6 * kAdcTableStride,
+      7 * kAdcTableStride);
+  const __m256i step = _mm256_set1_epi32(8 * kAdcTableStride);
+  __m256i base = lane;
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m256i idx = _mm256_add_epi32(
+        base, _mm256_cvtepu8_epi32(
+                  _mm_loadl_epi64(reinterpret_cast<const __m128i*>(code + i))));
+    acc = _mm256_add_ps(acc, _mm256_i32gather_ps(lut, idx, 4));
+    base = _mm256_add_epi32(base, step);
+  }
+  float sum = ReduceAdd(acc);
+  for (; i < m; i++) sum += lut[i * kAdcTableStride + code[i]];
+  return sum;
+}
+
+void Avx2Adcx4(const float* lut, const uint8_t* const* rows, size_t m,
+               float* out) {
+  const __m256i lane = _mm256_setr_epi32(
+      0, 1 * kAdcTableStride, 2 * kAdcTableStride, 3 * kAdcTableStride,
+      4 * kAdcTableStride, 5 * kAdcTableStride, 6 * kAdcTableStride,
+      7 * kAdcTableStride);
+  const __m256i step = _mm256_set1_epi32(8 * kAdcTableStride);
+  __m256i base = lane;
+  __m256 acc[4];
+  for (size_t r = 0; r < 4; r++) acc[r] = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    for (size_t r = 0; r < 4; r++) {
+      const __m256i idx = _mm256_add_epi32(
+          base, _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                    reinterpret_cast<const __m128i*>(rows[r] + i))));
+      acc[r] = _mm256_add_ps(acc[r], _mm256_i32gather_ps(lut, idx, 4));
+    }
+    base = _mm256_add_epi32(base, step);
+  }
+  for (size_t r = 0; r < 4; r++) {
+    float sum = ReduceAdd(acc[r]);
+    for (size_t j = i; j < m; j++) {
+      sum += lut[j * kAdcTableStride + rows[r][j]];
+    }
+    out[r] = sum;
+  }
+}
+
 constexpr KernelTable kAvx2Table = {
     "avx2",       Avx2L2F32,   Avx2DotF32,  Avx2L2F16,
     Avx2DotF16,   Avx2Norm2F16,
     Avx2L2I8,     Avx2DotI8,   Avx2Norm2I8,
     Avx2L2F32x4,  Avx2DotF32x4, Avx2L2F16x4, Avx2DotF16x4,
     Avx2L2I8x4,   Avx2DotI8x4,
+    Avx2Adc,      Avx2Adcx4,
 };
 
 }  // namespace

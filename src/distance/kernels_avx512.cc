@@ -434,12 +434,82 @@ void Avx512DotI8x4(const float* query, const int8_t* const* rows,
   }
 }
 
+// ADC LUT scan: 16 code bytes widen to epi32 lanes, add the per-lane
+// subspace offsets, and one vgatherdps pulls 16 table entries. The tail
+// masks both the byte load and the gather, so inactive lanes never touch
+// memory. The x4 form mirrors the chunking, gather order, and masked
+// tail of the one-row kernel exactly (bit-identical per row).
+
+float Avx512Adc(const float* lut, const uint8_t* code, size_t m) {
+  const __m512i lane = _mm512_setr_epi32(
+      0, 1 * kAdcTableStride, 2 * kAdcTableStride, 3 * kAdcTableStride,
+      4 * kAdcTableStride, 5 * kAdcTableStride, 6 * kAdcTableStride,
+      7 * kAdcTableStride, 8 * kAdcTableStride, 9 * kAdcTableStride,
+      10 * kAdcTableStride, 11 * kAdcTableStride, 12 * kAdcTableStride,
+      13 * kAdcTableStride, 14 * kAdcTableStride, 15 * kAdcTableStride);
+  const __m512i step = _mm512_set1_epi32(16 * kAdcTableStride);
+  __m512i base = lane;
+  __m512 acc = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= m; i += 16) {
+    const __m512i idx = _mm512_add_epi32(
+        base, _mm512_cvtepu8_epi32(_mm_loadu_si128(
+                  reinterpret_cast<const __m128i*>(code + i))));
+    acc = _mm512_add_ps(acc, _mm512_i32gather_ps(idx, lut, 4));
+    base = _mm512_add_epi32(base, step);
+  }
+  if (i < m) {
+    const __mmask16 k = static_cast<__mmask16>((1u << (m - i)) - 1);
+    const __m512i idx = _mm512_add_epi32(
+        base, _mm512_cvtepu8_epi32(_mm_maskz_loadu_epi8(k, code + i)));
+    acc = _mm512_add_ps(
+        acc, _mm512_mask_i32gather_ps(_mm512_setzero_ps(), k, idx, lut, 4));
+  }
+  return _mm512_reduce_add_ps(acc);
+}
+
+void Avx512Adcx4(const float* lut, const uint8_t* const* rows, size_t m,
+                 float* out) {
+  const __m512i lane = _mm512_setr_epi32(
+      0, 1 * kAdcTableStride, 2 * kAdcTableStride, 3 * kAdcTableStride,
+      4 * kAdcTableStride, 5 * kAdcTableStride, 6 * kAdcTableStride,
+      7 * kAdcTableStride, 8 * kAdcTableStride, 9 * kAdcTableStride,
+      10 * kAdcTableStride, 11 * kAdcTableStride, 12 * kAdcTableStride,
+      13 * kAdcTableStride, 14 * kAdcTableStride, 15 * kAdcTableStride);
+  const __m512i step = _mm512_set1_epi32(16 * kAdcTableStride);
+  __m512i base = lane;
+  __m512 acc[4];
+  for (size_t r = 0; r < 4; r++) acc[r] = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= m; i += 16) {
+    for (size_t r = 0; r < 4; r++) {
+      const __m512i idx = _mm512_add_epi32(
+          base, _mm512_cvtepu8_epi32(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(rows[r] + i))));
+      acc[r] = _mm512_add_ps(acc[r], _mm512_i32gather_ps(idx, lut, 4));
+    }
+    base = _mm512_add_epi32(base, step);
+  }
+  if (i < m) {
+    const __mmask16 k = static_cast<__mmask16>((1u << (m - i)) - 1);
+    for (size_t r = 0; r < 4; r++) {
+      const __m512i idx = _mm512_add_epi32(
+          base, _mm512_cvtepu8_epi32(_mm_maskz_loadu_epi8(k, rows[r] + i)));
+      acc[r] = _mm512_add_ps(
+          acc[r],
+          _mm512_mask_i32gather_ps(_mm512_setzero_ps(), k, idx, lut, 4));
+    }
+  }
+  for (size_t r = 0; r < 4; r++) out[r] = _mm512_reduce_add_ps(acc[r]);
+}
+
 constexpr KernelTable kAvx512Table = {
     "avx512",       Avx512L2F32,   Avx512DotF32,  Avx512L2F16,
     Avx512DotF16,   Avx512Norm2F16,
     Avx512L2I8,     Avx512DotI8,   Avx512Norm2I8,
     Avx512L2F32x4,  Avx512DotF32x4, Avx512L2F16x4, Avx512DotF16x4,
     Avx512L2I8x4,   Avx512DotI8x4,
+    Avx512Adc,      Avx512Adcx4,
 };
 
 }  // namespace

@@ -1,0 +1,82 @@
+// AVX-512 VBMI fast-scan kernel for quantized ADC LUTs. vpermi2b
+// resolves 64 byte lookups from a 128-byte table pair per instruction;
+// a 256-entry subspace table is two vpermi2b shuffles (low/high 128
+// bytes) blended on the index high bit. Accumulation runs in 16-bit
+// lanes (m <= 256 keeps 255 * m under 65536, enforced by
+// QuantizeAdcTable), so results are exactly the integer sums the scalar
+// reference computes — bit-identical, not just close.
+//
+// This file is the only one compiled with -mavx512vbmi; dispatch
+// (PqFastScanSimdAvailable in pq_fastscan.cc) checks the VBMI CPUID bit
+// before ever calling in, keeping the main AVX-512 tier usable on
+// CPUs without VBMI.
+#include "distance/pq_fastscan.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__) && \
+    defined(__AVX512VBMI__)
+
+#include <immintrin.h>
+
+namespace cagra {
+
+namespace {
+
+void Avx512VbmiFastScanImpl(const uint8_t* lut8, const uint8_t* codes_col,
+                            size_t col_stride, size_t n, size_t m,
+                            uint32_t* out) {
+  size_t r = 0;
+  for (; r + 64 <= n; r += 64) {
+    __m512i acc_lo = _mm512_setzero_si512();  // rows r .. r+31, u16 lanes
+    __m512i acc_hi = _mm512_setzero_si512();  // rows r+32 .. r+63
+    for (size_t s = 0; s < m; s++) {
+      const uint8_t* table = lut8 + s * 256;
+      const __m512i t0 = _mm512_loadu_si512(table);
+      const __m512i t1 = _mm512_loadu_si512(table + 64);
+      const __m512i t2 = _mm512_loadu_si512(table + 128);
+      const __m512i t3 = _mm512_loadu_si512(table + 192);
+      const __m512i idx =
+          _mm512_loadu_si512(codes_col + s * col_stride + r);
+      // vpermi2b uses idx bits [6:0]; bit 7 selects the table half.
+      const __m512i lo = _mm512_permutex2var_epi8(t0, idx, t1);
+      const __m512i hi = _mm512_permutex2var_epi8(t2, idx, t3);
+      const __mmask64 high_half = _mm512_movepi8_mask(idx);
+      const __m512i v = _mm512_mask_blend_epi8(high_half, lo, hi);
+      acc_lo = _mm512_add_epi16(
+          acc_lo, _mm512_cvtepu8_epi16(_mm512_castsi512_si256(v)));
+      acc_hi = _mm512_add_epi16(
+          acc_hi, _mm512_cvtepu8_epi16(_mm512_extracti64x4_epi64(v, 1)));
+    }
+    // Widen the four u16 quarters to u32 and store 64 results in order.
+    _mm512_storeu_si512(out + r,
+                        _mm512_cvtepu16_epi32(_mm512_castsi512_si256(acc_lo)));
+    _mm512_storeu_si512(
+        out + r + 16,
+        _mm512_cvtepu16_epi32(_mm512_extracti64x4_epi64(acc_lo, 1)));
+    _mm512_storeu_si512(out + r + 32,
+                        _mm512_cvtepu16_epi32(_mm512_castsi512_si256(acc_hi)));
+    _mm512_storeu_si512(
+        out + r + 48,
+        _mm512_cvtepu16_epi32(_mm512_extracti64x4_epi64(acc_hi, 1)));
+  }
+  if (r < n) {
+    // Integer sums are implementation-independent; the scalar reference
+    // finishes the sub-64-row tail with identical results.
+    PqFastScanScalar(lut8, codes_col + r, col_stride, n - r, m, out + r);
+  }
+}
+
+}  // namespace
+
+PqFastScanFn Avx512VbmiFastScan() { return &Avx512VbmiFastScanImpl; }
+
+}  // namespace cagra
+
+#else  // !(__AVX512F__ && __AVX512BW__ && __AVX512VL__ && __AVX512VBMI__)
+
+namespace cagra {
+
+PqFastScanFn Avx512VbmiFastScan() { return nullptr; }
+
+}  // namespace cagra
+
+#endif

@@ -101,6 +101,18 @@ float ScalarNorm2I8(const int8_t* code, const float* scale,
   return acc;
 }
 
+// ADC LUT scan: the gather-free scalar reference the SIMD variants are
+// pinned against. One sequential accumulator so the sum order is the
+// canonical one the PQ decode reference (PqDistance) mirrors.
+
+float ScalarAdc(const float* lut, const uint8_t* code, size_t m) {
+  float acc = 0.f;
+  for (size_t s = 0; s < m; s++) {
+    acc += lut[s * kAdcTableStride + code[s]];
+  }
+  return acc;
+}
+
 // Multi-row kernels: the scalar tier has no shared query stream to
 // amortize, so each row just runs the single-row kernel (trivially
 // bit-identical, which is all the batch entry points require).
@@ -149,12 +161,20 @@ void ScalarDotI8x4(const float* query, const int8_t* const* rows,
   }
 }
 
+void ScalarAdcx4(const float* lut, const uint8_t* const* rows, size_t m,
+                 float* out) {
+  for (size_t r = 0; r < kMultiRowWidth; r++) {
+    out[r] = ScalarAdc(lut, rows[r], m);
+  }
+}
+
 constexpr KernelTable kScalarTable = {
     "scalar",       ScalarL2F32,   ScalarDotF32,  ScalarL2F16,
     ScalarDotF16,   ScalarNorm2F16,
     ScalarL2I8,     ScalarDotI8,   ScalarNorm2I8,
     ScalarL2F32x4,  ScalarDotF32x4, ScalarL2F16x4, ScalarDotF16x4,
     ScalarL2I8x4,   ScalarDotI8x4,
+    ScalarAdc,      ScalarAdcx4,
 };
 
 }  // namespace

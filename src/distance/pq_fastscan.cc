@@ -1,0 +1,83 @@
+// Quantized-LUT ("fast scan") PQ block scan: scalar reference and the
+// runtime dispatch to the AVX-512 VBMI shuffle kernel. The VBMI kernel
+// itself lives in kernels_avx512vbmi.cc (its own translation unit, its
+// own ISA flags) because vpermi2b needs AVX512_VBMI, which is a separate
+// CPUID bit from the F+BW+VL set the main AVX-512 tier requires —
+// gating the whole tier on VBMI would drop Skylake-SP class machines.
+#include "distance/pq_fastscan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "distance/simd.h"
+
+namespace cagra {
+
+QuantizedAdcTable QuantizeAdcTable(const float* lut, size_t m) {
+  QuantizedAdcTable out;
+  if (m == 0 || m > 256) return out;
+  out.num_subspaces = m;
+
+  // Per-subspace minima become the bias (each row contributes exactly one
+  // entry per subspace); one global step spans the largest residual.
+  float bias = 0.0f;
+  float max_residual = 0.0f;
+  std::vector<float> mins(m);
+  for (size_t s = 0; s < m; s++) {
+    const float* row = lut + s * 256;
+    float lo = row[0], hi = row[0];
+    for (size_t c = 1; c < 256; c++) {
+      lo = std::min(lo, row[c]);
+      hi = std::max(hi, row[c]);
+    }
+    mins[s] = lo;
+    bias += lo;
+    max_residual = std::max(max_residual, hi - lo);
+  }
+  out.bias = bias;
+  out.scale = max_residual > 0 ? max_residual / 255.0f : 0.0f;
+
+  out.lut.resize(m * 256);
+  for (size_t s = 0; s < m; s++) {
+    const float* row = lut + s * 256;
+    uint8_t* qrow = out.lut.data() + s * 256;
+    for (size_t c = 0; c < 256; c++) {
+      const float q =
+          out.scale > 0 ? (row[c] - mins[s]) / out.scale : 0.0f;
+      qrow[c] = static_cast<uint8_t>(
+          std::clamp(std::lround(q), long{0}, long{255}));
+    }
+  }
+  return out;
+}
+
+void PqFastScanScalar(const uint8_t* lut8, const uint8_t* codes_col,
+                      size_t col_stride, size_t n, size_t m, uint32_t* out) {
+  for (size_t r = 0; r < n; r++) out[r] = 0;
+  for (size_t s = 0; s < m; s++) {
+    const uint8_t* table = lut8 + s * 256;
+    const uint8_t* col = codes_col + s * col_stride;
+    for (size_t r = 0; r < n; r++) out[r] += table[col[r]];
+  }
+}
+
+bool PqFastScanSimdAvailable() {
+  if (Avx512VbmiFastScan() == nullptr) return false;
+  // ActiveSimdLevel already folds in CAGRA_FORCE_SCALAR and the F+BW+VL
+  // baseline; VBMI is the one extra CPUID bit the shuffle kernel needs.
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return ActiveSimdLevel() == SimdLevel::kAvx512 &&
+         __builtin_cpu_supports("avx512vbmi");
+#else
+  return false;
+#endif
+}
+
+PqFastScanFn ActivePqFastScan() {
+  static const PqFastScanFn fn =
+      PqFastScanSimdAvailable() ? Avx512VbmiFastScan() : &PqFastScanScalar;
+  return fn;
+}
+
+}  // namespace cagra

@@ -1,0 +1,71 @@
+#ifndef CAGRA_DISTANCE_PQ_FASTSCAN_H_
+#define CAGRA_DISTANCE_PQ_FASTSCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cagra {
+
+/// 8-bit quantized form of a per-query ADC lookup table (the FAISS-style
+/// "fast scan" trick): every float entry becomes round((v - min_m) /
+/// scale) in [0, 255], accumulated with exact integer adds, and the
+/// float distance is recovered as `scale * acc + bias`. Integer
+/// accumulation is associative, so every fast-scan implementation —
+/// scalar reference or the AVX-512 VBMI shuffle kernel — produces
+/// bit-identical accumulators.
+struct QuantizedAdcTable {
+  size_t num_subspaces = 0;
+  float scale = 0.0f;  ///< LUT step; 0 when the table is degenerate/flat
+  float bias = 0.0f;   ///< sum of per-subspace minima
+  std::vector<uint8_t> lut;  ///< num_subspaces x 256
+
+  bool empty() const { return lut.empty(); }
+  /// Recovers the approximate float distance from a scan accumulator.
+  float Dequantize(uint32_t acc) const {
+    return scale * static_cast<float>(acc) + bias;
+  }
+};
+
+/// Quantizes a float ADC LUT (`m` subspaces x 256 entries, as built by
+/// BuildAdcTable for kL2 — or the negated-dot partials for
+/// kInnerProduct). Requires m <= 256 so the 16-bit lane accumulators of
+/// the SIMD kernel cannot overflow (255 * 256 < 65536); returns an
+/// empty table above that.
+QuantizedAdcTable QuantizeAdcTable(const float* lut, size_t m);
+
+/// Fast-scan signature: out[r] = sum over s < m of
+/// lut8[s * 256 + codes_col[s * col_stride + r]] for r < n. Codes are
+/// subspace-major ("column" layout, see SubspaceMajorCodes in
+/// dataset/pq.h) so one subspace's codes for a block of rows load as one
+/// contiguous vector.
+using PqFastScanFn = void (*)(const uint8_t* lut8, const uint8_t* codes_col,
+                              size_t col_stride, size_t n, size_t m,
+                              uint32_t* out);
+
+/// Portable reference implementation (also the tail handler of the SIMD
+/// kernel — integer math, so results are identical).
+void PqFastScanScalar(const uint8_t* lut8, const uint8_t* codes_col,
+                      size_t col_stride, size_t n, size_t m, uint32_t* out);
+
+/// AVX-512 VBMI kernel: per subspace, the 256-byte LUT lives in four zmm
+/// registers and two vpermi2b shuffles + a high-bit blend resolve 64 row
+/// lookups per step. nullptr when the tier was not compiled in.
+PqFastScanFn Avx512VbmiFastScan();
+
+/// True when the VBMI kernel is compiled in, the CPU supports it, and
+/// CAGRA_FORCE_SCALAR is not pinning the reference kernels.
+bool PqFastScanSimdAvailable();
+
+/// The implementation PqFastScan dispatches to (VBMI when available,
+/// scalar otherwise).
+PqFastScanFn ActivePqFastScan();
+
+inline void PqFastScan(const uint8_t* lut8, const uint8_t* codes_col,
+                       size_t col_stride, size_t n, size_t m, uint32_t* out) {
+  ActivePqFastScan()(lut8, codes_col, col_stride, n, m, out);
+}
+
+}  // namespace cagra
+
+#endif  // CAGRA_DISTANCE_PQ_FASTSCAN_H_

@@ -16,20 +16,25 @@ constexpr size_t kScanBlock = 256;
 constexpr uint32_t kNoSkip = 0xffffffffu;
 
 /// Shared body of every exhaustive scan: for each query index in
-/// [0, num_queries), scores the base in kScanBlock-row blocks via
-/// score(q, i0, block, dists), keeps the k nearest ids (excluding
-/// skip(q); pass kNoSkip for none), and hands the ascending-sorted
-/// result to emit(q, sorted). Parallelized over queries.
-template <typename ScoreFn, typename SkipFn, typename EmitFn>
+/// [0, num_queries), builds per-query state ctx = prepare(q) (ADC
+/// tables for PQ; a throwaway value elsewhere), scores the base in
+/// kScanBlock-row blocks via score(ctx, q, i0, block, dists), keeps the
+/// k nearest ids (excluding skip(q); pass kNoSkip for none), and hands
+/// the ascending-sorted result to emit(q, sorted). Parallelized over
+/// queries.
+template <typename PrepareFn, typename ScoreFn, typename SkipFn,
+          typename EmitFn>
 void BlockScan(size_t base_rows, size_t num_queries, size_t k,
-               const ScoreFn& score, const SkipFn& skip, const EmitFn& emit) {
+               const PrepareFn& prepare, const ScoreFn& score,
+               const SkipFn& skip, const EmitFn& emit) {
   GlobalThreadPool().ParallelFor(0, num_queries, [&](size_t q) {
+    const auto ctx = prepare(q);
     BoundedHeap heap(k);
     const uint32_t skip_id = skip(q);
     float block_dists[kScanBlock];
     for (size_t i0 = 0; i0 < base_rows; i0 += kScanBlock) {
       const size_t block = std::min(kScanBlock, base_rows - i0);
-      score(q, i0, block, block_dists);
+      score(ctx, q, i0, block, block_dists);
       for (size_t j = 0; j < block; j++) {
         if (i0 + j == skip_id) continue;
         if (block_dists[j] < heap.WorstDistance()) {
@@ -41,16 +46,20 @@ void BlockScan(size_t base_rows, size_t num_queries, size_t k,
   });
 }
 
+/// prepare(q) for the scans with no per-query state.
+inline int NoPrepare(size_t) { return 0; }
+
 /// BlockScan specialization shared by the ExactSearch overloads: scan
 /// everything (no self-skip) and emit into a fresh NeighborList.
-template <typename ScoreFn>
+template <typename PrepareFn, typename ScoreFn>
 NeighborList ScanToNeighborList(size_t base_rows, size_t num_queries,
-                                size_t k, const ScoreFn& score) {
+                                size_t k, const PrepareFn& prepare,
+                                const ScoreFn& score) {
   NeighborList out;
   out.k = k;
   out.ids.resize(num_queries * k, kNoSkip);
   out.distances.resize(num_queries * k, 0.0f);
-  BlockScan(base_rows, num_queries, k, score,
+  BlockScan(base_rows, num_queries, k, prepare, score,
             [](size_t) { return kNoSkip; },
             [&](size_t q, const auto& sorted) {
               for (size_t i = 0; i < sorted.size(); i++) {
@@ -67,8 +76,8 @@ NeighborList ExactSearch(const Matrix<float>& base,
                          const Matrix<float>& queries, size_t k,
                          Metric metric) {
   return ScanToNeighborList(
-      base.rows(), queries.rows(), k,
-      [&](size_t q, size_t i0, size_t block, float* dists) {
+      base.rows(), queries.rows(), k, NoPrepare,
+      [&](int, size_t q, size_t i0, size_t block, float* dists) {
         ComputeDistanceBatch(metric, queries.Row(q), base.Row(i0), block,
                              base.dim(), dists);
       });
@@ -78,11 +87,26 @@ NeighborList ExactSearch(const QuantizedDataset& base,
                          const Matrix<float>& queries, size_t k,
                          Metric metric) {
   return ScanToNeighborList(
-      base.rows(), queries.rows(), k,
-      [&](size_t q, size_t i0, size_t block, float* dists) {
+      base.rows(), queries.rows(), k, NoPrepare,
+      [&](int, size_t q, size_t i0, size_t block, float* dists) {
         ComputeDistanceBatch(metric, queries.Row(q), base.codes.Row(i0),
                              base.scale.data(), base.offset.data(), block,
                              base.dim(), dists);
+      });
+}
+
+NeighborList ExactSearch(const PqDataset& base, const Matrix<float>& queries,
+                         size_t k, Metric metric) {
+  return ScanToNeighborList(
+      base.rows(), queries.rows(), k,
+      [&](size_t q) {
+        PqAdcTable table;
+        BuildAdcTable(base, queries.Row(q), metric, &table);
+        return table;
+      },
+      [&](const PqAdcTable& table, size_t, size_t i0, size_t block,
+          float* dists) {
+        ComputeDistanceAdcBatch(table, base.codes.Row(i0), block, dists);
       });
 }
 
@@ -100,8 +124,8 @@ FixedDegreeGraph ExactKnnGraph(const Matrix<float>& base, size_t k,
                                Metric metric) {
   FixedDegreeGraph g(base.rows(), k);
   BlockScan(
-      base.rows(), base.rows(), k,
-      [&](size_t v, size_t i0, size_t block, float* dists) {
+      base.rows(), base.rows(), k, NoPrepare,
+      [&](int, size_t v, size_t i0, size_t block, float* dists) {
         ComputeDistanceBatch(metric, base.Row(v), base.Row(i0), block,
                              base.dim(), dists);
       },

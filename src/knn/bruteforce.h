@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "dataset/matrix.h"
+#include "dataset/pq.h"
 #include "dataset/quantize.h"
 #include "dataset/recall.h"
 #include "distance/distance.h"
@@ -26,6 +27,14 @@ NeighborList ExactSearch(const Matrix<float>& base,
 NeighborList ExactSearch(const QuantizedDataset& base,
                          const Matrix<float>& queries, size_t k,
                          Metric metric);
+
+/// Exhaustive ADC scan over a product-quantized dataset: one ADC table
+/// per query (built once, M x 256 entries), then every code row scored
+/// through the dispatched LUT-scan kernels. Results are exact w.r.t.
+/// the ADC distances (asymmetric: query stays fp32, rows decode through
+/// the codebook implicitly).
+NeighborList ExactSearch(const PqDataset& base, const Matrix<float>& queries,
+                         size_t k, Metric metric);
 
 /// Ground truth in the ivecs-like Matrix form consumed by ComputeRecall.
 Matrix<uint32_t> ComputeGroundTruth(const Matrix<float>& base,

@@ -34,8 +34,11 @@ class BoundedHeap {
   }
 
   /// Largest retained distance, or +inf when not yet full (any candidate
-  /// would be accepted).
+  /// would be accepted). A zero-capacity heap retains nothing, so it
+  /// reports -inf (no candidate can qualify) instead of reading
+  /// entries_.front() on an empty vector.
   float WorstDistance() const {
+    if (capacity_ == 0) return -kInf;
     if (entries_.size() < capacity_) return kInf;
     return entries_.front().distance;
   }

@@ -283,13 +283,36 @@ TEST_F(CagraSearchTest, RejectsFp16WithoutEnable) {
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST_F(CagraSearchTest, KLargerThanItopkIsClampedByItopkMax) {
+TEST_F(CagraSearchTest, RejectsExplicitItopkBelowK) {
+  // The header has always documented "Requires: params.k <= params.itopk",
+  // but the old check compared k against max(itopk, k) and could never
+  // fire — a degenerate request was silently reshaped instead of
+  // rejected.
   SearchParams params;
   params.k = 32;
-  params.itopk = 8;  // itopk is raised to k internally
+  params.itopk = 8;
+  auto r = Search(*index_, data_->queries, params);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CagraSearchTest, AutoItopkZeroWidensToK) {
+  SearchParams params;
+  params.k = 32;
+  params.itopk = 0;  // auto: resolves to max(64, k)
   auto r = Search(*index_, data_->queries, params);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->neighbors.k, 32u);
+}
+
+TEST_F(CagraSearchTest, DefaultParamsAcceptLargeK) {
+  // Untouched SearchParams must keep working for k beyond the old
+  // default itopk of 64 (the auto default widens, never rejects).
+  SearchParams params;
+  params.k = 100;
+  auto r = Search(*index_, data_->queries, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->neighbors.k, 100u);
 }
 
 // ---------------------------------------------------------- team size

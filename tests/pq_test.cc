@@ -1,0 +1,341 @@
+// Product-quantization tests. CTest runs this binary twice — natively
+// and under CAGRA_FORCE_SCALAR=1 (pq_test_scalar) — so the ADC LUT-scan
+// path is covered through both the SIMD and the reference kernels, and
+// the fast-scan dispatch is exercised with and without the VBMI kernel.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/search.h"
+#include "dataset/pq.h"
+#include "dataset/profile.h"
+#include "dataset/recall.h"
+#include "dataset/synthetic.h"
+#include "distance/pq_fastscan.h"
+#include "distance/simd.h"
+#include "knn/bruteforce.h"
+#include "util/rng.h"
+
+namespace cagra {
+namespace {
+
+using distance_kernels::kAdcTableStride;
+using distance_kernels::KernelTable;
+using distance_kernels::kMultiRowWidth;
+
+PqTrainParams FastTrain(size_t num_subspaces = 0) {
+  PqTrainParams tp;
+  tp.num_subspaces = num_subspaces;
+  tp.kmeans_iterations = 3;
+  tp.sample_size = 512;
+  return tp;
+}
+
+// ------------------------------------------------------------ training
+
+TEST(PqTrainTest, ShapesAndBytes) {
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), 600, 4, 3);
+  const PqDataset pq = TrainPq(data.base, FastTrain());
+  const size_t dim = data.base.dim();
+  EXPECT_EQ(pq.rows(), 600u);
+  EXPECT_EQ(pq.dim, dim);
+  EXPECT_EQ(pq.num_subspaces(), dim / 4);  // auto M = dim/4
+  EXPECT_EQ(pq.dsub, 4u);
+  EXPECT_EQ(pq.RowBytes(), dim / 4);  // 1/16 of the fp32 row
+  EXPECT_EQ(pq.centroids.size(),
+            pq.num_subspaces() * PqDataset::kNumCentroids * pq.dsub);
+  EXPECT_EQ(pq.centroid_norm2.size(),
+            pq.num_subspaces() * PqDataset::kNumCentroids);
+}
+
+TEST(PqTrainTest, EmptyDataset) {
+  Matrix<float> empty;
+  EXPECT_TRUE(TrainPq(empty).empty());
+}
+
+TEST(PqTrainTest, ReconstructionTracksData) {
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), 1500, 4, 7);
+  const PqDataset pq = TrainPq(data.base, FastTrain());
+  double err = 0, ref = 0;
+  for (size_t r = 0; r < pq.rows(); r++) {
+    for (size_t d = 0; d < pq.dim; d++) {
+      const double e = pq.Decode(r, d) - data.base.Row(r)[d];
+      err += e * e;
+      ref += static_cast<double>(data.base.Row(r)[d]) * data.base.Row(r)[d];
+    }
+  }
+  // Clustered synthetic data with 256 centroids per 4-dim subspace:
+  // quantization noise must be a small fraction of the signal energy.
+  EXPECT_LT(err / ref, 0.15);
+}
+
+TEST(PqTrainTest, NonDivisibleDimZeroPadsTail) {
+  Matrix<float> m(300, 10);
+  Pcg32 rng(5);
+  for (auto& x : *m.mutable_data()) x = rng.NextFloat() * 2.0f - 1.0f;
+  const PqDataset pq = TrainPq(m, FastTrain(/*num_subspaces=*/4));
+  EXPECT_EQ(pq.num_subspaces(), 4u);
+  EXPECT_EQ(pq.dsub, 3u);  // ceil(10 / 4), 2 padded dims
+  // Padded dimensions never contribute: the ADC distance equals the
+  // decode reference, which only sees real dims plus exact zeros.
+  std::vector<float> query(10);
+  for (auto& x : query) x = rng.NextFloat();
+  PqAdcTable t;
+  BuildAdcTable(pq, query.data(), Metric::kL2, &t);
+  for (size_t r = 0; r < 20; r++) {
+    EXPECT_NEAR(ComputeDistanceAdc(t, pq.codes.Row(r)),
+                PqDistance(Metric::kL2, query.data(), pq, r), 1e-4f)
+        << r;
+  }
+}
+
+// ------------------------------------------------------- ADC LUT scan
+
+TEST(PqAdcTest, AdcMatchesDecodeReference) {
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 400, 8, 11);
+  const PqDataset pq = TrainPq(data.base, FastTrain());
+  const bool scalar = ActiveSimdLevel() == SimdLevel::kScalar;
+  for (Metric metric :
+       {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+    for (size_t q = 0; q < data.queries.rows(); q++) {
+      PqAdcTable t;
+      BuildAdcTable(pq, data.queries.Row(q), metric, &t);
+      for (size_t r = 0; r < 50; r++) {
+        const float adc = ComputeDistanceAdc(t, pq.codes.Row(r));
+        const float ref = PqDistance(metric, data.queries.Row(q), pq, r);
+        if (scalar && metric != Metric::kCosine) {
+          // The scalar scan sums the same partials in the same order as
+          // the decode reference — exactly, not approximately.
+          EXPECT_EQ(adc, ref) << MetricName(metric) << " q=" << q
+                              << " r=" << r;
+        } else {
+          EXPECT_NEAR(adc, ref,
+                      std::max(1e-4f, std::abs(ref) * 1e-4f))
+              << MetricName(metric) << " q=" << q << " r=" << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(PqAdcTest, MultiRowBitIdenticalToSingleRow) {
+  const KernelTable& k = ActiveKernelTable();
+  Pcg32 rng(99);
+  for (size_t m : {1ul, 3ul, 8ul, 16ul, 17ul, 24ul, 31ul, 64ul}) {
+    std::vector<float> lut(m * kAdcTableStride);
+    for (auto& x : lut) x = rng.NextFloat() * 2.0f;
+    Matrix<uint8_t> codes(kMultiRowWidth, m);
+    for (auto& c : *codes.mutable_data()) {
+      c = static_cast<uint8_t>(rng.NextBounded(256));
+    }
+    // Overrepresent the table extremes.
+    codes.MutableRow(0)[0] = 0;
+    codes.MutableRow(1)[m - 1] = 255;
+    const uint8_t* rows[kMultiRowWidth];
+    for (size_t r = 0; r < kMultiRowWidth; r++) rows[r] = codes.Row(r);
+    float out[kMultiRowWidth];
+    k.adcx4(lut.data(), rows, m, out);
+    for (size_t r = 0; r < kMultiRowWidth; r++) {
+      EXPECT_EQ(out[r], k.adc(lut.data(), rows[r], m))
+          << "tier=" << k.name << " m=" << m << " row=" << r;
+    }
+  }
+}
+
+TEST(PqAdcTest, SimdAdcMatchesScalarReference) {
+  const KernelTable& scalar = KernelTableForLevel(SimdLevel::kScalar);
+  const KernelTable& active = ActiveKernelTable();
+  Pcg32 rng(123);
+  for (size_t m : {1ul, 7ul, 8ul, 16ul, 24ul, 40ul, 96ul}) {
+    std::vector<float> lut(m * kAdcTableStride);
+    for (auto& x : lut) x = rng.NextFloat();
+    std::vector<uint8_t> code(m);
+    for (auto& c : code) c = static_cast<uint8_t>(rng.NextBounded(256));
+    const float ref = scalar.adc(lut.data(), code.data(), m);
+    EXPECT_NEAR(active.adc(lut.data(), code.data(), m), ref,
+                std::max(1e-5f, ref * 1e-5f))
+        << "tier=" << active.name << " m=" << m;
+  }
+}
+
+TEST(PqAdcTest, BatchAndGatherMatchPairwise) {
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 300, 2, 17);
+  const PqDataset pq = TrainPq(data.base, FastTrain());
+  const size_t n = pq.rows();
+  for (Metric metric :
+       {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+    PqAdcTable t;
+    BuildAdcTable(pq, data.queries.Row(0), metric, &t);
+    std::vector<float> batch(n);
+    ComputeDistanceAdcBatch(t, pq.codes.data().data(), n, batch.data());
+    std::vector<uint32_t> ids(n);
+    for (size_t i = 0; i < n; i++) ids[i] = static_cast<uint32_t>(n - 1 - i);
+    std::vector<float> gathered(n);
+    ComputeDistanceAdcGather(t, pq.codes.data().data(), ids.data(), n,
+                             gathered.data());
+    for (size_t i = 0; i < n; i++) {
+      EXPECT_EQ(batch[i], ComputeDistanceAdc(t, pq.codes.Row(i)))
+          << MetricName(metric) << " batch i=" << i;
+      EXPECT_EQ(gathered[i], ComputeDistanceAdc(t, pq.codes.Row(ids[i])))
+          << MetricName(metric) << " gather i=" << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------- fast scan
+
+TEST(PqFastScanTest, ImplementationsBitIdentical) {
+  Pcg32 rng(7);
+  for (size_t m : {1ul, 8ul, 24ul, 256ul}) {
+    for (size_t n : {1ul, 63ul, 64ul, 65ul, 200ul}) {
+      std::vector<uint8_t> lut8(m * 256);
+      for (auto& x : lut8) x = static_cast<uint8_t>(rng.NextBounded(256));
+      std::vector<uint8_t> codes_col(m * n);
+      for (auto& x : codes_col) {
+        x = static_cast<uint8_t>(rng.NextBounded(256));
+      }
+      std::vector<uint32_t> ref(n), got(n);
+      PqFastScanScalar(lut8.data(), codes_col.data(), n, n, m, ref.data());
+      PqFastScan(lut8.data(), codes_col.data(), n, n, m, got.data());
+      EXPECT_EQ(got, ref) << "m=" << m << " n=" << n;
+      // When the VBMI kernel is compiled in, pin it directly too (the
+      // dispatched path above may legitimately be the scalar one).
+      if (Avx512VbmiFastScan() != nullptr && PqFastScanSimdAvailable()) {
+        Avx512VbmiFastScan()(lut8.data(), codes_col.data(), n, n, m,
+                             got.data());
+        EXPECT_EQ(got, ref) << "vbmi m=" << m << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(PqFastScanTest, RejectsOversizedSubspaceCount) {
+  std::vector<float> lut(257 * 256, 0.0f);
+  EXPECT_TRUE(QuantizeAdcTable(lut.data(), 257).empty());
+  EXPECT_TRUE(QuantizeAdcTable(lut.data(), 0).empty());
+}
+
+TEST(PqFastScanTest, QuantizedScanApproximatesFloatAdc) {
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 500, 2, 29);
+  const PqDataset pq = TrainPq(data.base, FastTrain());
+  PqAdcTable t;
+  BuildAdcTable(pq, data.queries.Row(0), Metric::kL2, &t);
+  const QuantizedAdcTable q8 =
+      QuantizeAdcTable(t.dist.data(), t.num_subspaces);
+  ASSERT_FALSE(q8.empty());
+  const std::vector<uint8_t> codes_col = SubspaceMajorCodes(pq);
+  std::vector<uint32_t> acc(pq.rows());
+  PqFastScan(q8.lut.data(), codes_col.data(), pq.rows(), pq.rows(),
+             q8.num_subspaces, acc.data());
+  // 8-bit LUT quantization: error bounded by one step per subspace.
+  const float tol = q8.scale * static_cast<float>(q8.num_subspaces);
+  for (size_t r = 0; r < pq.rows(); r++) {
+    const float exact = ComputeDistanceAdc(t, pq.codes.Row(r));
+    EXPECT_NEAR(q8.Dequantize(acc[r]), exact, std::max(tol, 1e-3f))
+        << "r=" << r;
+  }
+}
+
+// --------------------------------------------------------- bruteforce
+
+TEST(PqBruteforceTest, TopKAgreesWithFp32Exact) {
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 1500, 16, 13);
+  const PqDataset pq = TrainPq(data.base, FastTrain());
+  const auto exact = ExactSearch(data.base, data.queries, 10, p->metric);
+  const auto adc = ExactSearch(pq, data.queries, 10, p->metric);
+  ASSERT_EQ(adc.ids.size(), exact.ids.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < data.queries.rows(); i++) {
+    for (size_t a = 0; a < 10; a++) {
+      for (size_t b = 0; b < 10; b++) {
+        if (adc.ids[i * 10 + a] == exact.ids[i * 10 + b]) {
+          hits++;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(hits) /
+                static_cast<double>(10 * data.queries.rows()),
+            0.7);
+}
+
+// ------------------------------------------------- end-to-end search
+
+TEST(PqSearchTest, RequiresEnable) {
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 500, 8, 5);
+  BuildParams bp;
+  bp.graph_degree = 8;
+  auto index = CagraIndex::Build(data.base, bp);
+  ASSERT_TRUE(index.ok());
+  SearchParams sp;
+  sp.k = 5;
+  auto r = Search(*index, data.queries, sp, Precision::kPq);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PqSearchTest, RecallFloorAndCompressedTraffic) {
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 2000, 32, 7);
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto index = CagraIndex::Build(data.base, bp);
+  ASSERT_TRUE(index.ok());
+  index->EnablePq();
+  EXPECT_TRUE(index->HasPq());
+  EXPECT_EQ(index->pq_dataset().RowBytes(), data.base.dim() / 4);
+
+  const auto gt = ComputeGroundTruth(data.base, data.queries, 10, p->metric);
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  sp.algo = SearchAlgo::kSingleCta;
+  auto fp32 = Search(*index, data.queries, sp, Precision::kFp32);
+  auto pq = Search(*index, data.queries, sp, Precision::kPq);
+  ASSERT_TRUE(fp32.ok());
+  ASSERT_TRUE(pq.ok());
+  // Absolute floor (measured ~0.86 on this synthetic setup): ADC
+  // distances are approximate, so PQ trails fp32 but must stay a
+  // usable storage mode in both native and forced-scalar runs.
+  EXPECT_GT(ComputeRecall(pq->neighbors, gt), 0.75);
+  // Row traffic compresses to M bytes/row; even with the per-query
+  // codebook charge the total device traffic must undercut fp32.
+  EXPECT_LT(pq->counters.device_vector_bytes,
+            fp32->counters.device_vector_bytes);
+  EXPECT_EQ(pq->launch.elem_bytes, 1u);
+}
+
+TEST(PqSearchTest, MultiCtaRecallMatchesSingleCta) {
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 2000, 32, 23);
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto index = CagraIndex::Build(data.base, bp);
+  ASSERT_TRUE(index.ok());
+  index->EnablePq();
+  const auto gt = ComputeGroundTruth(data.base, data.queries, 10, p->metric);
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  sp.algo = SearchAlgo::kMultiCta;
+  sp.cta_per_query = 2;
+  auto multi = Search(*index, data.queries, sp, Precision::kPq);
+  ASSERT_TRUE(multi.ok());
+  sp.algo = SearchAlgo::kSingleCta;
+  auto single = Search(*index, data.queries, sp, Precision::kPq);
+  ASSERT_TRUE(single.ok());
+  EXPECT_NEAR(ComputeRecall(multi->neighbors, gt),
+              ComputeRecall(single->neighbors, gt), 0.1);
+  EXPECT_GT(ComputeRecall(multi->neighbors, gt), 0.7);
+}
+
+}  // namespace
+}  // namespace cagra

@@ -2,6 +2,7 @@
 // CAGRA_FORCE_SCALAR=1 (quantize_test_scalar) — so the int8 search path
 // is covered through both the SIMD and the reference kernels.
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -85,6 +86,50 @@ TEST(QuantizeTest, EmptyDataset) {
   Matrix<float> empty;
   const QuantizedDataset q = QuantizeInt8(empty);
   EXPECT_TRUE(q.empty());
+}
+
+TEST(QuantizeTest, NonFiniteValuesDoNotPoisonTheFit) {
+  // Regression: a single NaN/Inf used to poison scale/offset for its
+  // whole dimension (NaN range, or an Inf-wide range whose scale
+  // flattened every finite value to one code).
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  Matrix<float> m(5, 2);
+  const float values[10] = {0.0f,  1.0f,  2.0f,           -1.0f,
+                            4.0f,  kInf, 6.0f,            -kInf,
+                            8.0f,  std::numeric_limits<float>::quiet_NaN()};
+  std::copy(values, values + 10, m.mutable_data()->begin());
+  const QuantizedDataset q = QuantizeInt8(m);
+  // The fit covers only the finite values of dim 1 ([-1, 1]).
+  EXPECT_TRUE(std::isfinite(q.scale[1]));
+  EXPECT_TRUE(std::isfinite(q.offset[1]));
+  for (size_t i = 0; i < 5; i++) {
+    // Dim 0 is all-finite [0, 8] and must decode within half a step.
+    EXPECT_NEAR(q.Decode(i, 0), m.Row(i)[0], q.scale[0] * 0.51f) << i;
+  }
+  // Finite entries of the poisoned dimension still decode faithfully.
+  EXPECT_NEAR(q.Decode(0, 1), 1.0f, q.scale[1] * 0.51f);
+  EXPECT_NEAR(q.Decode(1, 1), -1.0f, q.scale[1] * 0.51f);
+  // Non-finite entries clamp into the fitted range instead of hitting
+  // lround's undefined behavior: +Inf -> max, -Inf -> min, NaN -> center.
+  EXPECT_NEAR(q.Decode(2, 1), 1.0f, q.scale[1] * 0.51f);
+  EXPECT_NEAR(q.Decode(3, 1), -1.0f, q.scale[1] * 0.51f);
+  EXPECT_TRUE(std::isfinite(q.Decode(4, 1)));
+}
+
+TEST(QuantizeTest, AllNonFiniteDimensionIsStable) {
+  Matrix<float> m(3, 2);
+  for (size_t i = 0; i < 3; i++) {
+    m.MutableRow(i)[0] = std::numeric_limits<float>::quiet_NaN();
+    m.MutableRow(i)[1] = static_cast<float>(i);
+  }
+  const QuantizedDataset q = QuantizeInt8(m);
+  // Same convention as a zero-range dimension: unit scale, finite offset.
+  EXPECT_EQ(q.scale[0], 1.0f);
+  EXPECT_TRUE(std::isfinite(q.offset[0]));
+  for (size_t i = 0; i < 3; i++) {
+    EXPECT_TRUE(std::isfinite(q.Decode(i, 0))) << i;
+    EXPECT_NEAR(q.Decode(i, 1), static_cast<float>(i), q.scale[1] * 0.51f);
+  }
 }
 
 TEST(QuantizeTest, CosineOperatesOnDecodedValuesNotFp32) {

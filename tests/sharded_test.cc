@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <cmath>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -120,6 +122,112 @@ TEST_F(ShardedTest, SingleShardMatchesPlainIndexResults) {
   ASSERT_TRUE(r1.ok());
   // Round-robin with one shard is the identity mapping.
   EXPECT_EQ(rs->neighbors.ids, r1->neighbors.ids);
+}
+
+TEST_F(ShardedTest, RejectsZeroK) {
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto index = ShardedCagraIndex::Build(data_->base, bp, 2);
+  ASSERT_TRUE(index.ok());
+  SearchParams sp;
+  sp.k = 0;
+  auto r = index->Search(data_->queries, sp);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardedTest, MetadataAggregatesOverShards) {
+  // Regression: cost, launch, and host_threads used to be copied from
+  // shard 0 alone. They must reflect the aggregate run: counters sum,
+  // host_threads is the widest shard, and the modeled cost is the
+  // slowest shard's breakdown (what the parallel execution waits for).
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto index = ShardedCagraIndex::Build(data_->base, bp, 4);
+  ASSERT_TRUE(index.ok());
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  auto sharded = index->Search(data_->queries, sp);
+  ASSERT_TRUE(sharded.ok());
+
+  // Re-run each shard individually (deterministic, identical inputs).
+  double max_cost = 0.0;
+  size_t max_threads = 0;
+  size_t sum_distances = 0;
+  for (size_t s = 0; s < index->num_shards(); s++) {
+    auto one = Search(index->shard(s), data_->queries, sp);
+    ASSERT_TRUE(one.ok());
+    max_cost = std::max(max_cost, one->cost.total);
+    max_threads = std::max(max_threads, one->host_threads);
+    sum_distances += one->counters.distance_computations;
+  }
+  EXPECT_DOUBLE_EQ(sharded->cost.total, max_cost);
+  EXPECT_EQ(sharded->host_threads, max_threads);
+  EXPECT_EQ(sharded->counters.distance_computations, sum_distances);
+  // The launch config must belong to the slowest shard (whose cost was
+  // reported), i.e. describe the same batch every shard ran.
+  EXPECT_EQ(sharded->launch.batch, data_->queries.rows());
+}
+
+TEST_F(ShardedTest, KLargerThanShardRowsMergesAcrossShards) {
+  // Each shard holds 6 rows; k = 8 forces every per-shard result list to
+  // carry 0xffffffff padding entries that the merge must filter while
+  // still assembling a full global top-k from the union.
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto small = GenerateDataset(*p, 12, 4, 99);
+  BuildParams bp;
+  bp.graph_degree = 4;
+  auto index = ShardedCagraIndex::Build(small.base, bp, 2);
+  ASSERT_TRUE(index.ok());
+  SearchParams sp;
+  sp.k = 8;
+  sp.itopk = 16;
+  auto r = index->Search(small.queries, sp);
+  ASSERT_TRUE(r.ok());
+  for (size_t q = 0; q < small.queries.rows(); q++) {
+    std::set<uint32_t> seen;
+    for (size_t i = 0; i < 8; i++) {
+      const uint32_t id = r->neighbors.ids[q * 8 + i];
+      // 12 total rows > k = 8: the merged list must be fully populated
+      // with valid global ids — no padding may leak through.
+      ASSERT_NE(id, 0xffffffffu) << "q=" << q << " i=" << i;
+      EXPECT_LT(id, small.base.rows());
+      EXPECT_TRUE(seen.insert(id).second) << "dup id, q=" << q;
+      EXPECT_TRUE(std::isfinite(r->neighbors.distances[q * 8 + i]));
+    }
+  }
+}
+
+TEST_F(ShardedTest, PaddingFilteredWhenKExceedsDataset) {
+  // k = 10 > 8 total rows: even the merged global list cannot fill k,
+  // and the tail must be the canonical 0xffffffff/inf padding.
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto tiny = GenerateDataset(*p, 8, 3, 101);
+  BuildParams bp;
+  bp.graph_degree = 2;
+  auto index = ShardedCagraIndex::Build(tiny.base, bp, 2);
+  ASSERT_TRUE(index.ok());
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 16;
+  auto r = index->Search(tiny.queries, sp);
+  ASSERT_TRUE(r.ok());
+  for (size_t q = 0; q < tiny.queries.rows(); q++) {
+    size_t valid = 0;
+    for (size_t i = 0; i < 10; i++) {
+      const uint32_t id = r->neighbors.ids[q * 10 + i];
+      if (id != 0xffffffffu) {
+        EXPECT_LT(id, tiny.base.rows());
+        valid++;
+      } else {
+        EXPECT_TRUE(std::isinf(r->neighbors.distances[q * 10 + i]));
+      }
+    }
+    // All 8 real rows are reachable by the union of the two shards'
+    // exhaustive-breadth searches.
+    EXPECT_EQ(valid, tiny.base.rows()) << "q=" << q;
+  }
 }
 
 TEST_F(ShardedTest, ModeledTimeIsMaxShardNotSum) {

@@ -229,6 +229,18 @@ TEST(BoundedHeapTest, ZeroCapacityRejectsAll) {
   EXPECT_EQ(heap.Size(), 0u);
 }
 
+TEST(BoundedHeapTest, ZeroCapacityWorstDistanceIsSafe) {
+  // Regression: WorstDistance() on a zero-capacity heap used to read
+  // entries_.front() of an empty vector (size < capacity was false for
+  // 0 < 0). It must report "nothing can qualify" instead.
+  BoundedHeap heap(0);
+  EXPECT_LT(heap.WorstDistance(), 0.0f);
+  EXPECT_FALSE(1.0f < heap.WorstDistance());  // the bruteforce guard
+  heap.Push(1.0f, 7);
+  EXPECT_EQ(heap.Size(), 0u);
+  EXPECT_TRUE(heap.ExtractSorted().empty());
+}
+
 TEST(BoundedHeapTest, TiesBrokenById) {
   BoundedHeap heap(4);
   heap.Push(1.f, 9);

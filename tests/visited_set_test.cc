@@ -47,6 +47,30 @@ TEST(VisitedSetTest, FullTableRecordsOverflowAndTreatsAsUnvisited) {
   EXPECT_EQ(set.stats().overflows, 1u);
 }
 
+TEST(VisitedSetTest, FullTableStillRejectsPresentKeys) {
+  // Regression: once the table was full, InsertIfAbsent reported *every*
+  // key as newly unvisited without probing — present keys included —
+  // inflating recomputation and recording rejects as overflows.
+  VisitedSet set(16);
+  for (uint32_t i = 0; i < 16; i++) {
+    ASSERT_TRUE(set.InsertIfAbsent(i * 1000 + 1));
+  }
+  for (uint32_t i = 0; i < 16; i++) {
+    EXPECT_FALSE(set.InsertIfAbsent(i * 1000 + 1)) << i;
+  }
+  EXPECT_EQ(set.stats().rejects, 16u);
+  EXPECT_EQ(set.stats().overflows, 0u);
+  // Absent keys on a full table are the only overflow case.
+  const size_t probes_before = set.stats().probes;
+  EXPECT_TRUE(set.InsertIfAbsent(999999));
+  EXPECT_TRUE(set.InsertIfAbsent(424242));
+  EXPECT_EQ(set.stats().overflows, 2u);
+  // The full-table probe is bounded by the capacity (no infinite loop
+  // on a table with no empty stop slot).
+  EXPECT_LE(set.stats().probes - probes_before, 2 * set.capacity());
+  EXPECT_EQ(set.size(), set.capacity());
+}
+
 TEST(VisitedSetTest, StatsCountProbesInsertsRejects) {
   VisitedSet set(64);
   set.InsertIfAbsent(1);
