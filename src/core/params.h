@@ -73,6 +73,14 @@ struct SearchParams {
   /// pool. Results are byte-identical at any setting — per-query work
   /// is independent and seeded — so this is purely a throughput knob.
   size_t num_threads = 0;
+  /// Queries per chunk of the streaming sharded pipeline
+  /// (ShardedCagraIndex::Search): each shard searches the batch
+  /// chunk-by-chunk and finished chunks merge while later ones are
+  /// still in flight. 0 = auto (~4 chunks per batch, min 8 rows).
+  /// Results are byte-identical at any chunk size — the merge order is
+  /// pinned per chunk and batch-shape auto choices are resolved on the
+  /// full batch — so this, too, is purely a throughput knob.
+  size_t shard_chunk_queries = 0;
 };
 
 /// Thresholds of the Fig. 7 implementation-choice rule. The paper

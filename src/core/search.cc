@@ -29,7 +29,10 @@ size_t ResolveCtaPerQuery(const SearchParams& params, const DeviceSpec& dev,
                           size_t batch, size_t itopk) {
   if (params.cta_per_query != 0) return params.cta_per_query;
   // Enough CTAs to cover the requested breadth (each holds a 32-entry
-  // local list) and to saturate the device at small batch sizes.
+  // local list) and to saturate the device at small batch sizes. An
+  // empty batch launches nothing; resolve it like batch 1 so the
+  // division below cannot fault.
+  if (batch == 0) batch = 1;
   size_t by_breadth = (itopk + kMultiCtaLocalTopM - 1) / kMultiCtaLocalTopM;
   size_t by_fill = batch < dev.sm_count
                        ? (2 * dev.sm_count + batch - 1) / batch
@@ -38,6 +41,31 @@ size_t ResolveCtaPerQuery(const SearchParams& params, const DeviceSpec& dev,
 }
 
 }  // namespace
+
+Matrix<float> SliceQueries(const Matrix<float>& queries, size_t begin,
+                           size_t count) {
+  Matrix<float> out(count, queries.dim());
+  for (size_t r = 0; r < count; r++) {
+    const float* src = queries.Row(begin + r);
+    std::copy(src, src + queries.dim(), out.MutableRow(r));
+  }
+  return out;
+}
+
+SearchParams ResolveBatchShape(const SearchParams& params,
+                               const DeviceSpec& device, size_t batch) {
+  SearchParams out = params;
+  ModeThresholds thresholds;
+  thresholds.max_batch_for_multi = device.sm_count;
+  const size_t itopk = internal_search::ResolveItopk(params);
+  if (out.algo == SearchAlgo::kAuto) {
+    out.algo = ChooseAlgo(batch, itopk, thresholds);
+  }
+  if (out.algo == SearchAlgo::kMultiCta && out.cta_per_query == 0) {
+    out.cta_per_query = ResolveCtaPerQuery(params, device, batch, itopk);
+  }
+  return out;
+}
 
 size_t PickTeamSize(const DeviceSpec& device, size_t dim, size_t elem_bytes,
                     size_t threads_per_cta, size_t candidates_per_iter) {
@@ -95,19 +123,15 @@ Result<SearchResult> Search(const CagraIndex& index,
   const size_t d = index.degree();
 
   // --- Mode selection (Fig. 7 rule; thresholds track the device).
-  ModeThresholds thresholds;
-  thresholds.max_batch_for_multi = device.sm_count;
-  SearchAlgo algo = params.algo;
-  if (algo == SearchAlgo::kAuto) {
-    algo = ChooseAlgo(batch, internal_search::ResolveItopk(params),
-                      thresholds);
-  }
+  // ResolveBatchShape is the single owner of the batch-shape auto
+  // choices so chunked callers (streaming sharded search) pin exactly
+  // what an unchunked run would pick.
+  const SearchParams shaped = ResolveBatchShape(params, device, batch);
+  const SearchAlgo algo = shaped.algo;
 
   ResolvedConfig cfg = ResolveConfig(params, algo, d, index.size());
   cfg.cta_per_query =
-      algo == SearchAlgo::kMultiCta
-          ? ResolveCtaPerQuery(params, device, batch, cfg.itopk)
-          : 1;
+      algo == SearchAlgo::kMultiCta ? shaped.cta_per_query : 1;
 
   const DatasetView dataset(index, precision);
 
@@ -156,11 +180,18 @@ Result<SearchResult> Search(const CagraIndex& index,
     // thread drains chunks alongside the workers (see ParallelForSlotted),
     // so it counts toward the width: a dedicated pool gets
     // num_threads - 1 workers, and host_threads reports workers + 1.
-    std::unique_ptr<ThreadPool> local_pool;
+    // The pool is cached per calling thread and reused while the width
+    // matches: chunked callers (streaming sharded search at an explicit
+    // width) issue many small searches back-to-back, and spawning +
+    // joining fresh threads per call would dominate tiny chunks.
     ThreadPool* pool = &GlobalThreadPool();
     if (params.num_threads > 1) {
-      local_pool = std::make_unique<ThreadPool>(params.num_threads - 1);
-      pool = local_pool.get();
+      static thread_local std::unique_ptr<ThreadPool> dedicated;
+      if (dedicated == nullptr ||
+          dedicated->num_threads() != params.num_threads - 1) {
+        dedicated = std::make_unique<ThreadPool>(params.num_threads - 1);
+      }
+      pool = dedicated.get();
     }
     host_threads = pool->num_threads() + 1;
     std::vector<std::unique_ptr<SearchScratch>> scratch(pool->num_slots());

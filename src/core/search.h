@@ -47,6 +47,22 @@ Result<SearchResult> Search(const CagraIndex& index,
 size_t PickTeamSize(const DeviceSpec& device, size_t dim, size_t elem_bytes,
                     size_t threads_per_cta, size_t candidates_per_iter);
 
+/// Copies query rows [begin, begin + count) into a standalone matrix —
+/// the unit of work the streaming sharded pipeline hands each shard.
+/// Requires begin + count <= queries.rows().
+Matrix<float> SliceQueries(const Matrix<float>& queries, size_t begin,
+                           size_t count);
+
+/// Pins the batch-shape-dependent auto choices — the Fig. 7
+/// algo rule and the multi-CTA width — as if all `batch` queries ran in
+/// one launch. Chunked execution (streaming sharded search) resolves
+/// these once on the full batch and hands every chunk the pinned
+/// params; otherwise a small final chunk could flip the execution mode
+/// and change the results relative to an unchunked run. Idempotent:
+/// explicit (non-auto) settings pass through untouched.
+SearchParams ResolveBatchShape(const SearchParams& params,
+                               const DeviceSpec& device, size_t batch);
+
 }  // namespace cagra
 
 #endif  // CAGRA_CORE_SEARCH_H_

@@ -1,10 +1,15 @@
 #include "core/sharded.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
+#include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "util/bounded_heap.h"
+#include "util/mpsc_queue.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -14,7 +19,48 @@ namespace {
 /// Host-side cost of gathering and merging S sorted k-lists for one
 /// query (PCIe transfer of k entries per shard + merge).
 constexpr double kMergeOverheadPerQueryShard = 2e-7;  // 200ns
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Effective chunk size of the streaming pipeline: the explicit request
+/// clamped to the batch, or the auto default of ~4 chunks per batch
+/// (minimum 8 rows, so tiny batches don't dissolve into per-row tasks).
+size_t ResolveShardChunk(size_t requested, size_t batch) {
+  if (requested == 0) requested = std::max<size_t>(8, (batch + 3) / 4);
+  return std::min(requested, batch);
+}
+
 }  // namespace
+
+void MergeShardTopK(const ShardMergeList* lists, size_t num_lists, size_t k,
+                    uint32_t* out_ids, float* out_distances) {
+  BoundedHeap heap(k);
+  for (size_t l = 0; l < num_lists; l++) {
+    const ShardMergeList& list = lists[l];
+    for (size_t i = 0; i < list.len; i++) {
+      uint32_t id = list.ids[i];
+      if (list.id_map != nullptr) {
+        if (id >= list.id_map_size) continue;  // padding
+        id = list.id_map[id];
+      } else if (id == kInvalidShardEntry) {
+        continue;
+      }
+      const float d = list.distances[i];
+      // Lists are sorted ascending by distance, so once the heap is full
+      // and this entry is strictly worse than the retained worst, the
+      // rest of the list cannot qualify either. Equal distances still
+      // enter — a smaller id can displace the worst under the
+      // (distance, id) order.
+      if (heap.Full() && d > heap.WorstDistance()) break;
+      heap.Push(d, id);
+    }
+  }
+  const auto sorted = heap.ExtractSorted();
+  for (size_t i = 0; i < k; i++) {
+    out_ids[i] = i < sorted.size() ? sorted[i].id : kInvalidShardEntry;
+    out_distances[i] = i < sorted.size() ? sorted[i].distance : kInf;
+  }
+}
 
 Result<ShardedCagraIndex> ShardedCagraIndex::Build(
     const Matrix<float>& dataset, const BuildParams& params,
@@ -29,7 +75,7 @@ Result<ShardedCagraIndex> ShardedCagraIndex::Build(
 
   Timer total;
   ShardedCagraIndex index;
-  index.shards_.reserve(num_shards);
+  index.shards_.resize(num_shards);
   index.global_ids_.assign(num_shards, {});
   ShardedBuildStats local;
   local.per_shard.resize(num_shards);
@@ -41,16 +87,29 @@ Result<ShardedCagraIndex> ShardedCagraIndex::Build(
     index.global_ids_[i % num_shards].push_back(static_cast<uint32_t>(i));
   }
 
-  for (size_t s = 0; s < num_shards; s++) {
+  // Shard builds run in parallel, mirroring the one-GPU-per-shard build.
+  // Each build is seeded and touches only its own slot, so the graphs
+  // and deterministic stats are identical to a sequential build (pinned
+  // by tests/sharded_test.cc); nested build parallelism composes via the
+  // re-entrant pool.
+  std::vector<Status> shard_status(num_shards);
+  GlobalThreadPool().ParallelFor(0, num_shards, [&](size_t s) {
     const auto& ids = index.global_ids_[s];
     Matrix<float> shard_data(ids.size(), dataset.dim());
-    for (size_t local = 0; local < ids.size(); local++) {
-      std::copy(dataset.Row(ids[local]), dataset.Row(ids[local]) + dataset.dim(),
-                shard_data.MutableRow(local));
+    for (size_t local_row = 0; local_row < ids.size(); local_row++) {
+      std::copy(dataset.Row(ids[local_row]),
+                dataset.Row(ids[local_row]) + dataset.dim(),
+                shard_data.MutableRow(local_row));
     }
     auto shard = CagraIndex::Build(shard_data, params, &local.per_shard[s]);
-    if (!shard.ok()) return shard.status();
-    index.shards_.push_back(std::move(shard.value()));
+    if (!shard.ok()) {
+      shard_status[s] = shard.status();
+      return;
+    }
+    index.shards_[s] = std::move(shard.value());
+  });
+  for (const Status& s : shard_status) {
+    if (!s.ok()) return s;
   }
 
   local.total_seconds = total.Seconds();
@@ -58,37 +117,67 @@ Result<ShardedCagraIndex> ShardedCagraIndex::Build(
   return index;
 }
 
-Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
-                                               const SearchParams& params,
-                                               Precision precision,
-                                               const DeviceSpec& device) const {
+void ShardedCagraIndex::EnableHalfPrecision() {
+  for (auto& shard : shards_) shard.EnableHalfPrecision();
+}
+
+void ShardedCagraIndex::EnableInt8Quantization() {
+  for (auto& shard : shards_) shard.EnableInt8Quantization();
+}
+
+void ShardedCagraIndex::EnablePq(const PqTrainParams& params) {
+  for (auto& shard : shards_) shard.EnablePq(params);
+}
+
+Status ShardedCagraIndex::ValidateSearch(const SearchParams& params) const {
   if (shards_.empty()) return Status::InvalidArgument("no shards built");
   if (params.k == 0) return Status::InvalidArgument("k must be >= 1");
+  return Status::Ok();
+}
 
-  struct Candidate {
-    float distance;
-    uint32_t id;
-  };
+void ShardedCagraIndex::MergeRows(
+    const std::vector<const SearchResult*>& shard_results, size_t begin,
+    size_t rows, size_t k, NeighborList* out) const {
+  const size_t num_shards = shard_results.size();
+  std::vector<ShardMergeList> lists(num_shards);
+  for (size_t q = 0; q < rows; q++) {
+    for (size_t s = 0; s < num_shards; s++) {
+      const NeighborList& n = shard_results[s]->neighbors;
+      lists[s] = {n.distances.data() + q * k, n.ids.data() + q * k, k,
+                  global_ids_[s].data(), global_ids_[s].size()};
+    }
+    MergeShardTopK(lists.data(), num_shards, k,
+                   out->ids.data() + (begin + q) * k,
+                   out->distances.data() + (begin + q) * k);
+  }
+}
+
+Result<SearchResult> ShardedCagraIndex::SearchBarrier(
+    const Matrix<float>& queries, const SearchParams& params,
+    Precision precision, const DeviceSpec& device) const {
+  Status valid = ValidateSearch(params);
+  if (!valid.ok()) return valid;
+
   const size_t k = params.k;
-  std::vector<std::vector<Candidate>> merged(queries.rows());
+  const size_t batch = queries.rows();
+  const size_t num_shards = shards_.size();
+
+  // Pin the batch-shape auto choices exactly as the streaming path does,
+  // so both paths hand every shard identical effective params.
+  const SearchParams shard_params = ResolveBatchShape(params, device, batch);
 
   SearchResult out;
   out.neighbors.k = k;
-  out.neighbors.ids.assign(queries.rows() * k, 0xffffffffu);
-  out.neighbors.distances.assign(queries.rows() * k,
-                                 std::numeric_limits<float>::infinity());
+  out.neighbors.ids.assign(batch * k, kInvalidShardEntry);
+  out.neighbors.distances.assign(batch * k, kInf);
 
-  // Shards search in parallel on the host pool, mirroring the paper's
-  // one-GPU-per-shard execution. The inner per-query ParallelFor nests
-  // inside this one; the pool is re-entrant so that composes safely.
-  // Merging stays sequential in shard order, which keeps the output
-  // independent of scheduling.
-  const size_t num_shards = shards_.size();
+  // Shards search the whole batch in parallel on the host pool; nothing
+  // merges until every shard has finished (the global barrier).
   std::vector<std::optional<Result<SearchResult>>> shard_results(num_shards);
   Timer host;
   auto search_shard = [&](size_t s) {
     shard_results[s].emplace(
-        cagra::Search(shards_[s], queries, params, precision, device));
+        cagra::Search(shards_[s], queries, shard_params, precision, device));
   };
   if (params.num_threads != 0) {
     // An explicit width is a total budget: run shards sequentially and
@@ -99,10 +188,6 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
   } else {
     GlobalThreadPool().ParallelFor(0, num_shards, search_shard);
   }
-  out.host_seconds = host.Seconds();
-  out.host_qps = out.host_seconds > 0
-                     ? static_cast<double>(queries.rows()) / out.host_seconds
-                     : 0.0;
 
   // Result metadata aggregates over *all* shards, not shard 0: counters
   // sum (additive work), host_threads takes the widest shard, and the
@@ -111,6 +196,7 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
   double slowest_shard = 0.0;
   size_t slowest_index = 0;
   out.host_threads = 0;
+  std::vector<const SearchResult*> merged(num_shards);
   for (size_t s = 0; s < num_shards; s++) {
     Result<SearchResult>& r = *shard_results[s];
     if (!r.ok()) return r.status();
@@ -120,29 +206,13 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
     }
     out.counters.Add(r->counters);
     out.host_threads = std::max(out.host_threads, r->host_threads);
-    for (size_t q = 0; q < queries.rows(); q++) {
-      for (size_t i = 0; i < k; i++) {
-        const uint32_t local_id = r->neighbors.ids[q * k + i];
-        if (local_id >= global_ids_[s].size()) continue;  // padding
-        merged[q].push_back(Candidate{r->neighbors.distances[q * k + i],
-                                      global_ids_[s][local_id]});
-      }
-    }
+    merged[s] = &r.value();
   }
-
-  for (size_t q = 0; q < queries.rows(); q++) {
-    auto& cands = merged[q];
-    std::sort(cands.begin(), cands.end(),
-              [](const Candidate& a, const Candidate& b) {
-                if (a.distance != b.distance) return a.distance < b.distance;
-                return a.id < b.id;
-              });
-    const size_t take = std::min(k, cands.size());
-    for (size_t i = 0; i < take; i++) {
-      out.neighbors.ids[q * k + i] = cands[i].id;
-      out.neighbors.distances[q * k + i] = cands[i].distance;
-    }
-  }
+  MergeRows(merged, 0, batch, k, &out.neighbors);
+  out.host_seconds = host.Seconds();
+  out.host_qps = out.host_seconds > 0
+                     ? static_cast<double>(batch) / out.host_seconds
+                     : 0.0;
 
   {
     const SearchResult& slowest = **shard_results[slowest_index];
@@ -153,13 +223,181 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
   }
 
   // Shards execute on independent devices in parallel; the query pays
-  // the slowest shard plus the host merge.
+  // the slowest shard plus the host merge of the *whole* batch — the
+  // serial tail the streaming pipeline exists to hide.
   out.modeled_seconds =
       slowest_shard + kMergeOverheadPerQueryShard *
-                          static_cast<double>(queries.rows() * shards_.size());
+                          static_cast<double>(batch * num_shards);
   out.modeled_qps = out.modeled_seconds > 0
-                        ? static_cast<double>(queries.rows()) /
-                              out.modeled_seconds
+                        ? static_cast<double>(batch) / out.modeled_seconds
+                        : 0.0;
+  return out;
+}
+
+Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
+                                               const SearchParams& params,
+                                               Precision precision,
+                                               const DeviceSpec& device) const {
+  Status valid = ValidateSearch(params);
+  if (!valid.ok()) return valid;
+
+  const size_t batch = queries.rows();
+  // Nothing to stream over; the barrier path handles the empty batch
+  // (and is trivially identical to it).
+  if (batch == 0) return SearchBarrier(queries, params, precision, device);
+
+  const size_t k = params.k;
+  const size_t num_shards = shards_.size();
+
+  // Auto choices that depend on the batch shape (execution mode,
+  // multi-CTA width) are resolved once on the full batch: a chunk must
+  // never search differently than the same rows would in an unchunked
+  // run, or chunking would change the results.
+  const SearchParams base_params = ResolveBatchShape(params, device, batch);
+  const size_t chunk_rows = ResolveShardChunk(params.shard_chunk_queries, batch);
+  const size_t num_chunks = (batch + chunk_rows - 1) / chunk_rows;
+
+  // Query chunks are sliced lazily, once each (whichever shard's task
+  // gets there first), and shared by the other shards' tasks — the
+  // copies overlap with running scans instead of serializing in front
+  // of the whole pipeline.
+  std::vector<Matrix<float>> chunks(num_chunks);
+  std::vector<std::once_flag> chunk_sliced(num_chunks);
+  auto chunk_queries = [&](size_t c) -> const Matrix<float>& {
+    std::call_once(chunk_sliced[c], [&queries, &chunks, c, chunk_rows,
+                                     batch] {
+      const size_t begin = c * chunk_rows;
+      chunks[c] =
+          SliceQueries(queries, begin, std::min(chunk_rows, batch - begin));
+    });
+    return chunks[c];
+  };
+
+  SearchResult out;
+  out.neighbors.k = k;
+  out.neighbors.ids.assign(batch * k, kInvalidShardEntry);
+  out.neighbors.distances.assign(batch * k, kInf);
+
+  // Pipeline state: every (chunk, shard) task writes its own result
+  // slot, then decrements the chunk's latch; the task that trips the
+  // latch publishes the chunk id through the bounded queue. The latch's
+  // acq_rel decrement orders every shard's result store before the
+  // publish, so the merger reads the slots race-free.
+  std::vector<std::optional<Result<SearchResult>>> results(num_chunks *
+                                                           num_shards);
+  std::vector<std::atomic<size_t>> remaining(num_chunks);
+  for (auto& r : remaining) r.store(num_shards, std::memory_order_relaxed);
+  // The queue carries chunk ids only (the results are preallocated
+  // above), so it is sized to hold every chunk: a worker that finishes
+  // a chunk must never block behind a busy merger while runnable search
+  // tasks sit in the pool queue.
+  MpscBoundedQueue<size_t> ready(num_chunks);
+
+  auto run_task = [&](size_t c, size_t s) {
+    SearchParams p = base_params;
+    // Chunk-local row q is global row c * chunk_rows + q; offsetting the
+    // seed by the chunk base keeps every per-query seed equal to the
+    // unchunked run's (Search derives them as seed + 0x1000003 * row).
+    p.seed = base_params.seed + 0x1000003ULL * (c * chunk_rows);
+    results[c * num_shards + s].emplace(
+        cagra::Search(shards_[s], chunk_queries(c), p, precision, device));
+    if (remaining[c].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ready.Push(c);
+    }
+  };
+
+  auto merge_chunk = [&](size_t c) {
+    std::vector<const SearchResult*> shard_results(num_shards);
+    for (size_t s = 0; s < num_shards; s++) {
+      Result<SearchResult>& r = *results[c * num_shards + s];
+      if (!r.ok()) return;  // reported after the pipeline drains
+      shard_results[s] = &r.value();
+    }
+    MergeRows(shard_results, c * chunk_rows, chunks[c].rows(), k,
+              &out.neighbors);
+  };
+
+  Timer host;
+  if (params.num_threads != 0) {
+    // An explicit width is a total budget: tasks run inline in
+    // (chunk, shard) order with each per-chunk search at the full
+    // width — the same streaming structure on a serial schedule.
+    for (size_t c = 0; c < num_chunks; c++) {
+      for (size_t s = 0; s < num_shards; s++) run_task(c, s);
+      merge_chunk(*ready.Pop());
+    }
+  } else {
+    // Producers fan out chunk-major so early chunks finish first; the
+    // calling thread is the single consumer, folding each chunk into
+    // the output while later chunks are still searching.
+    ThreadPool& pool = GlobalThreadPool();
+    for (size_t c = 0; c < num_chunks; c++) {
+      for (size_t s = 0; s < num_shards; s++) {
+        pool.Submit([&run_task, c, s] { run_task(c, s); });
+      }
+    }
+    // Once every chunk has been popped, every task has completed and
+    // its stores are visible — safe to read all result slots below.
+    for (size_t m = 0; m < num_chunks; m++) merge_chunk(*ready.Pop());
+  }
+  out.host_seconds = host.Seconds();
+  out.host_qps = out.host_seconds > 0
+                     ? static_cast<double>(batch) / out.host_seconds
+                     : 0.0;
+
+  // Errors surface in deterministic (chunk, shard) order.
+  for (size_t c = 0; c < num_chunks; c++) {
+    for (size_t s = 0; s < num_shards; s++) {
+      const Result<SearchResult>& r = *results[c * num_shards + s];
+      if (!r.ok()) return r.status();
+    }
+  }
+
+  // Metadata aggregation, in fixed (shard, chunk) order so the result
+  // is scheduling-independent: counters sum over everything and
+  // host_threads takes the widest task. Each shard's modeled time
+  // re-prices its summed chunk counters at the full-batch launch shape:
+  // the shard's device streams its chunks back-to-back (asynchronous
+  // launches overlap), so the batch fills the device exactly as an
+  // unchunked run would and the serial per-query iteration floor is
+  // paid once — only the per-launch overhead multiplies with the chunk
+  // count (already summed into counters.kernel_launches). With a single
+  // chunk this reduces to the chunk's own estimate. The slowest shard
+  // contributes the reported breakdown.
+  double slowest_seconds = 0.0;
+  out.host_threads = 0;
+  for (size_t s = 0; s < num_shards; s++) {
+    KernelCounters shard_counters;
+    for (size_t c = 0; c < num_chunks; c++) {
+      const SearchResult& r = results[c * num_shards + s]->value();
+      shard_counters.Add(r.counters);
+      out.host_threads = std::max(out.host_threads, r.host_threads);
+    }
+    out.counters.Add(shard_counters);
+    const SearchResult& first = results[s]->value();  // chunk 0, shard s
+    KernelLaunchConfig launch = first.launch;
+    launch.batch = batch;  // the shape every chunk shares, at full fill
+    const CostBreakdown shard_cost =
+        EstimateKernelTime(device, launch, shard_counters);
+    if (s == 0 || shard_cost.total > slowest_seconds) {
+      slowest_seconds = shard_cost.total;
+      out.cost = shard_cost;
+      out.launch = launch;
+      out.algo_used = first.algo_used;
+      out.team_size_used = first.team_size_used;
+    }
+  }
+
+  // Overlap model: per-chunk merges hide under still-running scans, so
+  // a batch pays the slowest shard's summed chunk time plus only the
+  // merge tail of the final chunk — not the full-batch merge the
+  // barrier path serializes after its global wait.
+  out.modeled_seconds =
+      slowest_seconds + kMergeOverheadPerQueryShard *
+                            static_cast<double>(chunks.back().rows() *
+                                                num_shards);
+  out.modeled_qps = out.modeled_seconds > 0
+                        ? static_cast<double>(batch) / out.modeled_seconds
                         : 0.0;
   return out;
 }

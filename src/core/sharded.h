@@ -2,6 +2,7 @@
 #define CAGRA_CORE_SHARDED_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/search.h"
@@ -23,13 +24,47 @@ struct ShardedBuildStats {
   double total_seconds = 0.0;  ///< wall time of the (parallel) build
 };
 
+/// Padding sentinel in neighbor lists entering/leaving the shard merge.
+constexpr uint32_t kInvalidShardEntry = 0xffffffffu;
+
+/// One sorted candidate list entering the k-way shard merge: `len`
+/// (distance, id) pairs sorted ascending by (distance, id). When
+/// `id_map` is set, ids are shard-local rows translated through it on
+/// the way into the merge, and any id >= id_map_size is padding (the
+/// per-shard searches pad short results with kInvalidShardEntry, which
+/// is always out of range). Without a map, ids pass through verbatim
+/// and the kInvalidShardEntry sentinel itself marks padding.
+struct ShardMergeList {
+  const float* distances = nullptr;
+  const uint32_t* ids = nullptr;
+  size_t len = 0;
+  const uint32_t* id_map = nullptr;
+  size_t id_map_size = 0;
+};
+
+/// Folds `num_lists` per-shard top-k lists into the global top-k of one
+/// query — the host-side gather/merge step of the paper's multi-GPU
+/// evaluation (§V-F). Padding is filtered, ties break by distance then
+/// id, and the output is padded with (inf, kInvalidShardEntry) past the
+/// valid candidates. Exactly equivalent to sorting the concatenation of
+/// the valid candidates and taking the first k (the property
+/// tests/property_test.cc pins against a std::sort reference), and
+/// independent of list arrival order, which is what lets the streaming
+/// pipeline merge chunks as they finish.
+void MergeShardTopK(const ShardMergeList* lists, size_t num_lists, size_t k,
+                    uint32_t* out_ids, float* out_distances);
+
 class ShardedCagraIndex {
  public:
   ShardedCagraIndex() = default;
 
   /// Splits `dataset` into `num_shards` round-robin shards and builds a
-  /// CAGRA index per shard. num_shards must be >= 1 and small enough
-  /// that every shard keeps >= graph_degree + 1 rows.
+  /// CAGRA index per shard, shard builds running in parallel on the
+  /// global pool (each build is internally parallel too; the pool is
+  /// re-entrant). Per-shard graphs and deterministic BuildStats are
+  /// identical to a sequential build — builds are seeded and
+  /// independent. num_shards must be >= 1 and small enough that every
+  /// shard keeps >= graph_degree + 1 rows.
   static Result<ShardedCagraIndex> Build(const Matrix<float>& dataset,
                                          const BuildParams& params,
                                          size_t num_shards,
@@ -38,15 +73,53 @@ class ShardedCagraIndex {
   size_t num_shards() const { return shards_.size(); }
   const CagraIndex& shard(size_t i) const { return shards_[i]; }
 
-  /// Searches every shard and merges the per-shard top-k. The modeled
-  /// time is the slowest shard (shards run on separate devices in
-  /// parallel) plus a fixed host-side merge overhead per query.
+  /// Materializes the reduced-precision dataset copy on every shard so
+  /// sharded searches can run at the matching Precision.
+  void EnableHalfPrecision();
+  void EnableInt8Quantization();
+  void EnablePq(const PqTrainParams& params = PqTrainParams{});
+
+  /// Streaming sharded search: the batch is split into chunks of
+  /// params.shard_chunk_queries rows (0 = auto), every (chunk, shard)
+  /// pair searches as an independent task on the global pool, and a
+  /// per-chunk completion latch hands finished chunks through a bounded
+  /// queue to the calling thread, which merges them into the output
+  /// while later chunks are still searching — the chunk-wise overlap of
+  /// per-shard execution with the host-side gather/merge from the
+  /// paper's multi-GPU evaluation (§V-F). Results are byte-identical to
+  /// SearchBarrier at every thread count and chunk size; the modeled
+  /// time charges the slowest shard plus only the merge tail of the
+  /// final chunk (the rest of the merge hides under the scans).
+  ///
+  /// params.num_threads != 0 is a total host budget, so the pipeline
+  /// runs its tasks inline in (chunk, shard) order and each per-chunk
+  /// search uses the full width.
   Result<SearchResult> Search(const Matrix<float>& queries,
                               const SearchParams& params,
                               Precision precision = Precision::kFp32,
                               const DeviceSpec& device = DeviceSpec{}) const;
 
+  /// Scheduling-free reference: every shard searches the whole batch to
+  /// completion (in parallel across shards), then the per-shard lists
+  /// merge behind the global barrier. Kept as the determinism oracle
+  /// for the streaming path and the baseline of the barrier-vs-
+  /// streaming bench; the modeled time pays the full merge as a serial
+  /// tail after the slowest shard.
+  Result<SearchResult> SearchBarrier(
+      const Matrix<float>& queries, const SearchParams& params,
+      Precision precision = Precision::kFp32,
+      const DeviceSpec& device = DeviceSpec{}) const;
+
  private:
+  Status ValidateSearch(const SearchParams& params) const;
+
+  /// Merges all queries in [begin, begin + rows) from the per-shard
+  /// results `shard_results` (one full SearchResult per shard, query q
+  /// at local row q - begin) into `out` at global rows.
+  void MergeRows(const std::vector<const SearchResult*>& shard_results,
+                 size_t begin, size_t rows, size_t k,
+                 NeighborList* out) const;
+
   std::vector<CagraIndex> shards_;
   /// global_ids_[s][local] = dataset row of shard s's local row.
   std::vector<std::vector<uint32_t>> global_ids_;

@@ -19,14 +19,26 @@ class BoundedHeap {
   }
 
   /// Offers a candidate; kept only if the heap has room or the candidate
-  /// beats the current worst. Returns true if the entry was inserted.
+  /// beats the current worst under the (distance, id) order. Returns
+  /// true if the entry was inserted.
+  ///
+  /// Ordering ties by id makes retention exactly "sort every candidate
+  /// by (distance, id), keep the first `capacity`" — independent of
+  /// insertion order even with duplicate distances. The streaming
+  /// sharded merge relies on this to stay byte-identical to the barrier
+  /// reference (tests/property_test.cc pins it against std::sort).
   bool Push(float distance, uint32_t id) {
     if (entries_.size() < capacity_) {
       entries_.push_back({distance, id});
       std::push_heap(entries_.begin(), entries_.end(), Less);
       return true;
     }
-    if (capacity_ == 0 || distance >= entries_.front().distance) return false;
+    if (capacity_ == 0) return false;
+    const Entry& worst = entries_.front();
+    if (distance > worst.distance ||
+        (distance == worst.distance && id >= worst.id)) {
+      return false;
+    }
     std::pop_heap(entries_.begin(), entries_.end(), Less);
     entries_.back() = {distance, id};
     std::push_heap(entries_.begin(), entries_.end(), Less);
@@ -70,7 +82,10 @@ class BoundedHeap {
   static constexpr float kInf = 3.402823466e+38f;
 
   static bool Less(const Entry& a, const Entry& b) {
-    return a.distance < b.distance;  // max-heap on distance
+    // Max-heap on (distance, id): the root is the lexicographically
+    // largest retained entry, the one Push evicts first.
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
   }
 
   size_t capacity_;

@@ -1,0 +1,97 @@
+#ifndef CAGRA_UTIL_MPSC_QUEUE_H_
+#define CAGRA_UTIL_MPSC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace cagra {
+
+/// Bounded multi-producer queue with blocking push/pop, the hand-off
+/// channel of the streaming sharded pipeline: shard workers push
+/// finished chunk ids, the merger thread pops and folds while other
+/// chunks are still in flight. The bound provides backpressure when the
+/// queued items own real payloads — a producer that outruns the
+/// consumer blocks instead of buffering without limit. (The sharded
+/// pipeline queues plain chunk ids into preallocated result slots, so
+/// it sizes the queue to the chunk count and never blocks producers.)
+///
+/// Written for one consumer (Pop from a single thread at a time) but
+/// safe as MPMC: all state is guarded by one mutex, so there is no
+/// lock-free subtlety for TSan to distrust. Throughput is bounded by
+/// the mutex, which is fine at the pipeline's granularity (one item
+/// per completed chunk, not per row).
+template <typename T>
+class MpscBoundedQueue {
+ public:
+  /// Creates a queue holding at most `capacity` items (>= 1 enforced).
+  explicit MpscBoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  MpscBoundedQueue(const MpscBoundedQueue&) = delete;
+  MpscBoundedQueue& operator=(const MpscBoundedQueue&) = delete;
+
+  /// Blocks while the queue is full; returns false (dropping `value`)
+  /// if the queue is closed before space frees up.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool TryPush(T value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty; returns nullopt once the queue is
+  /// closed *and* drained (items pushed before Close are still
+  /// delivered).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Wakes every blocked producer (their pushes fail) and lets the
+  /// consumer drain the remaining items before Pop reports nullopt.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cagra
+
+#endif  // CAGRA_UTIL_MPSC_QUEUE_H_

@@ -126,6 +126,14 @@ void ThreadPool::ParallelForSlotted(
   });
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& fn) {
   ParallelForSlotted(begin, end, [&fn](size_t, size_t i) { fn(i); });

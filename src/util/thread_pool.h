@@ -52,6 +52,16 @@ class ThreadPool {
   void ParallelForSlotted(size_t begin, size_t end,
                           const std::function<void(size_t slot, size_t i)>& fn);
 
+  /// Enqueues a fire-and-forget task for the workers; returns
+  /// immediately. Unlike ParallelFor the caller does not participate and
+  /// nothing waits for completion — the producer side of the streaming
+  /// sharded pipeline uses this and tracks completion itself (per-chunk
+  /// latch + MpscBoundedQueue). Tasks may themselves call ParallelFor
+  /// (the re-entrant caller-drains-its-own-batch rule still applies),
+  /// but a submitted task must never block on another submitted task
+  /// that could be queued behind it.
+  void Submit(std::function<void()> task);
+
  private:
   void WorkerLoop(size_t worker_index);
 

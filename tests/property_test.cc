@@ -1,13 +1,19 @@
+#include <algorithm>
+#include <cmath>
 #include <set>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/search.h"
+#include "core/sharded.h"
 #include "dataset/profile.h"
 #include "dataset/synthetic.h"
 #include "graph/analysis.h"
 #include "knn/bruteforce.h"
+#include "util/rng.h"
 
 namespace cagra {
 namespace {
@@ -172,6 +178,144 @@ TEST_P(ResetIntervalTest, RecallSurvivesPeriodicResets) {
 
 INSTANTIATE_TEST_SUITE_P(Intervals, ResetIntervalTest,
                          ::testing::Values(1, 2, 3, 4));
+
+// ------------------------------------------------------------ shard merge
+//
+// Property tests for the k-way shard merge: MergeShardTopK over
+// randomized sorted candidate lists — padding sentinels, duplicate
+// distances, k exceeding the candidate pool — must equal the brute
+// reference "concatenate every valid candidate, std::sort by
+// (distance, id), take the first k".
+
+struct RandomLists {
+  std::vector<std::vector<float>> distances;
+  std::vector<std::vector<uint32_t>> ids;
+  std::vector<std::pair<float, uint32_t>> valid;  ///< reference pool
+};
+
+/// Builds `num_lists` sorted lists of length `len`; each holds a random
+/// number of valid candidates (distances drawn from a small grid so
+/// duplicates are common) and a 0xffffffff/inf padding tail — the exact
+/// shape per-shard search results have.
+RandomLists MakeLists(Pcg32* rng, size_t num_lists, size_t len) {
+  RandomLists out;
+  uint32_t next_id = 0;
+  for (size_t l = 0; l < num_lists; l++) {
+    const size_t count = rng->NextBounded(static_cast<uint32_t>(len + 1));
+    std::vector<std::pair<float, uint32_t>> entries;
+    for (size_t i = 0; i < count; i++) {
+      const float d = static_cast<float>(rng->NextBounded(8)) / 4.0f;
+      // Unique ids across lists, like global ids from disjoint shards.
+      entries.emplace_back(d, next_id++);
+    }
+    std::sort(entries.begin(), entries.end());
+    std::vector<float> dist(len, std::numeric_limits<float>::infinity());
+    std::vector<uint32_t> id(len, kInvalidShardEntry);
+    for (size_t i = 0; i < count; i++) {
+      dist[i] = entries[i].first;
+      id[i] = entries[i].second;
+      out.valid.push_back(entries[i]);
+    }
+    out.distances.push_back(std::move(dist));
+    out.ids.push_back(std::move(id));
+  }
+  return out;
+}
+
+TEST(ShardMergePropertyTest, MatchesSortReference) {
+  Pcg32 rng(0x51ead);
+  for (int trial = 0; trial < 300; trial++) {
+    const size_t num_lists = 1 + rng.NextBounded(6);
+    const size_t k = 1 + rng.NextBounded(20);
+    // len == k mirrors real shard results; the occasional longer list
+    // checks the merge is not k-shaped by accident.
+    const size_t len = rng.NextBounded(4) == 0 ? k + rng.NextBounded(8) : k;
+    RandomLists lists = MakeLists(&rng, num_lists, len);
+
+    std::vector<ShardMergeList> views(num_lists);
+    for (size_t l = 0; l < num_lists; l++) {
+      views[l] = {lists.distances[l].data(), lists.ids[l].data(), len,
+                  nullptr, 0};
+    }
+    std::vector<uint32_t> got_ids(k);
+    std::vector<float> got_dist(k);
+    MergeShardTopK(views.data(), num_lists, k, got_ids.data(),
+                   got_dist.data());
+
+    auto ref = lists.valid;
+    std::sort(ref.begin(), ref.end());
+    for (size_t i = 0; i < k; i++) {
+      if (i < ref.size()) {
+        ASSERT_EQ(got_dist[i], ref[i].first)
+            << "trial " << trial << " slot " << i;
+        ASSERT_EQ(got_ids[i], ref[i].second)
+            << "trial " << trial << " slot " << i;
+      } else {
+        // k > total candidates: canonical padding tail.
+        ASSERT_EQ(got_ids[i], kInvalidShardEntry) << "trial " << trial;
+        ASSERT_TRUE(std::isinf(got_dist[i])) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(ShardMergePropertyTest, IdMapTranslatesAndFiltersPadding) {
+  // The id_map form used by the sharded search: lists carry shard-local
+  // rows, padding is any id past the map, and the merge output must be
+  // in translated global ids.
+  Pcg32 rng(0xfeed);
+  for (int trial = 0; trial < 100; trial++) {
+    const size_t num_lists = 1 + rng.NextBounded(4);
+    const size_t k = 1 + rng.NextBounded(12);
+    std::vector<std::vector<float>> dists(num_lists);
+    std::vector<std::vector<uint32_t>> locals(num_lists);
+    std::vector<std::vector<uint32_t>> maps(num_lists);
+    std::vector<std::pair<float, uint32_t>> ref;
+    std::vector<ShardMergeList> views(num_lists);
+    for (size_t l = 0; l < num_lists; l++) {
+      const size_t map_size = 1 + rng.NextBounded(16);
+      maps[l].resize(map_size);
+      for (size_t r = 0; r < map_size; r++) {
+        // Disjoint global id ranges per list.
+        maps[l][r] = static_cast<uint32_t>(l * 1000 + r);
+      }
+      const size_t count = rng.NextBounded(static_cast<uint32_t>(
+          std::min(k, map_size) + 1));
+      std::vector<std::pair<float, uint32_t>> entries;
+      std::set<uint32_t> used;
+      while (entries.size() < count) {
+        const uint32_t local = rng.NextBounded(static_cast<uint32_t>(map_size));
+        if (!used.insert(local).second) continue;
+        entries.emplace_back(static_cast<float>(rng.NextBounded(6)) / 2.0f,
+                             local);
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      dists[l].assign(k, std::numeric_limits<float>::infinity());
+      locals[l].assign(k, kInvalidShardEntry);  // >= map_size: padding
+      for (size_t i = 0; i < entries.size(); i++) {
+        dists[l][i] = entries[i].first;
+        locals[l][i] = entries[i].second;
+        ref.emplace_back(entries[i].first, maps[l][entries[i].second]);
+      }
+      views[l] = {dists[l].data(), locals[l].data(), k, maps[l].data(),
+                  maps[l].size()};
+    }
+    std::vector<uint32_t> got_ids(k);
+    std::vector<float> got_dist(k);
+    MergeShardTopK(views.data(), num_lists, k, got_ids.data(),
+                   got_dist.data());
+    std::sort(ref.begin(), ref.end());
+    for (size_t i = 0; i < k; i++) {
+      if (i < ref.size()) {
+        ASSERT_EQ(got_dist[i], ref[i].first) << "trial " << trial;
+        ASSERT_EQ(got_ids[i], ref[i].second) << "trial " << trial;
+      } else {
+        ASSERT_EQ(got_ids[i], kInvalidShardEntry);
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace cagra

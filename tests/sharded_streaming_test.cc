@@ -1,0 +1,214 @@
+// Scheduling-determinism suite for the streaming sharded pipeline: the
+// chunked, overlapped execution must be EXPECT_EQ-identical (ids *and*
+// distances) to the serial barrier reference for every thread count,
+// chunk size, storage precision, and across repeated runs — streaming
+// is purely a throughput structure, never a result change. This suite
+// is part of the TSan CI job, where the repeated concurrent runs double
+// as a race detector workload.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sharded.h"
+#include "dataset/profile.h"
+#include "dataset/synthetic.h"
+
+namespace cagra {
+namespace {
+
+class StreamingDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const DatasetProfile* p = FindProfile("DEEP-1M");
+    data_ = new SyntheticData(GenerateDataset(*p, 900, 20, 4242));
+    BuildParams bp;
+    bp.graph_degree = 8;
+    auto built = ShardedCagraIndex::Build(data_->base, bp, 3);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    index_ = new ShardedCagraIndex(std::move(built.value()));
+    // 300-row shards: enough for the per-subspace PQ codebooks.
+    index_->EnableInt8Quantization();
+    index_->EnablePq();
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete index_;
+    data_ = nullptr;
+    index_ = nullptr;
+  }
+
+  static SearchParams BaseParams() {
+    SearchParams sp;
+    sp.k = 5;
+    sp.itopk = 32;
+    return sp;
+  }
+
+  static SyntheticData* data_;
+  static ShardedCagraIndex* index_;
+};
+
+SyntheticData* StreamingDeterminismTest::data_ = nullptr;
+ShardedCagraIndex* StreamingDeterminismTest::index_ = nullptr;
+
+/// Streaming must reproduce the serial barrier reference bit-for-bit
+/// across the full (num_threads, chunk size, repetition) matrix.
+class StreamingMatrixTest
+    : public StreamingDeterminismTest,
+      public ::testing::WithParamInterface<Precision> {};
+
+TEST_P(StreamingMatrixTest, IdenticalToSerialBarrierReference) {
+  const Precision precision = GetParam();
+
+  SearchParams ref_params = BaseParams();
+  ref_params.num_threads = 1;  // fully serial reference
+  auto ref = index_->SearchBarrier(data_->queries, ref_params, precision);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  const size_t batch = data_->queries.rows();
+  for (size_t num_threads : {size_t{0}, size_t{1}, size_t{3}}) {
+    for (size_t chunk : {size_t{1}, size_t{7}, batch}) {
+      // Scheduling only varies on the shared pool (num_threads == 0);
+      // repeat that configuration 20 times to shake out races and
+      // arrival-order dependence. The serial schedules get a sanity
+      // repetition each.
+      const int reps = num_threads == 0 ? 20 : 2;
+      for (int rep = 0; rep < reps; rep++) {
+        SearchParams sp = BaseParams();
+        sp.num_threads = num_threads;
+        sp.shard_chunk_queries = chunk;
+        auto got = index_->Search(data_->queries, sp, precision);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_EQ(got->neighbors.ids, ref->neighbors.ids)
+            << "threads=" << num_threads << " chunk=" << chunk
+            << " rep=" << rep;
+        EXPECT_EQ(got->neighbors.distances, ref->neighbors.distances)
+            << "threads=" << num_threads << " chunk=" << chunk
+            << " rep=" << rep;
+      }
+    }
+  }
+}
+
+TEST_P(StreamingMatrixTest, BarrierPathIsThreadCountInvariantToo) {
+  const Precision precision = GetParam();
+  SearchParams ref_params = BaseParams();
+  ref_params.num_threads = 1;
+  auto ref = index_->SearchBarrier(data_->queries, ref_params, precision);
+  ASSERT_TRUE(ref.ok());
+  for (size_t num_threads : {size_t{0}, size_t{3}}) {
+    SearchParams sp = BaseParams();
+    sp.num_threads = num_threads;
+    auto got = index_->SearchBarrier(data_->queries, sp, precision);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->neighbors.ids, ref->neighbors.ids);
+    EXPECT_EQ(got->neighbors.distances, ref->neighbors.distances);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, StreamingMatrixTest,
+                         ::testing::Values(Precision::kFp32, Precision::kInt8,
+                                           Precision::kPq),
+                         [](const ::testing::TestParamInfo<Precision>& info) {
+                           switch (info.param) {
+                             case Precision::kFp32: return "fp32";
+                             case Precision::kInt8: return "int8";
+                             case Precision::kPq: return "pq";
+                             default: return "other";
+                           }
+                         });
+
+TEST_F(StreamingDeterminismTest, AutoChunkMatchesExplicitFullBatch) {
+  // shard_chunk_queries = 0 (auto) must be just another chunk size:
+  // identical results to the single-chunk run.
+  SearchParams sp = BaseParams();
+  sp.shard_chunk_queries = 0;
+  auto auto_chunk = index_->Search(data_->queries, sp);
+  sp.shard_chunk_queries = data_->queries.rows();
+  auto one_chunk = index_->Search(data_->queries, sp);
+  ASSERT_TRUE(auto_chunk.ok());
+  ASSERT_TRUE(one_chunk.ok());
+  EXPECT_EQ(auto_chunk->neighbors.ids, one_chunk->neighbors.ids);
+  EXPECT_EQ(auto_chunk->neighbors.distances, one_chunk->neighbors.distances);
+}
+
+TEST_F(StreamingDeterminismTest, OversizedChunkClampsToBatch) {
+  SearchParams sp = BaseParams();
+  sp.shard_chunk_queries = 10 * data_->queries.rows();
+  auto got = index_->Search(data_->queries, sp);
+  sp.shard_chunk_queries = data_->queries.rows();
+  auto want = index_->Search(data_->queries, sp);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(got->neighbors.ids, want->neighbors.ids);
+}
+
+TEST_F(StreamingDeterminismTest, SingleRowChunksUnderContention) {
+  // The "many tiny chunks" stress: 1-row chunks turn every query into
+  // its own (chunk, shard) task triple, maximizing queue and latch
+  // traffic. Results must still be identical across repeats (this is
+  // the hottest configuration the TSan job runs).
+  SearchParams sp = BaseParams();
+  sp.shard_chunk_queries = 1;
+  auto first = index_->Search(data_->queries, sp);
+  ASSERT_TRUE(first.ok());
+  for (int rep = 0; rep < 10; rep++) {
+    auto again = index_->Search(data_->queries, sp);
+    ASSERT_TRUE(again.ok());
+    ASSERT_EQ(again->neighbors.ids, first->neighbors.ids) << "rep " << rep;
+    ASSERT_EQ(again->neighbors.distances, first->neighbors.distances);
+  }
+}
+
+TEST_F(StreamingDeterminismTest, StreamingModelsOverlapNotFullMergeTail) {
+  // The barrier path charges the host merge of the whole batch after
+  // the slowest shard; streaming hides all but the final chunk's merge.
+  // With equal scan time (single chunk == whole batch), the two models
+  // must agree exactly; with more chunks the merge tail shrinks while
+  // per-launch overhead grows — both must stay positive and finite.
+  SearchParams sp = BaseParams();
+  sp.shard_chunk_queries = data_->queries.rows();
+  auto one_chunk = index_->Search(data_->queries, sp);
+  auto barrier = index_->SearchBarrier(data_->queries, sp);
+  ASSERT_TRUE(one_chunk.ok());
+  ASSERT_TRUE(barrier.ok());
+  EXPECT_DOUBLE_EQ(one_chunk->modeled_seconds, barrier->modeled_seconds);
+  EXPECT_DOUBLE_EQ(one_chunk->cost.total, barrier->cost.total);
+
+  sp.shard_chunk_queries = 7;
+  auto chunked = index_->Search(data_->queries, sp);
+  ASSERT_TRUE(chunked.ok());
+  // Both paths report modeled_seconds = cost.total (the scan estimate)
+  // plus the merge tail, so the tail is recoverable exactly. The
+  // barrier's tail covers the whole batch; the chunked pipeline's must
+  // cover only the final chunk — same per-entry overhead, scaled by
+  // tail rows instead of batch rows.
+  const size_t batch = data_->queries.rows();
+  const size_t tail = batch % 7 == 0 ? 7 : batch % 7;
+  ASSERT_LT(tail, batch);
+  const double barrier_merge = barrier->modeled_seconds - barrier->cost.total;
+  const double chunked_merge = chunked->modeled_seconds - chunked->cost.total;
+  ASSERT_GT(barrier_merge, 0.0);
+  ASSERT_GT(chunked_merge, 0.0);
+  EXPECT_LT(chunked_merge, barrier_merge);
+  EXPECT_NEAR(chunked_merge / barrier_merge,
+              static_cast<double>(tail) / static_cast<double>(batch), 1e-9);
+}
+
+TEST_F(StreamingDeterminismTest, EmptyBatchReturnsEmptyResult) {
+  // Regression: an empty batch used to reach the multi-CTA width
+  // resolution with batch == 0 and divide by zero. Both paths must
+  // return an ok, empty result instead.
+  Matrix<float> empty(0, data_->queries.dim());
+  SearchParams sp = BaseParams();
+  auto streamed = index_->Search(empty, sp);
+  auto barrier = index_->SearchBarrier(empty, sp);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  ASSERT_TRUE(barrier.ok()) << barrier.status().ToString();
+  EXPECT_TRUE(streamed->neighbors.ids.empty());
+  EXPECT_TRUE(barrier->neighbors.ids.empty());
+}
+
+}  // namespace
+}  // namespace cagra

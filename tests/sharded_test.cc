@@ -141,6 +141,8 @@ TEST_F(ShardedTest, MetadataAggregatesOverShards) {
   // shard 0 alone. They must reflect the aggregate run: counters sum,
   // host_threads is the widest shard, and the modeled cost is the
   // slowest shard's breakdown (what the parallel execution waits for).
+  // A single streaming chunk makes the per-shard launches identical to
+  // standalone full-batch runs, so the aggregation pins exactly.
   BuildParams bp;
   bp.graph_degree = 16;
   auto index = ShardedCagraIndex::Build(data_->base, bp, 4);
@@ -148,8 +150,11 @@ TEST_F(ShardedTest, MetadataAggregatesOverShards) {
   SearchParams sp;
   sp.k = 10;
   sp.itopk = 64;
+  sp.shard_chunk_queries = data_->queries.rows();  // one chunk
   auto sharded = index->Search(data_->queries, sp);
+  auto barrier = index->SearchBarrier(data_->queries, sp);
   ASSERT_TRUE(sharded.ok());
+  ASSERT_TRUE(barrier.ok());
 
   // Re-run each shard individually (deterministic, identical inputs).
   double max_cost = 0.0;
@@ -162,12 +167,91 @@ TEST_F(ShardedTest, MetadataAggregatesOverShards) {
     max_threads = std::max(max_threads, one->host_threads);
     sum_distances += one->counters.distance_computations;
   }
-  EXPECT_DOUBLE_EQ(sharded->cost.total, max_cost);
-  EXPECT_EQ(sharded->host_threads, max_threads);
-  EXPECT_EQ(sharded->counters.distance_computations, sum_distances);
-  // The launch config must belong to the slowest shard (whose cost was
-  // reported), i.e. describe the same batch every shard ran.
-  EXPECT_EQ(sharded->launch.batch, data_->queries.rows());
+  for (const SearchResult* r : {&*sharded, &*barrier}) {
+    EXPECT_DOUBLE_EQ(r->cost.total, max_cost);
+    EXPECT_EQ(r->host_threads, max_threads);
+    EXPECT_EQ(r->counters.distance_computations, sum_distances);
+    // The launch config must belong to the slowest shard (whose cost
+    // was reported), i.e. describe the same batch every shard ran.
+    EXPECT_EQ(r->launch.batch, data_->queries.rows());
+  }
+}
+
+TEST_F(ShardedTest, CountersSurviveChunking) {
+  // The per-query counters are chunking-invariant, so any chunk size
+  // must report exactly the sums the barrier reference reports.
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto index = ShardedCagraIndex::Build(data_->base, bp, 4);
+  ASSERT_TRUE(index.ok());
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  auto barrier = index->SearchBarrier(data_->queries, sp);
+  ASSERT_TRUE(barrier.ok());
+  for (size_t chunk : {size_t{1}, size_t{7}, size_t{0}}) {
+    sp.shard_chunk_queries = chunk;
+    auto streamed = index->Search(data_->queries, sp);
+    ASSERT_TRUE(streamed.ok());
+    EXPECT_EQ(streamed->counters.distance_computations,
+              barrier->counters.distance_computations)
+        << "chunk=" << chunk;
+    EXPECT_EQ(streamed->counters.queries, barrier->counters.queries)
+        << "chunk=" << chunk;
+    EXPECT_EQ(streamed->counters.iterations, barrier->counters.iterations)
+        << "chunk=" << chunk;
+    // Each chunk is its own launch per shard: launches scale with the
+    // chunk count instead of collapsing to one per shard.
+    EXPECT_GE(streamed->counters.kernel_launches,
+              barrier->counters.kernel_launches);
+    EXPECT_GT(streamed->modeled_seconds, 0.0);
+  }
+}
+
+TEST_F(ShardedTest, ParallelBuildMatchesSequentialReference) {
+  // Shard builds run in parallel on the pool; graphs and deterministic
+  // BuildStats must be identical to building each shard sequentially
+  // from the same round-robin split.
+  const size_t num_shards = 3;
+  BuildParams bp;
+  bp.graph_degree = 8;
+  ShardedBuildStats stats;
+  auto index = ShardedCagraIndex::Build(data_->base, bp, num_shards, &stats);
+  ASSERT_TRUE(index.ok());
+  ASSERT_EQ(stats.per_shard.size(), num_shards);
+
+  // Replicate the split and build sequentially.
+  std::vector<std::vector<uint32_t>> ids(num_shards);
+  for (size_t i = 0; i < data_->base.rows(); i++) {
+    ids[i % num_shards].push_back(static_cast<uint32_t>(i));
+  }
+  for (size_t s = 0; s < num_shards; s++) {
+    Matrix<float> shard_data(ids[s].size(), data_->base.dim());
+    for (size_t r = 0; r < ids[s].size(); r++) {
+      std::copy(data_->base.Row(ids[s][r]),
+                data_->base.Row(ids[s][r]) + data_->base.dim(),
+                shard_data.MutableRow(r));
+    }
+    BuildStats ref_stats;
+    auto ref = CagraIndex::Build(shard_data, bp, &ref_stats);
+    ASSERT_TRUE(ref.ok());
+    const FixedDegreeGraph& got = index->shard(s).graph();
+    const FixedDegreeGraph& want = ref->graph();
+    ASSERT_EQ(got.num_nodes(), want.num_nodes()) << "shard " << s;
+    ASSERT_EQ(got.degree(), want.degree()) << "shard " << s;
+    for (size_t v = 0; v < got.num_nodes(); v++) {
+      for (size_t j = 0; j < got.degree(); j++) {
+        ASSERT_EQ(got.Neighbors(v)[j], want.Neighbors(v)[j])
+            << "shard " << s << " node " << v << " edge " << j;
+      }
+    }
+    // Deterministic stats fields (not wall times) must match too.
+    EXPECT_EQ(stats.per_shard[s].knn.iterations, ref_stats.knn.iterations);
+    EXPECT_EQ(stats.per_shard[s].knn.distance_computations,
+              ref_stats.knn.distance_computations);
+    EXPECT_EQ(stats.per_shard[s].optimize.distance_computations,
+              ref_stats.optimize.distance_computations);
+  }
 }
 
 TEST_F(ShardedTest, KLargerThanShardRowsMergesAcrossShards) {
@@ -238,6 +322,10 @@ TEST_F(ShardedTest, ModeledTimeIsMaxShardNotSum) {
   SearchParams sp;
   sp.k = 10;
   sp.itopk = 64;
+  // One chunk: per-shard launches match standalone full-batch runs, so
+  // the modeled comparison is exact (chunked runs add per-launch
+  // overhead to the model, which is correct but not what this pins).
+  sp.shard_chunk_queries = data_->queries.rows();
   auto sharded = index->Search(data_->queries, sp);
   ASSERT_TRUE(sharded.ok());
   // One shard alone, searched as a plain index, should cost roughly the

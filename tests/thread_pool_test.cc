@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/mpsc_queue.h"
 #include "util/thread_pool.h"
 
 namespace cagra {
@@ -78,6 +79,91 @@ TEST(ThreadPoolTest, LargeRangeStress) {
     sum.fetch_add(i, std::memory_order_relaxed);
   });
   EXPECT_EQ(sum.load(), static_cast<uint64_t>(n) * (n - 1) / 2);
+}
+
+// --------------------------------------------------- streaming primitives
+//
+// Stress tests for the primitives the streaming sharded pipeline leans
+// on: fire-and-forget Submit, nested ParallelFor from submitted tasks,
+// and pool producers feeding a bounded queue — all under deliberately
+// high contention (tiny work items). Run natively and under the TSan CI
+// job, where these are the main race workload.
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  constexpr int kTasks = 2000;
+  std::atomic<int> done{0};
+  {
+    // Pool declared after (destroyed before) the state its tasks touch:
+    // the destructor drains the queue and joins, so no task outlives
+    // `done`.
+    ThreadPool pool(3);
+    for (int t = 0; t < kTasks; t++) {
+      pool.Submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksCanNestParallelFor) {
+  // Every submitted task runs its own ParallelFor on the same pool; the
+  // re-entrant caller-drains-its-own-batch rule must keep this from
+  // deadlocking even on a single-worker pool.
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    constexpr int kTasks = 32;
+    constexpr size_t kInner = 64;
+    std::atomic<size_t> total{0};
+    {
+      ThreadPool pool(workers);
+      for (int t = 0; t < kTasks; t++) {
+        pool.Submit([&] {
+          pool.ParallelFor(0, kInner, [&](size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+          });
+        });
+      }
+    }
+    EXPECT_EQ(total.load(), kTasks * kInner) << "workers=" << workers;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromParallelFor) {
+  // sharded-search shape: outer loop over shards, inner loop over
+  // queries, one shared pool.
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(0, 8, [&](size_t) {
+    pool.ParallelFor(0, 100, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 800u);
+}
+
+TEST(ThreadPoolTest, SubmitProducersQueueConsumerUnderContention) {
+  // The full pipeline shape under maximum contention: many tiny
+  // producer tasks (1-item "chunks"), each running a nested ParallelFor
+  // (1-row "queries") before publishing into a small bounded queue the
+  // caller drains — Submit, re-entrant ParallelFor, latch-style
+  // counters, and MpscBoundedQueue all interleaved.
+  constexpr int kChunks = 300;
+  MpscBoundedQueue<int> ready(4);
+  std::vector<std::atomic<int>> work(kChunks);
+  for (auto& w : work) w.store(0);
+  ThreadPool pool(4);  // destroyed (joined) before the queue it feeds
+  for (int c = 0; c < kChunks; c++) {
+    pool.Submit([&, c] {
+      pool.ParallelFor(0, 1, [&](size_t) { work[c].fetch_add(1); });
+      ready.Push(c);
+    });
+  }
+  std::vector<bool> seen(kChunks, false);
+  for (int i = 0; i < kChunks; i++) {
+    auto c = ready.Pop();
+    ASSERT_TRUE(c.has_value());
+    ASSERT_FALSE(seen[*c]);
+    seen[*c] = true;
+    EXPECT_EQ(work[*c].load(), 1);
+  }
 }
 
 }  // namespace
