@@ -205,6 +205,8 @@ struct PqSample {
   double scalar_adc_mdps;  ///< scalar LUT scan, one row per call
   double batch_adc_mdps;   ///< dispatched ADC batch (x4 kernels inside)
   double fastscan_mdps;    ///< vpermi2b quantized-LUT scan; 0 = unavailable
+  double cosine_twopass_mdps;  ///< retired two-scan cosine ADC (emulated)
+  double cosine_fused_mdps;    ///< single-pass cosine ADC (precomputed norms)
 };
 
 /// PQ ADC scan: the gather-free scalar LUT reference against the
@@ -232,6 +234,7 @@ std::vector<PqSample> BenchPq() {
     for (auto& c : *pq.codes.mutable_data()) {
       c = static_cast<uint8_t>(rng.NextBounded(256));
     }
+    RecomputePqRowNorms(&pq);  // codes were rewritten above
 
     std::vector<float> query(dim);
     for (auto& x : query) x = rng.NextFloat();
@@ -255,7 +258,7 @@ std::vector<PqSample> BenchPq() {
     });
     std::vector<float> out(kRows);
     const double batch_adc = MeasureBatchFn(kRows, [&] {
-      ComputeDistanceAdcBatch(table, pq.codes.data().data(), kRows,
+      ComputeDistanceAdcBatch(table, pq.codes.data().data(), 0, kRows,
                               out.data());
       sink = sink + out[0];
     });
@@ -270,10 +273,87 @@ std::vector<PqSample> BenchPq() {
         sink = sink + static_cast<float>(acc[0]);
       });
     }
+
+    // Cosine ADC: the fused single pass (per-row precomputed norms)
+    // against an emulation of the retired two-pass form (dot scan +
+    // query-independent centroid-norm scan), both through the active
+    // batch kernels.
+    PqAdcTable ctable;
+    BuildAdcTable(pq, query.data(), Metric::kCosine, &ctable);
+    const double cosine_fused = MeasureBatchFn(kRows, [&] {
+      ComputeDistanceAdcBatch(ctable, pq.codes.data().data(), 0, kRows,
+                              out.data());
+      sink = sink + out[0];
+    });
+    const KernelTable& active = ActiveKernelTable();
+    std::vector<float> norms(kRows);
+    const double cosine_twopass = MeasureBatchFn(kRows, [&] {
+      for (size_t i = 0; i + 4 <= kRows; i += 4) {
+        const uint8_t* rows4[4] = {
+            pq.codes.Row(i), pq.codes.Row(i + 1), pq.codes.Row(i + 2),
+            pq.codes.Row(i + 3)};
+        active.adcx4(ctable.dist.data(), rows4, m, &out[i]);
+        active.adcx4(pq.centroid_norm2.data(), rows4, m, &norms[i]);
+        for (size_t r = 0; r < 4; r++) {
+          const float denom =
+              std::sqrt(ctable.query_norm2) * std::sqrt(norms[i + r]);
+          out[i + r] = denom == 0.0f ? 1.0f : 1.0f - out[i + r] / denom;
+        }
+      }
+      sink = sink + out[0];
+    });
     (void)sink;
-    samples.push_back({dim, m, decode, scalar_adc, batch_adc, fastscan});
+    samples.push_back({dim, m, decode, scalar_adc, batch_adc, fastscan,
+                       cosine_twopass, cosine_fused});
   }
   return samples;
+}
+
+struct PqBruteforceSample {
+  size_t rows;
+  size_t queries;
+  double exact_seconds;     ///< exact fp32 ADC BlockScan
+  double fastscan_seconds;  ///< quantized-LUT scan + top-r ADC rerank
+  double overlap_at_10;     ///< fast-scan top-10 overlap vs exact ADC
+};
+
+/// Bruteforce over PQ data: the exact ADC scan against the opt-in
+/// fast-scan mode (u16 ranking + fp32 rerank) at the default rerank
+/// budget — the end-to-end form of the kernel-level fastscan row above.
+PqBruteforceSample BenchPqBruteforce() {
+  const size_t kRows = 40000, kQueries = 64, kK = 10;
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), kRows, kQueries, 31);
+  PqTrainParams tp;
+  tp.kmeans_iterations = 3;
+  const PqDataset pq = TrainPq(data.base, tp);
+
+  NeighborList exact, fast;
+  Timer t_exact;
+  for (int rep = 0; rep < 3; rep++) {
+    exact = ExactSearch(pq, data.queries, kK, Metric::kL2);
+  }
+  const double exact_seconds = t_exact.Seconds() / 3;
+  PqScanOptions opts;
+  opts.approximate_scan = true;
+  Timer t_fast;
+  for (int rep = 0; rep < 3; rep++) {
+    fast = ExactSearch(pq, data.queries, kK, Metric::kL2, opts);
+  }
+  const double fastscan_seconds = t_fast.Seconds() / 3;
+
+  size_t hits = 0;
+  for (size_t q = 0; q < kQueries; q++) {
+    for (size_t a = 0; a < kK; a++) {
+      for (size_t b = 0; b < kK; b++) {
+        if (fast.ids[q * kK + a] == exact.ids[q * kK + b]) {
+          hits++;
+          break;
+        }
+      }
+    }
+  }
+  return {kRows, kQueries, exact_seconds, fastscan_seconds,
+          static_cast<double>(hits) / static_cast<double>(kQueries * kK)};
 }
 
 struct ScalingSample {
@@ -369,7 +449,10 @@ int main() {
                 "\"batch_adc_mdist_per_sec\": %.2f, "
                 "\"batch_adc_speedup\": %.2f, "
                 "\"fastscan_mdist_per_sec\": %.2f, "
-                "\"fastscan_speedup\": %.2f}%s\n",
+                "\"fastscan_speedup\": %.2f, "
+                "\"cosine_twopass_mdist_per_sec\": %.2f, "
+                "\"cosine_fused_mdist_per_sec\": %.2f, "
+                "\"cosine_fused_speedup\": %.2f}%s\n",
                 s.dim, s.m, s.decode_mdps, s.scalar_adc_mdps,
                 s.batch_adc_mdps,
                 s.scalar_adc_mdps > 0 ? s.batch_adc_mdps / s.scalar_adc_mdps
@@ -377,9 +460,22 @@ int main() {
                 s.fastscan_mdps,
                 s.scalar_adc_mdps > 0 ? s.fastscan_mdps / s.scalar_adc_mdps
                                       : 0,
+                s.cosine_twopass_mdps, s.cosine_fused_mdps,
+                s.cosine_twopass_mdps > 0
+                    ? s.cosine_fused_mdps / s.cosine_twopass_mdps
+                    : 0,
                 i + 1 < pq.size() ? "," : "");
   }
   std::printf("  ],\n");
+
+  const auto bf = BenchPqBruteforce();
+  std::printf("  \"pq_bruteforce\": {\"rows\": %zu, \"queries\": %zu, "
+              "\"exact_adc_seconds\": %.4f, \"fastscan_seconds\": %.4f, "
+              "\"fastscan_speedup\": %.2f, \"overlap_at_10\": %.4f},\n",
+              bf.rows, bf.queries, bf.exact_seconds, bf.fastscan_seconds,
+              bf.fastscan_seconds > 0 ? bf.exact_seconds / bf.fastscan_seconds
+                                      : 0,
+              bf.overlap_at_10);
 
   std::printf("  \"multirow\": [\n");
   const auto multirow = BenchMultiRow();

@@ -96,6 +96,27 @@ struct FileCloser {
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 }  // namespace
 
+namespace {
+
+/// Optional-section flags trailing the graph block. Absent in files
+/// written before the PQ trailer existed; Load treats EOF there as
+/// "no extras".
+constexpr uint64_t kIndexFlagPq = 1ull << 0;
+
+template <typename T>
+bool WriteVec(std::FILE* f, const std::vector<T>& v) {
+  return v.empty() ||
+         std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
+}
+
+template <typename T>
+bool ReadVec(std::FILE* f, std::vector<T>* v) {
+  return v->empty() ||
+         std::fread(v->data(), sizeof(T), v->size(), f) == v->size();
+}
+
+}  // namespace
+
 Status CagraIndex::Save(const std::string& path) const {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return Status::IoError("cannot open " + path + " for writing");
@@ -116,6 +137,29 @@ Status CagraIndex::Save(const std::string& path) const {
       std::fwrite(edges.data(), sizeof(uint32_t), edges.size(), f.get()) !=
           edges.size()) {
     return Status::IoError(path + ": graph write failed");
+  }
+  // Optional trailer: the PQ copy (codebooks + OPQ rotation + row norms
+  // + codes) travels with the index so a loaded index searches
+  // Precision::kPq without retraining — the rotation is part of the
+  // codebook's coordinate system and must never be separated from it.
+  const uint64_t flags = pq_.empty() ? 0 : kIndexFlagPq;
+  if (std::fwrite(&flags, sizeof(flags), 1, f.get()) != 1) {
+    return Status::IoError(path + ": flags write failed");
+  }
+  if (!pq_.empty()) {
+    // row_norm2 is deliberately NOT serialized: its contract is
+    // bit-compatibility with the *active* ADC kernel, so the loading
+    // host recomputes it from codes + centroid norms.
+    const uint64_t pq_header[5] = {pq_.dim, pq_.dsub, pq_.num_subspaces(),
+                                   pq_.rows(),
+                                   pq_.HasRotation() ? 1ull : 0ull};
+    if (std::fwrite(pq_header, sizeof(pq_header), 1, f.get()) != 1 ||
+        !WriteVec(f.get(), pq_.rotation) ||
+        !WriteVec(f.get(), pq_.centroids) ||
+        !WriteVec(f.get(), pq_.centroid_norm2) ||
+        !WriteVec(f.get(), pq_.codes.data())) {
+      return Status::IoError(path + ": pq write failed");
+    }
   }
   return Status::Ok();
 }
@@ -154,6 +198,42 @@ Result<CagraIndex> CagraIndex::Load(const std::string& path) {
     uint32_t* row = index.graph_.MutableNeighbors(v);
     std::copy(edges.begin() + v * degree, edges.begin() + (v + 1) * degree,
               row);
+  }
+  uint64_t flags = 0;
+  if (std::fread(&flags, sizeof(flags), 1, f.get()) != 1) {
+    return index;  // pre-trailer file: no optional sections
+  }
+  if (flags & kIndexFlagPq) {
+    uint64_t pq_header[5];
+    if (std::fread(pq_header, sizeof(pq_header), 1, f.get()) != 1) {
+      return Status::IoError(path + ": pq header read failed");
+    }
+    PqDataset& pq = index.pq_;
+    pq.dim = pq_header[0];
+    pq.dsub = pq_header[1];
+    const size_t m_subs = pq_header[2];
+    const size_t pq_rows = pq_header[3];
+    if (pq.dim != dim || pq_rows != rows || m_subs == 0 ||
+        m_subs > pq.dim ||
+        pq.dsub != (pq.dim + m_subs - 1) / m_subs) {
+      // dsub is fully determined by dim and M (TrainPq invariant);
+      // anything else is a corrupt header — and, unchecked, would size
+      // the centroid buffers from untrusted input.
+      return Status::IoError(path + ": pq header inconsistent with index");
+    }
+    if (pq_header[4] != 0) pq.rotation.resize(pq.dim * pq.dim);
+    pq.centroids.resize(m_subs * PqDataset::kNumCentroids * pq.dsub);
+    pq.centroid_norm2.resize(m_subs * PqDataset::kNumCentroids);
+    pq.codes = Matrix<uint8_t>(pq_rows, m_subs);
+    if (!ReadVec(f.get(), &pq.rotation) ||
+        !ReadVec(f.get(), &pq.centroids) ||
+        !ReadVec(f.get(), &pq.centroid_norm2) ||
+        !ReadVec(f.get(), pq.codes.mutable_data())) {
+      return Status::IoError(path + ": pq read failed");
+    }
+    // Rebuild with this host's active ADC kernel so the fused cosine
+    // path keeps its bit-compatibility contract across SIMD tiers.
+    RecomputePqRowNorms(&pq);
   }
   return index;
 }

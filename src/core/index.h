@@ -72,7 +72,9 @@ class CagraIndex {
   size_t dim() const { return dataset_.dim(); }
   size_t degree() const { return graph_.degree(); }
 
-  /// Serializes graph + dataset + metric to `path` (binary).
+  /// Serializes graph + dataset + metric — plus, when EnablePq has run,
+  /// the PQ copy (codebooks, OPQ rotation, row norms, codes) — to
+  /// `path` (binary). Load restores HasPq() accordingly.
   Status Save(const std::string& path) const;
   static Result<CagraIndex> Load(const std::string& path);
 

@@ -72,7 +72,8 @@ class DatasetView {
                                index_.dim());
       }
       case Precision::kPq:
-        return ComputeDistanceAdc(*q.adc, index_.pq_dataset().codes.Row(id));
+        return ComputeDistanceAdc(*q.adc, index_.pq_dataset().codes.Row(id),
+                                  id);
       case Precision::kFp32:
         break;
     }

@@ -16,13 +16,34 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+/// Total byte size of an open file (position is restored to the start).
+/// Returns false on seek failure.
+bool FileSize(std::FILE* f, uint64_t* size) {
+  if (std::fseek(f, 0, SEEK_END) != 0) return false;
+  const long end = std::ftell(f);
+  if (end < 0 || std::fseek(f, 0, SEEK_SET) != 0) return false;
+  *size = static_cast<uint64_t>(end);
+  return true;
+}
+
 /// Reads vecs-format rows of `elem_size`-byte elements into `out` (resized
-/// by the caller-provided append function).
+/// by the caller-provided append function). The per-row dim header is
+/// untrusted input: it must be positive, consistent across rows, and
+/// small enough that the row it promises actually fits in the file —
+/// otherwise a corrupt header would drive a zero-progress read loop
+/// (d == 0) or a multi-gigabyte row_buf allocation (huge d) before the
+/// truncation was ever noticed.
 template <typename T, typename Widen>
 Result<Matrix<T>> ReadVecs(const std::string& path, size_t elem_size,
                            size_t max_rows, Widen widen) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IoError("cannot open " + path);
+  // When the size is unavailable (non-seekable stream, or ftell's long
+  // overflowing on very large files), skip the plausibility check and
+  // fall back to the per-row truncation errors rather than refusing a
+  // readable file.
+  uint64_t file_size = 0;
+  const bool have_size = FileSize(f.get(), &file_size);
 
   std::vector<T> data;
   std::vector<unsigned char> row_buf;
@@ -35,6 +56,13 @@ Result<Matrix<T>> ReadVecs(const std::string& path, size_t elem_size,
     if (d <= 0) return Status::IoError(path + ": non-positive row dim");
     if (dim == 0) {
       dim = static_cast<size_t>(d);
+      // Header sanity: the first row it promises must fit in the file
+      // (the rule holds for later rows too, since every row re-reads
+      // the same dim and a short read fails as a truncated row below).
+      if (have_size && static_cast<uint64_t>(dim) * elem_size >
+                           file_size - sizeof(d)) {
+        return Status::IoError(path + ": row dim implausible for file size");
+      }
     } else if (dim != static_cast<size_t>(d)) {
       return Status::IoError(path + ": inconsistent row dims");
     }

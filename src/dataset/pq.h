@@ -21,6 +21,12 @@ namespace cagra {
 /// Searches never reconstruct rows: a per-query ADC table
 /// (BuildAdcTable) reduces every distance to M table lookups + adds
 /// through the dispatched LUT-scan kernels in distance/.
+///
+/// With OPQ training (PqTrainParams::rotate) the codebooks live in a
+/// rotated coordinate system: rows are encoded as R·x and queries are
+/// rotated once inside BuildAdcTable, so the search/ADC paths are
+/// unchanged. L2/dot/cosine are invariant under the orthogonal R, which
+/// is what lets the rotation reduce quantization error "for free".
 struct PqDataset {
   static constexpr size_t kNumCentroids = 256;
 
@@ -28,22 +34,37 @@ struct PqDataset {
   size_t dsub = 0;  ///< dims per subspace = ceil(dim / M)
   Matrix<uint8_t> codes;         ///< rows x M
   std::vector<float> centroids;  ///< M x 256 x dsub, padded dims zero
-  /// Per-centroid squared norms (M x 256), precomputed at train time so
-  /// cosine ADC tables borrow them instead of rebuilding per query.
+  /// Per-centroid squared norms (M x 256), precomputed at train time;
+  /// RecomputePqRowNorms folds them into row_norm2.
   std::vector<float> centroid_norm2;
+  /// Per-row reconstructed squared norm (rows entries), precomputed at
+  /// encode time with the active ADC kernel so the cosine ADC path
+  /// reads one float per row instead of scanning a second
+  /// (query-independent) centroid-norm LUT — and matches that two-pass
+  /// scan bit-for-bit.
+  std::vector<float> row_norm2;
+  /// OPQ rotation (dim x dim row-major orthogonal matrix, empty = no
+  /// rotation). Codes store R·x; BuildAdcTable/PqDistance rotate the
+  /// query before building tables / decoding.
+  std::vector<float> rotation;
 
   size_t rows() const { return codes.rows(); }
   size_t num_subspaces() const { return codes.dim(); }
   bool empty() const { return codes.empty(); }
   size_t RowBytes() const { return codes.dim(); }
   size_t CodebookBytes() const { return centroids.size() * sizeof(float); }
+  bool HasRotation() const { return !rotation.empty(); }
 
   const float* Centroid(size_t m, size_t c) const {
     return centroids.data() + (m * kNumCentroids + c) * dsub;
   }
 
-  /// Reconstructed value of one element (the decode the ADC shortcut
-  /// avoids; used by the reference distance and tests).
+  /// out = R · in (dim elements). Requires HasRotation().
+  void RotateQuery(const float* in, float* out) const;
+
+  /// Reconstructed value of one element in the (possibly rotated)
+  /// coding space — the decode the ADC shortcut avoids; used by the
+  /// reference distance and tests.
   float Decode(size_t row, size_t d) const {
     const size_t m = d / dsub;
     return Centroid(m, codes.Row(row)[m])[d - m * dsub];
@@ -58,15 +79,33 @@ struct PqTrainParams {
   size_t kmeans_iterations = 6; ///< Lloyd iterations per subspace
   size_t sample_size = 2048;    ///< training rows (capped at the dataset)
   uint64_t seed = 0x5051;       ///< sampling + init seed
+  /// OPQ-style orthogonal rotation before the subspace split (Ge et
+  /// al.): PCA init, then `opq_iterations` alternating re-encode /
+  /// orthogonal-Procrustes rounds. Adds O(dim^3) linear algebra +
+  /// opq_iterations extra codebook trainings to TrainPq; search-time
+  /// cost is one dim x dim mat-vec per query inside BuildAdcTable.
+  bool rotate = false;
+  size_t opq_iterations = 3;    ///< alternating OPQ rounds after PCA init
 };
 
 /// Trains per-subspace codebooks on a sample and encodes every row.
+/// Empty k-means clusters are re-seeded each Lloyd round by splitting
+/// the cluster with the largest quantization error, so codebooks never
+/// keep duplicate/stale centroids when the sample has fewer distinct
+/// rows than centroids.
 PqDataset TrainPq(const Matrix<float>& dataset,
                   const PqTrainParams& params = PqTrainParams{});
 
+/// Recomputes PqDataset::row_norm2 from the codes and centroid norms
+/// with the active ADC kernel (so the stored value is bit-identical to
+/// the LUT scan it replaces). TrainPq calls this; callers that rewrite
+/// `codes` by hand (benches) must call it again before cosine ADC.
+void RecomputePqRowNorms(PqDataset* pq);
+
 /// Builds the per-query ADC tables for `metric` (see PqAdcTable in
-/// distance/distance.h). Scalar arithmetic, deterministic across SIMD
-/// tiers; per-subspace partials accumulate in the same order as the
+/// distance/distance.h). Rotates the query first when the dataset was
+/// OPQ-trained. Scalar arithmetic, deterministic across SIMD tiers;
+/// per-subspace partials accumulate in the same order as the
 /// PqDistance reference, so a scalar-tier LUT scan reproduces
 /// PqDistance exactly for kL2/kInnerProduct.
 void BuildAdcTable(const PqDataset& pq, const float* query, Metric metric,

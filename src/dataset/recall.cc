@@ -5,6 +5,13 @@
 
 namespace cagra {
 
+namespace {
+/// Padding sentinel used by searches that cannot fill k results
+/// (k > rows, short shard merges). Never a valid row id — the MSB
+/// parent-flag scheme caps datasets at 2^31 - 1 rows.
+constexpr uint32_t kPadding = 0xffffffffu;
+}  // namespace
+
 double ComputeRecall(const NeighborList& results,
                      const Matrix<uint32_t>& ground_truth) {
   const size_t nq = results.num_queries();
@@ -12,17 +19,27 @@ double ComputeRecall(const NeighborList& results,
   assert(results.k <= ground_truth.dim());
   if (nq == 0 || results.k == 0) return 0.0;
 
+  const size_t k = results.k;
   size_t hits = 0;
+  size_t denom = 0;
   for (size_t q = 0; q < nq; q++) {
     const uint32_t* found = results.Row(q);
     const uint32_t* exact = ground_truth.Row(q);
-    for (size_t i = 0; i < results.k; i++) {
-      const uint32_t* end = exact + results.k;
-      if (std::find(exact, end, found[i]) != end) hits++;
+    // The attainable set: valid (non-padding) ground-truth entries.
+    for (size_t i = 0; i < k; i++) {
+      if (exact[i] != kPadding) denom++;
+    }
+    for (size_t i = 0; i < k; i++) {
+      const uint32_t id = found[i];
+      // Padding can never "match" padded ground truth, and a result id
+      // counts at most once no matter how often it is repeated.
+      if (id == kPadding) continue;
+      if (std::find(found, found + i, id) != found + i) continue;
+      if (std::find(exact, exact + k, id) != exact + k) hits++;
     }
   }
-  return static_cast<double>(hits) /
-         static_cast<double>(nq * results.k);
+  return denom == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(denom);
 }
 
 }  // namespace cagra

@@ -19,8 +19,12 @@ struct NeighborList {
   const uint32_t* Row(size_t q) const { return ids.data() + q * k; }
 };
 
-/// recall@k per Eq. (2): |ANN results ∩ exact results| / k, averaged over
-/// queries. `ground_truth` rows must hold at least `k` exact ids.
+/// recall@k per Eq. (2): |ANN results ∩ exact results| over the number
+/// of valid ground-truth entries, summed across queries. Duplicate
+/// result ids count once, and the 0xffffffff padding sentinel (short
+/// results / k > dataset rows) is skipped on both sides — padded
+/// results can never match padded ground truth. `ground_truth` rows
+/// must hold at least `k` ids (padding included).
 double ComputeRecall(const NeighborList& results,
                      const Matrix<uint32_t>& ground_truth);
 

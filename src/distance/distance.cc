@@ -228,13 +228,15 @@ void BatchDistanceI8(const KernelTable& k, Metric metric, const float* query,
   }
 }
 
-/// ADC variant of BatchDistance: one per-query LUT, code rows instead of
-/// vectors. The metric term is a single LUT scan; cosine adds a second
-/// scan over the centroid-norm2 table. Same multi-row grouping and
+/// ADC variant of BatchDistance: one per-query LUT, code rows instead
+/// of vectors. Every metric is a single fused LUT pass — cosine reads
+/// the per-row reconstructed norm precomputed at encode time
+/// (PqDataset::row_norm2) through norm_row(i) instead of scanning a
+/// second query-independent LUT. Same multi-row grouping and
 /// bit-compatibility contract as the other element types.
-template <typename RowFn>
+template <typename RowFn, typename NormRowFn>
 void BatchAdc(const KernelTable& k, const PqAdcTable& t, size_t n,
-              const RowFn& row, float* out) {
+              const RowFn& row, const NormRowFn& norm_row, float* out) {
   const size_t m = t.num_subspaces;
   const float* lut = t.dist.data();
   const uint8_t* group[kMultiRowWidth];
@@ -266,19 +268,18 @@ void BatchAdc(const KernelTable& k, const PqAdcTable& t, size_t n,
       break;
     }
     case Metric::kCosine: {
-      float norms[kMultiRowWidth];
       size_t i = 0;
       for (; i + kMultiRowWidth <= n; i += kMultiRowWidth) {
         fill_group(i);
         k.adcx4(lut, group, m, out + i);
-        k.adcx4(t.norm2, group, m, norms);
         for (size_t r = 0; r < kMultiRowWidth; r++) {
-          out[i + r] = CosineFromParts(out[i + r], t.query_norm2, norms[r]);
+          out[i + r] = CosineFromParts(out[i + r], t.query_norm2,
+                                       t.row_norm2[norm_row(i + r)]);
         }
       }
       for (; i < n; i++) {
         out[i] = CosineFromParts(k.adc(lut, row(i), m), t.query_norm2,
-                                 k.adc(t.norm2, row(i), m));
+                                 t.row_norm2[norm_row(i)]);
       }
       break;
     }
@@ -359,7 +360,8 @@ void ComputeDistanceGather(Metric metric, const float* query,
                   [&](size_t i) { return base + ids[i] * dim; }, out);
 }
 
-float ComputeDistanceAdc(const PqAdcTable& table, const uint8_t* code) {
+float ComputeDistanceAdc(const PqAdcTable& table, const uint8_t* code,
+                         size_t row) {
   const KernelTable& k = ActiveKernelTable();
   const size_t m = table.num_subspaces;
   switch (table.metric) {
@@ -369,23 +371,25 @@ float ComputeDistanceAdc(const PqAdcTable& table, const uint8_t* code) {
       return -k.adc(table.dist.data(), code, m);
     case Metric::kCosine:
       return CosineFromParts(k.adc(table.dist.data(), code, m),
-                             table.query_norm2, k.adc(table.norm2, code, m));
+                             table.query_norm2, table.row_norm2[row]);
   }
   return 0.0f;
 }
 
 void ComputeDistanceAdcBatch(const PqAdcTable& table, const uint8_t* rows,
-                             size_t n, float* out) {
+                             size_t first_row, size_t n, float* out) {
   const size_t m = table.num_subspaces;
   BatchAdc(ActiveKernelTable(), table, n,
-           [&](size_t i) { return rows + i * m; }, out);
+           [&](size_t i) { return rows + i * m; },
+           [&](size_t i) { return first_row + i; }, out);
 }
 
 void ComputeDistanceAdcGather(const PqAdcTable& table, const uint8_t* base,
                               const uint32_t* ids, size_t n, float* out) {
   const size_t m = table.num_subspaces;
   BatchAdc(ActiveKernelTable(), table, n,
-           [&](size_t i) { return base + ids[i] * m; }, out);
+           [&](size_t i) { return base + ids[i] * m; },
+           [&](size_t i) { return ids[i]; }, out);
 }
 
 }  // namespace cagra

@@ -81,30 +81,41 @@ void ComputeDistanceGather(Metric metric, const float* query,
 /// BuildAdcTable() in dataset/pq.h; the scan kernels then price one
 /// table lookup + add per subspace instead of a full per-dimension
 /// decode. `dist` holds M x 256 subspace partials: squared-L2 partials
-/// for kL2, dot partials for kInnerProduct/kCosine. For cosine, `norm2`
-/// borrows the dataset's precomputed per-centroid norm2 partials (valid
-/// while the PqDataset is alive) and `query_norm2` caches |q|^2.
+/// for kL2, dot partials for kInnerProduct/kCosine. For cosine,
+/// `row_norm2` borrows the dataset's per-row reconstructed norms
+/// (PqDataset::row_norm2, precomputed at encode time; valid while the
+/// PqDataset is alive, indexed by dataset row id) and `query_norm2`
+/// caches |q|^2 — so cosine ADC is a single fused LUT pass plus one
+/// float load per row instead of a second query-independent scan.
 struct PqAdcTable {
   size_t num_subspaces = 0;
   Metric metric = Metric::kL2;
   std::vector<float> dist;
-  const float* norm2 = nullptr;
+  const float* row_norm2 = nullptr;
   float query_norm2 = 0.0f;
+  /// Scratch for the OPQ-rotated query (reused across a worker's
+  /// queries like `dist`); empty when the dataset has no rotation.
+  std::vector<float> rotated_query;
 };
 
 /// ADC distance of one PQ code row (`num_subspaces` bytes) via the
 /// dispatched LUT-scan kernels; metric composition (inner-product
 /// negation, cosine normalization) mirrors the other storage modes.
-float ComputeDistanceAdc(const PqAdcTable& table, const uint8_t* code);
+/// `row` is the dataset row id of `code` — cosine reads its
+/// precomputed norm through it; other metrics ignore it.
+float ComputeDistanceAdc(const PqAdcTable& table, const uint8_t* code,
+                         size_t row);
 
 /// One ADC table against `n` contiguous code rows (row stride =
-/// num_subspaces); full groups of four rows run through the multi-row
-/// adcx4 kernel and out[i] is bit-identical to the pairwise call.
+/// num_subspaces) starting at dataset row `first_row`; full groups of
+/// four rows run through the multi-row adcx4 kernel and out[i] is
+/// bit-identical to the pairwise call.
 void ComputeDistanceAdcBatch(const PqAdcTable& table, const uint8_t* rows,
-                             size_t n, float* out);
+                             size_t first_row, size_t n, float* out);
 
 /// One ADC table against `n` code rows gathered by id from `base`
-/// (row-major, stride num_subspaces) — the PQ candidate-expansion loop.
+/// (row-major, stride num_subspaces) — the PQ candidate-expansion
+/// loop. ids are dataset row ids and double as the row_norm2 index.
 void ComputeDistanceAdcGather(const PqAdcTable& table, const uint8_t* base,
                               const uint32_t* ids, size_t n, float* out);
 

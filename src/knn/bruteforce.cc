@@ -1,7 +1,9 @@
 #include "knn/bruteforce.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "distance/pq_fastscan.h"
 #include "util/bounded_heap.h"
 #include "util/thread_pool.h"
 
@@ -95,8 +97,105 @@ NeighborList ExactSearch(const QuantizedDataset& base,
       });
 }
 
+namespace {
+
+/// Fast-scan PQ scan: rank every row by the exact u16 accumulator of
+/// the 8-bit quantized LUT (one integer add per subspace, vpermi2b on
+/// VBMI hosts), keep the top `rerank`, rescore those with the fp32 ADC
+/// table and return the best k. Selection is approximate (8-bit LUT
+/// step), returned distances are exact ADC values.
+NeighborList FastScanSearch(const PqDataset& base,
+                            const Matrix<float>& queries, size_t k,
+                            Metric metric, size_t rerank) {
+  const size_t rows = base.rows();
+  const size_t m = base.num_subspaces();
+  const std::vector<uint8_t> codes_col = SubspaceMajorCodes(base);
+
+  NeighborList out;
+  out.k = k;
+  out.ids.resize(queries.rows() * k, kNoSkip);
+  out.distances.resize(queries.rows() * k, 0.0f);
+  // Not the shared BlockScan: the rerank needs the per-query ADC table
+  // again after candidate selection, so the whole query runs in one
+  // lambda and the table is built exactly once.
+  GlobalThreadPool().ParallelFor(0, queries.rows(), [&](size_t q) {
+    PqAdcTable adc;
+    BuildAdcTable(base, queries.Row(q), metric, &adc);
+    QuantizedAdcTable q8;
+    if (metric == Metric::kInnerProduct) {
+      // Rank by ascending distance = ascending -dot: quantize the
+      // negated dot partials.
+      std::vector<float> neg(adc.dist.size());
+      for (size_t i = 0; i < neg.size(); i++) neg[i] = -adc.dist[i];
+      q8 = QuantizeAdcTable(neg.data(), m);
+    } else {
+      q8 = QuantizeAdcTable(adc.dist.data(), m);
+    }
+
+    BoundedHeap heap(rerank);
+    uint32_t acc[kScanBlock];
+    float rank[kScanBlock];
+    for (size_t i0 = 0; i0 < rows; i0 += kScanBlock) {
+      const size_t block = std::min(kScanBlock, rows - i0);
+      PqFastScan(q8.lut.data(), codes_col.data() + i0, rows, block, m, acc);
+      if (metric == Metric::kCosine) {
+        // The integer accumulator approximates the dot product; fold
+        // in the per-row reconstructed norm so the rank key orders by
+        // (approximate) cosine distance.
+        for (size_t j = 0; j < block; j++) {
+          const float dot = q8.Dequantize(acc[j]);
+          const float denom = std::sqrt(adc.query_norm2) *
+                              std::sqrt(adc.row_norm2[i0 + j]);
+          rank[j] = denom == 0.0f ? 1.0f : 1.0f - dot / denom;
+        }
+      } else {
+        // u16 accumulators stay below 2^24, so the float conversion
+        // is exact and the heap ranking is exact integer ranking.
+        for (size_t j = 0; j < block; j++) {
+          rank[j] = static_cast<float>(acc[j]);
+        }
+      }
+      for (size_t j = 0; j < block; j++) {
+        if (rank[j] < heap.WorstDistance()) {
+          heap.Push(rank[j], static_cast<uint32_t>(i0 + j));
+        }
+      }
+    }
+
+    // Rerank the survivors with the fp32 ADC table.
+    const auto sorted = heap.ExtractSorted();
+    std::vector<uint32_t> ids(sorted.size());
+    for (size_t i = 0; i < sorted.size(); i++) ids[i] = sorted[i].id;
+    std::vector<float> exact(sorted.size());
+    ComputeDistanceAdcGather(adc, base.codes.data().data(), ids.data(),
+                             ids.size(), exact.data());
+    BoundedHeap top(k);
+    for (size_t i = 0; i < ids.size(); i++) {
+      top.Push(exact[i], ids[i]);
+    }
+    const auto best = top.ExtractSorted();
+    for (size_t i = 0; i < best.size(); i++) {
+      out.ids[q * k + i] = best[i].id;
+      out.distances[q * k + i] = best[i].distance;
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
 NeighborList ExactSearch(const PqDataset& base, const Matrix<float>& queries,
-                         size_t k, Metric metric) {
+                         size_t k, Metric metric,
+                         const PqScanOptions& options) {
+  // M > 256 would overflow the fast scan's u16 lane accumulators;
+  // QuantizeAdcTable refuses, so fall back to the exact ADC scan.
+  if (options.approximate_scan && base.num_subspaces() <= 256 &&
+      base.rows() > 0) {
+    size_t rerank =
+        options.rerank != 0 ? options.rerank : std::max(4 * k, size_t{64});
+    rerank = std::min(std::max(rerank, k), base.rows());
+    return FastScanSearch(base, queries, k, metric, rerank);
+  }
   return ScanToNeighborList(
       base.rows(), queries.rows(), k,
       [&](size_t q) {
@@ -106,7 +205,7 @@ NeighborList ExactSearch(const PqDataset& base, const Matrix<float>& queries,
       },
       [&](const PqAdcTable& table, size_t, size_t i0, size_t block,
           float* dists) {
-        ComputeDistanceAdcBatch(table, base.codes.Row(i0), block, dists);
+        ComputeDistanceAdcBatch(table, base.codes.Row(i0), i0, block, dists);
       });
 }
 

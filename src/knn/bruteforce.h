@@ -28,13 +28,32 @@ NeighborList ExactSearch(const QuantizedDataset& base,
                          const Matrix<float>& queries, size_t k,
                          Metric metric);
 
+/// Opt-in scan mode for the PQ ExactSearch overload.
+struct PqScanOptions {
+  /// Route the scan through the quantized-LUT fast scan
+  /// (distance/pq_fastscan.h): the per-query fp32 ADC table is
+  /// quantized to 8 bits, every row costs M integer table adds
+  /// (vpermi2b shuffles on AVX512-VBMI hosts), candidates are ranked by
+  /// the exact u16 accumulators, and the top `rerank` survivors are
+  /// rescored with the fp32 ADC table. Returned distances are therefore
+  /// exact ADC distances; only the candidate *selection* is
+  /// approximate, bounded by the 8-bit LUT step. Falls back to the
+  /// exact scan when the table cannot be quantized (M > 256).
+  bool approximate_scan = false;
+  /// Candidates rescored with the fp32 table per query; 0 = auto
+  /// (max(4k, 64)). Clamped to [k, rows].
+  size_t rerank = 0;
+};
+
 /// Exhaustive ADC scan over a product-quantized dataset: one ADC table
 /// per query (built once, M x 256 entries), then every code row scored
 /// through the dispatched LUT-scan kernels. Results are exact w.r.t.
 /// the ADC distances (asymmetric: query stays fp32, rows decode through
-/// the codebook implicitly).
+/// the codebook implicitly) — or, with options.approximate_scan,
+/// fast-scan-selected and ADC-reranked.
 NeighborList ExactSearch(const PqDataset& base, const Matrix<float>& queries,
-                         size_t k, Metric metric);
+                         size_t k, Metric metric,
+                         const PqScanOptions& options = PqScanOptions{});
 
 /// Ground truth in the ivecs-like Matrix form consumed by ComputeRecall.
 Matrix<uint32_t> ComputeGroundTruth(const Matrix<float>& base,

@@ -148,6 +148,100 @@ TEST(CagraIndexTest, SaveLoadRoundTripPreservesSearch) {
   std::remove(path.c_str());
 }
 
+TEST(CagraIndexTest, SaveLoadCarriesPqCodebookAndRotation) {
+  // The PQ trailer: codebooks, OPQ rotation, row norms, and codes must
+  // survive the round trip so a loaded index answers Precision::kPq
+  // searches identically without retraining — the rotation is part of
+  // the codebook's coordinate system and must never be separated.
+  auto data = SmallData(600);
+  BuildParams params;
+  params.graph_degree = 12;
+  auto index = CagraIndex::Build(data.base, params);
+  ASSERT_TRUE(index.ok());
+  PqTrainParams pq_params;
+  pq_params.rotate = true;
+  pq_params.kmeans_iterations = 3;
+  pq_params.sample_size = 512;
+  index->EnablePq(pq_params);
+  ASSERT_TRUE(index->HasPq());
+  ASSERT_TRUE(index->pq_dataset().HasRotation());
+
+  const std::string path = ::testing::TempDir() + "/index_pq.cagra";
+  ASSERT_TRUE(index->Save(path).ok());
+  auto loaded = CagraIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->HasPq());
+  const PqDataset& a = index->pq_dataset();
+  const PqDataset& b = loaded->pq_dataset();
+  EXPECT_EQ(b.dim, a.dim);
+  EXPECT_EQ(b.dsub, a.dsub);
+  EXPECT_EQ(b.rotation, a.rotation);
+  EXPECT_EQ(b.centroids, a.centroids);
+  EXPECT_EQ(b.centroid_norm2, a.centroid_norm2);
+  EXPECT_EQ(b.row_norm2, a.row_norm2);
+  EXPECT_EQ(b.codes.data(), a.codes.data());
+
+  SearchParams sp;
+  sp.k = 5;
+  sp.itopk = 32;
+  auto r1 = Search(*index, data.queries, sp, Precision::kPq);
+  auto r2 = Search(*loaded, data.queries, sp, Precision::kPq);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->neighbors.ids, r2->neighbors.ids);
+  EXPECT_EQ(r1->neighbors.distances, r2->neighbors.distances);
+  std::remove(path.c_str());
+}
+
+TEST(CagraIndexTest, LoadRejectsCorruptPqTrailer) {
+  // The PQ trailer header is untrusted input: a corrupted dsub (which
+  // sizes the centroid buffers) must fail cleanly as an IoError, never
+  // reach a huge/overflowed allocation.
+  auto data = SmallData(200);
+  BuildParams params;
+  params.graph_degree = 8;
+  auto index = CagraIndex::Build(data.base, params);
+  ASSERT_TRUE(index.ok());
+  PqTrainParams pq_params;
+  pq_params.kmeans_iterations = 2;
+  index->EnablePq(pq_params);
+  const std::string path = ::testing::TempDir() + "/index_badpq.cagra";
+  ASSERT_TRUE(index->Save(path).ok());
+
+  // pq_header[1] (dsub) sits 16 bytes after the graph block's flags
+  // word: 5*8 header + dataset + graph + 8 flags + 8 (pq dim field).
+  const long offset =
+      static_cast<long>(5 * 8 + index->size() * index->dim() * 4 +
+                        index->size() * index->degree() * 4 + 8 + 8);
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  const uint64_t huge = 1ull << 40;
+  ASSERT_EQ(std::fwrite(&huge, sizeof(huge), 1, f), 1u);
+  std::fclose(f);
+
+  auto loaded = CagraIndex::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(CagraIndexTest, SaveLoadWithoutPqStillLoads) {
+  // Files written without the PQ trailer (or by the pre-trailer
+  // format, which ends right after the graph) load with HasPq false.
+  auto data = SmallData(200);
+  BuildParams params;
+  params.graph_degree = 8;
+  auto index = CagraIndex::Build(data.base, params);
+  ASSERT_TRUE(index.ok());
+  const std::string path = ::testing::TempDir() + "/index_nopq.cagra";
+  ASSERT_TRUE(index->Save(path).ok());
+  auto loaded = CagraIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->HasPq());
+  std::remove(path.c_str());
+}
+
 TEST(CagraIndexTest, LoadRejectsNonIndexFile) {
   const std::string path = ::testing::TempDir() + "/notindex.bin";
   std::FILE* f = std::fopen(path.c_str(), "wb");

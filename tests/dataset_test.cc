@@ -218,6 +218,85 @@ TEST(IoTest, TruncatedFileIsIoError) {
   std::remove(path.c_str());
 }
 
+TEST(IoTest, ZeroDimHeaderIsIoError) {
+  // A d == 0 header used to make every row a zero-byte fread "success",
+  // spinning without progress; it must be rejected as corrupt.
+  const std::string path = TempPath("zerodim.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const int32_t dim = 0;
+  const float payload[4] = {1, 2, 3, 4};
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(payload, sizeof(float), 4, f);
+  std::fclose(f);
+  auto r = ReadFvecs(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, NegativeDimHeaderIsIoError) {
+  const std::string path = TempPath("negdim.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const int32_t dim = -7;
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fclose(f);
+  auto r = ReadFvecs(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, HugeDimHeaderIsRejectedWithoutAllocating) {
+  // A corrupt header promising a ~2^30-element row must fail the
+  // file-size plausibility check instead of attempting a multi-GB
+  // row_buf allocation.
+  const std::string path = TempPath("hugedim.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const int32_t dim = 1 << 30;
+  const float payload[8] = {0};
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(payload, sizeof(float), 8, f);
+  std::fclose(f);
+  auto r = ReadFvecs(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, DimLargerThanFileIsIoError) {
+  // Plausible-looking dim, but the file is too short to ever hold one
+  // such row: caught by the header check, not by a giant read attempt.
+  const std::string path = TempPath("shortfile.ivecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const int32_t dim = 1000;
+  const uint32_t payload[2] = {1, 2};
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(payload, sizeof(payload), 1, f);
+  std::fclose(f);
+  auto r = ReadIvecs(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, TruncatedSecondRowIsIoError) {
+  // The first row is complete (so the header check passes) but the
+  // second row is cut mid-payload.
+  const std::string path = TempPath("midtrunc.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const int32_t dim = 4;
+  const float row[4] = {1, 2, 3, 4};
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(row, sizeof(float), 4, f);
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(row, sizeof(float), 2, f);  // half a row
+  std::fclose(f);
+  auto r = ReadFvecs(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
 TEST(IoTest, BvecsWidensToFloat) {
   const std::string path = TempPath("bytes.bvecs");
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -270,6 +349,53 @@ TEST(RecallTest, UsesOnlyTopKOfGroundTruth) {
   results.ids = {30, 40};
   Matrix<uint32_t> gt(1, 4);
   *gt.mutable_data() = {10, 20, 30, 40};
+  EXPECT_EQ(ComputeRecall(results, gt), 0.0);
+}
+
+TEST(RecallTest, DuplicateFoundIdsCountOnce) {
+  // Regression: a result list that repeats one correct id must score it
+  // once, not k times (the old implementation reported 1.0 here).
+  NeighborList results;
+  results.k = 3;
+  results.ids = {1, 1, 1};
+  Matrix<uint32_t> gt(1, 3);
+  *gt.mutable_data() = {1, 2, 3};
+  EXPECT_NEAR(ComputeRecall(results, gt), 1.0 / 3.0, 1e-12);
+}
+
+TEST(RecallTest, PaddingSentinelNeverMatchesPaddedGroundTruth) {
+  // Regression: 0xffffffff padding in the results used to "match" the
+  // 0xffffffff padding in short ground-truth rows, inflating recall.
+  constexpr uint32_t kPad = 0xffffffffu;
+  NeighborList results;
+  results.k = 2;
+  results.ids = {kPad, kPad};
+  Matrix<uint32_t> gt(1, 2);
+  *gt.mutable_data() = {3, kPad};
+  EXPECT_EQ(ComputeRecall(results, gt), 0.0);
+}
+
+TEST(RecallTest, KBeyondDatasetRowsScoresOnlyValidEntries) {
+  // k = 8 over a 5-row dataset: results and ground truth both pad with
+  // the sentinel. A search that found 3 of the 5 reachable neighbors
+  // scores 3/5 — the old implementation counted the pad-pad matches
+  // too and reported a perfect 1.0.
+  constexpr uint32_t kPad = 0xffffffffu;
+  NeighborList results;
+  results.k = 8;
+  results.ids = {0, 1, 2, kPad, kPad, kPad, kPad, kPad};
+  Matrix<uint32_t> gt(1, 8);
+  *gt.mutable_data() = {0, 1, 2, 3, 4, kPad, kPad, kPad};
+  EXPECT_NEAR(ComputeRecall(results, gt), 3.0 / 5.0, 1e-12);
+}
+
+TEST(RecallTest, AllPaddedGroundTruthIsZeroNotNan) {
+  constexpr uint32_t kPad = 0xffffffffu;
+  NeighborList results;
+  results.k = 2;
+  results.ids = {kPad, kPad};
+  Matrix<uint32_t> gt(1, 2);
+  *gt.mutable_data() = {kPad, kPad};
   EXPECT_EQ(ComputeRecall(results, gt), 0.0);
 }
 

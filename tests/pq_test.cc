@@ -85,7 +85,7 @@ TEST(PqTrainTest, NonDivisibleDimZeroPadsTail) {
   PqAdcTable t;
   BuildAdcTable(pq, query.data(), Metric::kL2, &t);
   for (size_t r = 0; r < 20; r++) {
-    EXPECT_NEAR(ComputeDistanceAdc(t, pq.codes.Row(r)),
+    EXPECT_NEAR(ComputeDistanceAdc(t, pq.codes.Row(r), r),
                 PqDistance(Metric::kL2, query.data(), pq, r), 1e-4f)
         << r;
   }
@@ -104,7 +104,7 @@ TEST(PqAdcTest, AdcMatchesDecodeReference) {
       PqAdcTable t;
       BuildAdcTable(pq, data.queries.Row(q), metric, &t);
       for (size_t r = 0; r < 50; r++) {
-        const float adc = ComputeDistanceAdc(t, pq.codes.Row(r));
+        const float adc = ComputeDistanceAdc(t, pq.codes.Row(r), r);
         const float ref = PqDistance(metric, data.queries.Row(q), pq, r);
         if (scalar && metric != Metric::kCosine) {
           // The scalar scan sums the same partials in the same order as
@@ -171,16 +171,17 @@ TEST(PqAdcTest, BatchAndGatherMatchPairwise) {
     PqAdcTable t;
     BuildAdcTable(pq, data.queries.Row(0), metric, &t);
     std::vector<float> batch(n);
-    ComputeDistanceAdcBatch(t, pq.codes.data().data(), n, batch.data());
+    ComputeDistanceAdcBatch(t, pq.codes.data().data(), 0, n, batch.data());
     std::vector<uint32_t> ids(n);
     for (size_t i = 0; i < n; i++) ids[i] = static_cast<uint32_t>(n - 1 - i);
     std::vector<float> gathered(n);
     ComputeDistanceAdcGather(t, pq.codes.data().data(), ids.data(), n,
                              gathered.data());
     for (size_t i = 0; i < n; i++) {
-      EXPECT_EQ(batch[i], ComputeDistanceAdc(t, pq.codes.Row(i)))
+      EXPECT_EQ(batch[i], ComputeDistanceAdc(t, pq.codes.Row(i), i))
           << MetricName(metric) << " batch i=" << i;
-      EXPECT_EQ(gathered[i], ComputeDistanceAdc(t, pq.codes.Row(ids[i])))
+      EXPECT_EQ(gathered[i],
+                ComputeDistanceAdc(t, pq.codes.Row(ids[i]), ids[i]))
           << MetricName(metric) << " gather i=" << i;
     }
   }
@@ -235,9 +236,236 @@ TEST(PqFastScanTest, QuantizedScanApproximatesFloatAdc) {
   // 8-bit LUT quantization: error bounded by one step per subspace.
   const float tol = q8.scale * static_cast<float>(q8.num_subspaces);
   for (size_t r = 0; r < pq.rows(); r++) {
-    const float exact = ComputeDistanceAdc(t, pq.codes.Row(r));
+    const float exact = ComputeDistanceAdc(t, pq.codes.Row(r), r);
     EXPECT_NEAR(q8.Dequantize(acc[r]), exact, std::max(tol, 1e-3f))
         << "r=" << r;
+  }
+}
+
+// ------------------------------------------------- k-means robustness
+
+// Regression for the empty-cluster fix: a dataset whose sample has far
+// fewer distinct rows than 256 centroids (256 copies of one vector +
+// 256 scattered points). The duplicate init centroids used to stay as
+// dead codes, so half the codebook was wasted and scattered points had
+// to share centroids; splitting the largest-error cluster re-seeds the
+// empties and the codebook resolves (almost) every scattered point.
+TEST(PqTrainTest, EmptyClustersSplitIntoLargestErrorCluster) {
+  const size_t dim = 4;
+  Matrix<float> m(512, dim);
+  Pcg32 rng(21);
+  for (size_t r = 0; r < 256; r++) {
+    float* row = m.MutableRow(r);
+    row[0] = 0.2f; row[1] = -0.3f; row[2] = 0.4f; row[3] = 0.1f;
+  }
+  for (size_t r = 256; r < 512; r++) {
+    float* row = m.MutableRow(r);
+    for (size_t d = 0; d < dim; d++) row[d] = rng.NextFloat() * 2.0f - 1.0f;
+  }
+  PqTrainParams tp;
+  tp.num_subspaces = 1;
+  tp.kmeans_iterations = 8;
+  const PqDataset pq = TrainPq(m, tp);
+  double err = 0, ref = 0;
+  for (size_t r = 0; r < pq.rows(); r++) {
+    for (size_t d = 0; d < dim; d++) {
+      const double e = pq.Decode(r, d) - m.Row(r)[d];
+      err += e * e;
+      ref += static_cast<double>(m.Row(r)[d]) * m.Row(r)[d];
+    }
+  }
+  // 512 points, 256 centroids, half the points identical: with empty
+  // clusters recycled, nearly every scattered point gets its own
+  // centroid (measured ~1e-5 here). The pre-fix implementation leaves
+  // the duplicate init centroids dead and lands at ~0.028 — three
+  // orders of magnitude higher.
+  EXPECT_LT(err / ref, 0.005) << "err=" << err << " ref=" << ref;
+}
+
+TEST(PqTrainTest, TinyDatasetGetsPerCentroidResolution) {
+  // Fewer rows than centroids: every row can own a centroid, so the
+  // codebook must reconstruct the dataset (nearly) exactly and encoding
+  // must stay deterministic and in range.
+  const size_t dim = 8;
+  Matrix<float> m(60, dim);
+  Pcg32 rng(31);
+  for (auto& x : *m.mutable_data()) x = rng.NextFloat() * 2.0f - 1.0f;
+  PqTrainParams tp;
+  tp.num_subspaces = 2;
+  tp.kmeans_iterations = 4;
+  const PqDataset pq = TrainPq(m, tp);
+  ASSERT_EQ(pq.rows(), 60u);
+  for (size_t r = 0; r < pq.rows(); r++) {
+    for (size_t d = 0; d < dim; d++) {
+      EXPECT_NEAR(pq.Decode(r, d), m.Row(r)[d], 1e-5f)
+          << "r=" << r << " d=" << d;
+    }
+  }
+}
+
+// ------------------------------------------------------- OPQ rotation
+
+PqTrainParams OpqTrain(size_t num_subspaces = 0) {
+  PqTrainParams tp = FastTrain(num_subspaces);
+  tp.rotate = true;
+  tp.opq_iterations = 2;
+  return tp;
+}
+
+TEST(OpqTest, RotationIsOrthogonal) {
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), 800, 4, 19);
+  const PqDataset pq = TrainPq(data.base, OpqTrain());
+  ASSERT_TRUE(pq.HasRotation());
+  const size_t dim = pq.dim;
+  ASSERT_EQ(pq.rotation.size(), dim * dim);
+  for (size_t i = 0; i < dim; i++) {
+    for (size_t j = 0; j < dim; j++) {
+      double dot = 0;
+      for (size_t d = 0; d < dim; d++) {
+        dot += static_cast<double>(pq.rotation[i * dim + d]) *
+               pq.rotation[j * dim + d];
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-4) << i << "," << j;
+    }
+  }
+}
+
+TEST(OpqTest, RotationPreservesDistances) {
+  // L2/dot are invariant under the orthogonal rotation, so rotated
+  // vectors must keep their pairwise distances (this is what makes the
+  // rotated codebook answer original-space queries).
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), 600, 4, 23);
+  const PqDataset pq = TrainPq(data.base, OpqTrain());
+  ASSERT_TRUE(pq.HasRotation());
+  const size_t dim = pq.dim;
+  std::vector<float> ra(dim), rb(dim);
+  for (size_t i = 0; i + 1 < 10; i += 2) {
+    const float* a = data.base.Row(i);
+    const float* b = data.base.Row(i + 1);
+    pq.RotateQuery(a, ra.data());
+    pq.RotateQuery(b, rb.data());
+    const float orig = ComputeDistance(Metric::kL2, a, b, dim);
+    const float rot = ComputeDistance(Metric::kL2, ra.data(), rb.data(), dim);
+    EXPECT_NEAR(rot, orig, std::max(1e-3f, orig * 1e-3f)) << i;
+  }
+}
+
+TEST(OpqTest, ReconstructionNotWorseThanPlainPq) {
+  // The OPQ objective is exactly the quantization error the plain
+  // trainer minimizes with R pinned to identity, so the trained
+  // rotation must not lose to it (small slack for k-means noise).
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), 1500, 4, 7);
+  const PqDataset pq = TrainPq(data.base, FastTrain());
+  const PqDataset opq = TrainPq(data.base, OpqTrain());
+  const size_t dim = data.base.dim();
+  std::vector<float> rotated(dim);
+  double err_pq = 0, err_opq = 0;
+  for (size_t r = 0; r < data.base.rows(); r++) {
+    opq.RotateQuery(data.base.Row(r), rotated.data());
+    for (size_t d = 0; d < dim; d++) {
+      const double ep = pq.Decode(r, d) - data.base.Row(r)[d];
+      const double eo = opq.Decode(r, d) - rotated[d];
+      err_pq += ep * ep;
+      err_opq += eo * eo;
+    }
+  }
+  EXPECT_LE(err_opq, err_pq * 1.05)
+      << "opq=" << err_opq << " pq=" << err_pq;
+}
+
+TEST(OpqTest, AdcMatchesDecodeReferenceUnderRotation) {
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), 400, 8, 11);
+  const PqDataset pq = TrainPq(data.base, OpqTrain());
+  ASSERT_TRUE(pq.HasRotation());
+  for (Metric metric :
+       {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+    PqAdcTable t;
+    BuildAdcTable(pq, data.queries.Row(0), metric, &t);
+    for (size_t r = 0; r < 50; r++) {
+      const float adc = ComputeDistanceAdc(t, pq.codes.Row(r), r);
+      const float ref = PqDistance(metric, data.queries.Row(0), pq, r);
+      EXPECT_NEAR(adc, ref, std::max(1e-3f, std::abs(ref) * 1e-3f))
+          << MetricName(metric) << " r=" << r;
+    }
+  }
+}
+
+TEST(OpqTest, SearchRecallAtLeastPlainPq) {
+  // The acceptance pin: OPQ's recall on the DEEP-synthetic profile must
+  // not trail plain PQ (both share the 0.75 absolute floor), native and
+  // forced-scalar.
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 2000, 32, 7);
+  BuildParams bp;
+  bp.graph_degree = 16;
+  auto index_pq = CagraIndex::Build(data.base, bp);
+  ASSERT_TRUE(index_pq.ok());
+  CagraIndex index_opq = *index_pq;  // same graph, separate PQ copy
+  index_pq->EnablePq();
+  PqTrainParams opq_params;
+  opq_params.rotate = true;
+  index_opq.EnablePq(opq_params);
+  ASSERT_TRUE(index_opq.pq_dataset().HasRotation());
+
+  const auto gt = ComputeGroundTruth(data.base, data.queries, 10, p->metric);
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  sp.algo = SearchAlgo::kSingleCta;
+  auto pq = Search(*index_pq, data.queries, sp, Precision::kPq);
+  auto opq = Search(index_opq, data.queries, sp, Precision::kPq);
+  ASSERT_TRUE(pq.ok());
+  ASSERT_TRUE(opq.ok());
+  const double recall_pq = ComputeRecall(pq->neighbors, gt);
+  const double recall_opq = ComputeRecall(opq->neighbors, gt);
+  EXPECT_GE(recall_opq, recall_pq);
+  EXPECT_GT(recall_pq, 0.75);
+  EXPECT_GT(recall_opq, 0.75);
+}
+
+// ----------------------------------------- single-pass cosine ADC
+
+TEST(PqCosineTest, RowNormsMatchTheLutScanTheyReplace) {
+  // row_norm2 is precomputed with the active adc kernel over the
+  // centroid-norm table, so it must equal the old query-independent
+  // second LUT pass bit-for-bit.
+  const KernelTable& k = ActiveKernelTable();
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), 500, 2, 37);
+  const PqDataset pq = TrainPq(data.base, FastTrain());
+  ASSERT_EQ(pq.row_norm2.size(), pq.rows());
+  for (size_t r = 0; r < pq.rows(); r++) {
+    EXPECT_EQ(pq.row_norm2[r],
+              k.adc(pq.centroid_norm2.data(), pq.codes.Row(r),
+                    pq.num_subspaces()))
+        << r;
+  }
+}
+
+TEST(PqCosineTest, SinglePassMatchesTwoPassReferenceBitExact) {
+  // The fused cosine ADC (one LUT scan + one precomputed-norm load)
+  // must reproduce the retired two-pass form (dot scan + norm scan)
+  // exactly, pairwise and batched.
+  const KernelTable& k = ActiveKernelTable();
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), 600, 4, 41);
+  const PqDataset pq = TrainPq(data.base, FastTrain());
+  const size_t m = pq.num_subspaces();
+  for (size_t q = 0; q < data.queries.rows(); q++) {
+    PqAdcTable t;
+    BuildAdcTable(pq, data.queries.Row(q), Metric::kCosine, &t);
+    std::vector<float> fused(pq.rows());
+    ComputeDistanceAdcBatch(t, pq.codes.data().data(), 0, pq.rows(),
+                            fused.data());
+    for (size_t r = 0; r < pq.rows(); r++) {
+      // Inline two-pass reference: dot LUT scan, then the
+      // query-independent centroid-norm scan the fused path retired.
+      const float dot = k.adc(t.dist.data(), pq.codes.Row(r), m);
+      const float norm2 = k.adc(pq.centroid_norm2.data(), pq.codes.Row(r), m);
+      const float denom = std::sqrt(t.query_norm2) * std::sqrt(norm2);
+      const float two_pass = denom == 0.0f ? 1.0f : 1.0f - dot / denom;
+      EXPECT_EQ(ComputeDistanceAdc(t, pq.codes.Row(r), r), two_pass)
+          << "q=" << q << " r=" << r;
+      EXPECT_EQ(fused[r], two_pass) << "q=" << q << " r=" << r;
+    }
   }
 }
 
@@ -264,6 +492,101 @@ TEST(PqBruteforceTest, TopKAgreesWithFp32Exact) {
   EXPECT_GT(static_cast<double>(hits) /
                 static_cast<double>(10 * data.queries.rows()),
             0.7);
+}
+
+// ------------------------------------------- fast-scan bruteforce
+
+TEST(PqFastScanBruteforceTest, FullRerankEqualsExactAdcScan) {
+  // With rerank = rows every candidate is rescored with the fp32 ADC
+  // table, so the fast-scan path must return exactly the exact-scan
+  // result — ids and distances — for every metric.
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), 700, 8, 43);
+  const PqDataset pq = TrainPq(data.base, FastTrain());
+  for (Metric metric :
+       {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+    const auto exact = ExactSearch(pq, data.queries, 10, metric);
+    PqScanOptions opts;
+    opts.approximate_scan = true;
+    opts.rerank = pq.rows();
+    const auto fast = ExactSearch(pq, data.queries, 10, metric, opts);
+    EXPECT_EQ(fast.ids, exact.ids) << MetricName(metric);
+    EXPECT_EQ(fast.distances, exact.distances) << MetricName(metric);
+  }
+}
+
+TEST(PqFastScanBruteforceTest, DefaultRerankTracksExactScan) {
+  // At the default rerank budget the candidate selection is bounded by
+  // the 8-bit LUT step: overlap with the exact ADC top-10 must stay
+  // high and the returned distances must be genuine fp32 ADC values.
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), 1500, 16, 13);
+  const PqDataset pq = TrainPq(data.base, FastTrain());
+  for (Metric metric : {Metric::kL2, Metric::kCosine}) {
+    const auto exact = ExactSearch(pq, data.queries, 10, metric);
+    PqScanOptions opts;
+    opts.approximate_scan = true;
+    const auto fast = ExactSearch(pq, data.queries, 10, metric, opts);
+    size_t hits = 0;
+    for (size_t q = 0; q < data.queries.rows(); q++) {
+      for (size_t a = 0; a < 10; a++) {
+        const uint32_t id = fast.ids[q * 10 + a];
+        // Every returned distance is the exact ADC distance of its row.
+        PqAdcTable t;
+        BuildAdcTable(pq, data.queries.Row(q), metric, &t);
+        EXPECT_EQ(fast.distances[q * 10 + a],
+                  ComputeDistanceAdc(t, pq.codes.Row(id), id))
+            << MetricName(metric) << " q=" << q;
+        for (size_t b = 0; b < 10; b++) {
+          if (id == exact.ids[q * 10 + b]) {
+            hits++;
+            break;
+          }
+        }
+      }
+    }
+    EXPECT_GT(static_cast<double>(hits) /
+                  static_cast<double>(10 * data.queries.rows()),
+              0.9)
+        << MetricName(metric);
+  }
+}
+
+TEST(PqFastScanBruteforceTest, RecallFloorVsFp32GroundTruth) {
+  // The acceptance pin for the opt-in mode: fast-scan bruteforce with
+  // the default rerank keeps the PQ recall floor against exact fp32
+  // ground truth, native and forced-scalar.
+  const DatasetProfile* p = FindProfile("DEEP-1M");
+  auto data = GenerateDataset(*p, 1500, 16, 13);
+  const PqDataset pq = TrainPq(data.base, FastTrain());
+  const auto gt = ComputeGroundTruth(data.base, data.queries, 10, p->metric);
+  PqScanOptions opts;
+  opts.approximate_scan = true;
+  const auto fast = ExactSearch(pq, data.queries, 10, p->metric, opts);
+  EXPECT_GT(ComputeRecall(fast, gt), 0.75);
+}
+
+TEST(PqFastScanBruteforceTest, WorksUnderOpqRotation) {
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), 700, 4, 47);
+  const PqDataset opq = TrainPq(data.base, OpqTrain());
+  ASSERT_TRUE(opq.HasRotation());
+  const auto exact = ExactSearch(opq, data.queries, 5, Metric::kL2);
+  PqScanOptions opts;
+  opts.approximate_scan = true;
+  opts.rerank = opq.rows();
+  const auto fast = ExactSearch(opq, data.queries, 5, Metric::kL2, opts);
+  EXPECT_EQ(fast.ids, exact.ids);
+  EXPECT_EQ(fast.distances, exact.distances);
+}
+
+TEST(PqFastScanBruteforceTest, KBeyondRowsPadsLikeExactScan) {
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), 40, 2, 53);
+  PqTrainParams tp = FastTrain();
+  const PqDataset pq = TrainPq(data.base, tp);
+  PqScanOptions opts;
+  opts.approximate_scan = true;
+  const auto exact = ExactSearch(pq, data.queries, 64, Metric::kL2);
+  const auto fast = ExactSearch(pq, data.queries, 64, Metric::kL2, opts);
+  EXPECT_EQ(fast.ids, exact.ids);
+  EXPECT_EQ(fast.distances, exact.distances);
 }
 
 // ------------------------------------------------- end-to-end search

@@ -13,6 +13,7 @@
 #include "core/sharded.h"
 #include "dataset/profile.h"
 #include "dataset/synthetic.h"
+#include "knn/bruteforce.h"
 
 namespace cagra {
 namespace {
@@ -27,6 +28,13 @@ class StreamingDeterminismTest : public ::testing::Test {
     auto built = ShardedCagraIndex::Build(data_->base, bp, 3);
     ASSERT_TRUE(built.ok()) << built.status().ToString();
     index_ = new ShardedCagraIndex(std::move(built.value()));
+    // A second sharded index carrying the OPQ-rotated PQ copy (one PQ
+    // copy per index; copied before EnablePq so only the codebooks
+    // differ), so the determinism matrix covers the rotated ADC path.
+    opq_index_ = new ShardedCagraIndex(*index_);
+    PqTrainParams opq_params;
+    opq_params.rotate = true;
+    opq_index_->EnablePq(opq_params);
     // 300-row shards: enough for the per-subspace PQ codebooks.
     index_->EnableInt8Quantization();
     index_->EnablePq();
@@ -34,8 +42,10 @@ class StreamingDeterminismTest : public ::testing::Test {
   static void TearDownTestSuite() {
     delete data_;
     delete index_;
+    delete opq_index_;
     data_ = nullptr;
     index_ = nullptr;
+    opq_index_ = nullptr;
   }
 
   static SearchParams BaseParams() {
@@ -47,10 +57,12 @@ class StreamingDeterminismTest : public ::testing::Test {
 
   static SyntheticData* data_;
   static ShardedCagraIndex* index_;
+  static ShardedCagraIndex* opq_index_;
 };
 
 SyntheticData* StreamingDeterminismTest::data_ = nullptr;
 ShardedCagraIndex* StreamingDeterminismTest::index_ = nullptr;
+ShardedCagraIndex* StreamingDeterminismTest::opq_index_ = nullptr;
 
 /// Streaming must reproduce the serial barrier reference bit-for-bit
 /// across the full (num_threads, chunk size, repetition) matrix.
@@ -118,6 +130,60 @@ INSTANTIATE_TEST_SUITE_P(Precisions, StreamingMatrixTest,
                              default: return "other";
                            }
                          });
+
+TEST_F(StreamingDeterminismTest, OpqStreamingIdenticalToSerialBarrier) {
+  // The OPQ determinism matrix: the rotated-codebook ADC path must be
+  // as scheduling-invariant as the plain one — streaming EXPECT_EQ to
+  // the serial barrier across threads x chunk sizes x repeats.
+  SearchParams ref_params = BaseParams();
+  ref_params.num_threads = 1;
+  auto ref =
+      opq_index_->SearchBarrier(data_->queries, ref_params, Precision::kPq);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  const size_t batch = data_->queries.rows();
+  for (size_t num_threads : {size_t{0}, size_t{1}, size_t{3}}) {
+    for (size_t chunk : {size_t{1}, size_t{7}, batch}) {
+      const int reps = num_threads == 0 ? 10 : 2;
+      for (int rep = 0; rep < reps; rep++) {
+        SearchParams sp = BaseParams();
+        sp.num_threads = num_threads;
+        sp.shard_chunk_queries = chunk;
+        auto got = opq_index_->Search(data_->queries, sp, Precision::kPq);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_EQ(got->neighbors.ids, ref->neighbors.ids)
+            << "threads=" << num_threads << " chunk=" << chunk
+            << " rep=" << rep;
+        EXPECT_EQ(got->neighbors.distances, ref->neighbors.distances)
+            << "threads=" << num_threads << " chunk=" << chunk
+            << " rep=" << rep;
+      }
+    }
+  }
+}
+
+TEST_F(StreamingDeterminismTest, FastScanBruteforceDeterministicAcrossRuns) {
+  // The fast-scan bruteforce parallelizes over queries on the shared
+  // pool; repeated runs (different schedules) must be EXPECT_EQ —
+  // candidate ranking is exact integer ranking and the rerank is a
+  // fixed (distance, id)-ordered fold, so scheduling cannot leak in.
+  const PqDataset pq = TrainPq(data_->base);
+  PqScanOptions opts;
+  opts.approximate_scan = true;
+  const auto first = ExactSearch(pq, data_->queries, 5, Metric::kL2, opts);
+  for (int rep = 0; rep < 10; rep++) {
+    const auto again = ExactSearch(pq, data_->queries, 5, Metric::kL2, opts);
+    ASSERT_EQ(again.ids, first.ids) << "rep " << rep;
+    ASSERT_EQ(again.distances, first.distances) << "rep " << rep;
+  }
+  // And the exact path stays deterministic with the new per-row-norm
+  // cosine fold.
+  const auto cos_first = ExactSearch(pq, data_->queries, 5, Metric::kCosine);
+  for (int rep = 0; rep < 5; rep++) {
+    const auto again = ExactSearch(pq, data_->queries, 5, Metric::kCosine);
+    ASSERT_EQ(again.ids, cos_first.ids) << "rep " << rep;
+    ASSERT_EQ(again.distances, cos_first.distances) << "rep " << rep;
+  }
+}
 
 TEST_F(StreamingDeterminismTest, AutoChunkMatchesExplicitFullBatch) {
   // shard_chunk_queries = 0 (auto) must be just another chunk size:
