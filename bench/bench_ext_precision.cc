@@ -70,7 +70,8 @@ std::vector<PrecisionSample> RunDataset(const char* name) {
     sp.k = 10;
     sp.itopk = 64;
     sp.algo = SearchAlgo::kSingleCta;
-    auto r = Search(*mode.idx, wb.data.queries, sp, mode.prec);
+    sp.precision = mode.prec;
+    auto r = Search(*mode.idx, wb.data.queries, sp);
     if (!r.ok()) {
       samples.push_back(s);
       continue;

@@ -35,7 +35,8 @@ void CagraCurves(const bench::Workbench& wb) {
       sp.k = 10;
       sp.itopk = itopk;
       sp.algo = SearchAlgo::kSingleCta;
-      auto r = Search(*index, wb.data.queries, sp, prec);
+      sp.precision = prec;
+      auto r = Search(*index, wb.data.queries, sp);
       if (!r.ok()) continue;
       std::printf("  %.3f/%.2e", ComputeRecall(r->neighbors, gt10),
                   bench::ModeledQpsAtBatch(*r, kPaperBatch));

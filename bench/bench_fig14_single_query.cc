@@ -33,13 +33,14 @@ void CagraRows(const bench::Workbench& wb) {
       sp.k = 10;
       sp.itopk = itopk;
       sp.algo = SearchAlgo::kMultiCta;  // Table II: small batch
+      sp.precision = prec;
       Matrix<float> one(1, wb.data.queries.dim());
       double recall_sum = 0;
       const double qps = bench::AverageSingleQueryQps(
           wb.data.queries, kQueries, [&](size_t q) {
             std::copy(wb.data.queries.Row(q),
                       wb.data.queries.Row(q) + one.dim(), one.MutableRow(0));
-            auto r = Search(*index, one, sp, prec);
+            auto r = Search(*index, one, sp);
             if (!r.ok()) return 1.0;
             Matrix<uint32_t> gt(1, 10);
             for (size_t i = 0; i < 10; i++) {

@@ -40,7 +40,8 @@ void RunDataset(const char* name) {
         sp.k = k;
         sp.itopk = std::max(itopk, static_cast<size_t>(k));
         sp.algo = SearchAlgo::kSingleCta;
-        auto r = Search(*index, wb.data.queries, sp, prec);
+        sp.precision = prec;
+        auto r = Search(*index, wb.data.queries, sp);
         if (!r.ok()) continue;
         std::printf("  %.3f/%.2e", ComputeRecall(r->neighbors, gt),
                     bench::ModeledQpsAtBatch(*r, kPaperBatch));

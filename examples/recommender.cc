@@ -41,7 +41,8 @@ int main() {
   sp.algo = SearchAlgo::kSingleCta;
 
   for (const Precision prec : {Precision::kFp32, Precision::kFp16}) {
-    auto r = Search(*index, data.queries, sp, prec);
+    sp.precision = prec;
+    auto r = Search(*index, data.queries, sp);
     if (!r.ok()) {
       std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
       return 1;

@@ -55,6 +55,12 @@ enum class SearchAlgo {
 /// CAGRA search parameters.
 struct SearchParams {
   size_t k = 10;                 ///< neighbors to return
+  /// Dataset storage mode the search runs against. Folded into the
+  /// params (it was a positional argument of Search()) so every caller
+  /// — and the Searcher interface the serving layer is written against
+  /// — carries one self-contained request description. Reduced
+  /// precisions require the matching Enable*() call on the index.
+  Precision precision = Precision::kFp32;
   /// M: internal top-M list length. Must be >= k when set explicitly;
   /// 0 = auto (max(64, k), the historical default widened for large k).
   size_t itopk = 0;
@@ -68,6 +74,14 @@ struct SearchParams {
   size_t hash_bits = 0;          ///< log2 table entries; 0 = auto (8..13)
   size_t team_size = 0;          ///< 0 = auto-pick per dim (§IV-B1)
   uint64_t seed = 77;            ///< random-sampling seed (step 0)
+  /// When true, every query in the batch samples its random start nodes
+  /// from `seed` verbatim instead of the per-row offset
+  /// (seed + 0x1000003 * row). This is the serving scheduler's
+  /// result-identity contract: a request's result must not depend on
+  /// which micro-batch it was coalesced into, so each row searches
+  /// exactly as a batch-of-one would (row 0 gets `seed` either way).
+  /// Chunked execution skips its chunk-base seed offset accordingly.
+  bool uniform_seed = false;
   /// Host threads for the functional batch execution: 0 = the global
   /// pool (hardware concurrency), 1 = serial, N = a dedicated N-thread
   /// pool. Results are byte-identical at any setting — per-query work

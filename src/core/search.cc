@@ -91,14 +91,7 @@ size_t PickTeamSize(const DeviceSpec& device, size_t dim, size_t elem_bytes,
   return best;
 }
 
-Result<SearchResult> Search(const CagraIndex& index,
-                            const Matrix<float>& queries,
-                            const SearchParams& params, Precision precision,
-                            const DeviceSpec& device) {
-  if (index.size() == 0) return Status::InvalidArgument("index is empty");
-  if (queries.dim() != index.dim()) {
-    return Status::InvalidArgument("query dim does not match index dim");
-  }
+Status ValidateSearchParams(const SearchParams& params) {
   if (params.k == 0) return Status::InvalidArgument("k must be >= 1");
   // itopk == 0 is the auto default (ResolveItopk widens it past k); an
   // *explicit* itopk below k is a degenerate request — the old check
@@ -106,6 +99,29 @@ Result<SearchResult> Search(const CagraIndex& index,
   if (params.itopk != 0 && params.k > params.itopk) {
     return Status::InvalidArgument("k must be <= itopk");
   }
+  return Status::Ok();
+}
+
+Result<SearchResult> Search(const CagraIndex& index,
+                            const Matrix<float>& queries,
+                            const SearchParams& params, Precision precision,
+                            const DeviceSpec& device) {
+  SearchParams p = params;
+  p.precision = precision;
+  return Search(index, queries, p, device);
+}
+
+Result<SearchResult> Search(const CagraIndex& index,
+                            const Matrix<float>& queries,
+                            const SearchParams& params,
+                            const DeviceSpec& device) {
+  const Precision precision = params.precision;
+  if (index.size() == 0) return Status::InvalidArgument("index is empty");
+  if (queries.dim() != index.dim()) {
+    return Status::InvalidArgument("query dim does not match index dim");
+  }
+  Status valid = ValidateSearchParams(params);
+  if (!valid.ok()) return valid;
   if (precision == Precision::kFp16 && !index.HasHalfPrecision()) {
     return Status::InvalidArgument(
         "fp16 search requires EnableHalfPrecision() on the index");
@@ -150,7 +166,11 @@ Result<SearchResult> Search(const CagraIndex& index,
   // are byte-identical to a serial run at any thread count.
   auto run_query = [&](SearchScratch* scratch, size_t q) {
     KernelCounters& counters = per_query[q];
-    const uint64_t query_seed = cfg.seed + 0x1000003ULL * q;
+    // uniform_seed: every row samples like a batch-of-one (row 0 gets
+    // cfg.seed either way) so coalescing requests into micro-batches
+    // cannot change any request's result.
+    const uint64_t query_seed =
+        params.uniform_seed ? cfg.seed : cfg.seed + 0x1000003ULL * q;
     uint32_t* ids = result.neighbors.ids.data() + q * cfg.k;
     float* dists = result.neighbors.distances.data() + q * cfg.k;
     size_t iters;
@@ -193,7 +213,12 @@ Result<SearchResult> Search(const CagraIndex& index,
       }
       pool = dedicated.get();
     }
-    host_threads = pool->num_threads() + 1;
+    // Report the threads the batch can actually occupy, not the pool's
+    // configured width: ParallelForSlotted runs at most one thread per
+    // iteration (a 1-query batch is serial whatever the pool size), so
+    // the width is clamped to the batch.
+    host_threads = std::min(batch, pool->num_threads() + 1);
+    if (host_threads == 0) host_threads = 1;  // empty batch ran (trivially)
     std::vector<std::unique_ptr<SearchScratch>> scratch(pool->num_slots());
     pool->ParallelForSlotted(0, batch, [&](size_t slot, size_t q) {
       if (scratch[slot] == nullptr) {

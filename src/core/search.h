@@ -28,17 +28,32 @@ struct SearchResult {
   size_t team_size_used = 0;
 };
 
+/// Index-independent request validation, shared by every search front
+/// door (single-index Search, ShardedCagraIndex::Search, the serving
+/// scheduler's Submit) so identical bad inputs produce identical
+/// errors: k >= 1, and k <= itopk when itopk is set explicitly
+/// (itopk == 0 resolves to the auto default).
+Status ValidateSearchParams(const SearchParams& params);
+
 /// Runs the CAGRA search (§IV) over a query batch. Picks the execution
 /// mode by the Fig. 7 rule when params.algo == kAuto, the team size by
 /// the §IV-B1 occupancy model when params.team_size == 0, and the hash
-/// management per Table II when params.hash_mode == kAuto.
-/// Requires: params.k <= params.itopk when itopk is set explicitly
-/// (itopk == 0 resolves to the auto default); queries.dim() == index.dim();
-/// Precision::kFp16 requires index.HasHalfPrecision().
+/// management per Table II when params.hash_mode == kAuto. The dataset
+/// storage mode comes from params.precision; reduced precisions require
+/// the matching Enable*() call on the index.
+/// Requires ValidateSearchParams(params).ok() and
+/// queries.dim() == index.dim().
 Result<SearchResult> Search(const CagraIndex& index,
                             const Matrix<float>& queries,
                             const SearchParams& params,
-                            Precision precision = Precision::kFp32,
+                            const DeviceSpec& device = DeviceSpec{});
+
+/// Delegating overload of the historical positional-Precision form:
+/// `precision` overrides params.precision. Prefer setting
+/// SearchParams::precision directly.
+Result<SearchResult> Search(const CagraIndex& index,
+                            const Matrix<float>& queries,
+                            const SearchParams& params, Precision precision,
                             const DeviceSpec& device = DeviceSpec{});
 
 /// Picks the team size (2..32) maximizing modeled load efficiency x

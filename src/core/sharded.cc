@@ -131,8 +131,9 @@ void ShardedCagraIndex::EnablePq(const PqTrainParams& params) {
 
 Status ShardedCagraIndex::ValidateSearch(const SearchParams& params) const {
   if (shards_.empty()) return Status::InvalidArgument("no shards built");
-  if (params.k == 0) return Status::InvalidArgument("k must be >= 1");
-  return Status::Ok();
+  // Shared with the single-index front door so identical bad inputs
+  // fail identically on either path (pinned by tests/searcher_test.cc).
+  return ValidateSearchParams(params);
 }
 
 void ShardedCagraIndex::MergeRows(
@@ -155,6 +156,14 @@ void ShardedCagraIndex::MergeRows(
 Result<SearchResult> ShardedCagraIndex::SearchBarrier(
     const Matrix<float>& queries, const SearchParams& params,
     Precision precision, const DeviceSpec& device) const {
+  SearchParams p = params;
+  p.precision = precision;
+  return SearchBarrier(queries, p, device);
+}
+
+Result<SearchResult> ShardedCagraIndex::SearchBarrier(
+    const Matrix<float>& queries, const SearchParams& params,
+    const DeviceSpec& device) const {
   Status valid = ValidateSearch(params);
   if (!valid.ok()) return valid;
 
@@ -177,7 +186,7 @@ Result<SearchResult> ShardedCagraIndex::SearchBarrier(
   Timer host;
   auto search_shard = [&](size_t s) {
     shard_results[s].emplace(
-        cagra::Search(shards_[s], queries, shard_params, precision, device));
+        cagra::Search(shards_[s], queries, shard_params, device));
   };
   if (params.num_threads != 0) {
     // An explicit width is a total budget: run shards sequentially and
@@ -235,8 +244,21 @@ Result<SearchResult> ShardedCagraIndex::SearchBarrier(
 }
 
 Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
+                                               const SearchParams& params) const {
+  return Search(queries, params, DeviceSpec{});
+}
+
+Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
                                                const SearchParams& params,
                                                Precision precision,
+                                               const DeviceSpec& device) const {
+  SearchParams p = params;
+  p.precision = precision;
+  return Search(queries, p, device);
+}
+
+Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
+                                               const SearchParams& params,
                                                const DeviceSpec& device) const {
   Status valid = ValidateSearch(params);
   if (!valid.ok()) return valid;
@@ -244,7 +266,7 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
   const size_t batch = queries.rows();
   // Nothing to stream over; the barrier path handles the empty batch
   // (and is trivially identical to it).
-  if (batch == 0) return SearchBarrier(queries, params, precision, device);
+  if (batch == 0) return SearchBarrier(queries, params, device);
 
   const size_t k = params.k;
   const size_t num_shards = shards_.size();
@@ -298,9 +320,13 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
     // Chunk-local row q is global row c * chunk_rows + q; offsetting the
     // seed by the chunk base keeps every per-query seed equal to the
     // unchunked run's (Search derives them as seed + 0x1000003 * row).
-    p.seed = base_params.seed + 0x1000003ULL * (c * chunk_rows);
+    // Under uniform_seed every row uses the seed verbatim, so the
+    // offset must be skipped to stay identical to the unchunked run.
+    if (!base_params.uniform_seed) {
+      p.seed = base_params.seed + 0x1000003ULL * (c * chunk_rows);
+    }
     results[c * num_shards + s].emplace(
-        cagra::Search(shards_[s], chunk_queries(c), p, precision, device));
+        cagra::Search(shards_[s], chunk_queries(c), p, device));
     if (remaining[c].fetch_sub(1, std::memory_order_acq_rel) == 1) {
       ready.Push(c);
     }

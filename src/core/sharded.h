@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/search.h"
+#include "core/searcher.h"
 
 namespace cagra {
 
@@ -54,7 +55,7 @@ struct ShardMergeList {
 void MergeShardTopK(const ShardMergeList* lists, size_t num_lists, size_t k,
                     uint32_t* out_ids, float* out_distances);
 
-class ShardedCagraIndex {
+class ShardedCagraIndex : public Searcher {
  public:
   ShardedCagraIndex() = default;
 
@@ -72,6 +73,9 @@ class ShardedCagraIndex {
 
   size_t num_shards() const { return shards_.size(); }
   const CagraIndex& shard(size_t i) const { return shards_[i]; }
+  size_t dim() const override {
+    return shards_.empty() ? 0 : shards_[0].dim();
+  }
 
   /// Materializes the reduced-precision dataset copy on every shard so
   /// sharded searches can run at the matching Precision.
@@ -93,10 +97,18 @@ class ShardedCagraIndex {
   ///
   /// params.num_threads != 0 is a total host budget, so the pipeline
   /// runs its tasks inline in (chunk, shard) order and each per-chunk
-  /// search uses the full width.
+  /// search uses the full width. The storage mode comes from
+  /// params.precision (the Searcher front door).
+  Result<SearchResult> Search(const Matrix<float>& queries,
+                              const SearchParams& params) const override;
   Result<SearchResult> Search(const Matrix<float>& queries,
                               const SearchParams& params,
-                              Precision precision = Precision::kFp32,
+                              const DeviceSpec& device) const;
+
+  /// Delegating overload of the historical positional-Precision form:
+  /// `precision` overrides params.precision.
+  Result<SearchResult> Search(const Matrix<float>& queries,
+                              const SearchParams& params, Precision precision,
                               const DeviceSpec& device = DeviceSpec{}) const;
 
   /// Scheduling-free reference: every shard searches the whole batch to
@@ -107,8 +119,10 @@ class ShardedCagraIndex {
   /// tail after the slowest shard.
   Result<SearchResult> SearchBarrier(
       const Matrix<float>& queries, const SearchParams& params,
-      Precision precision = Precision::kFp32,
       const DeviceSpec& device = DeviceSpec{}) const;
+  Result<SearchResult> SearchBarrier(
+      const Matrix<float>& queries, const SearchParams& params,
+      Precision precision, const DeviceSpec& device = DeviceSpec{}) const;
 
  private:
   Status ValidateSearch(const SearchParams& params) const;

@@ -1,0 +1,257 @@
+#include "serving/serving.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace cagra {
+
+namespace {
+
+double MicrosBetween(ServingScheduler::Clock::time_point,
+                     ServingScheduler::Clock::time_point);
+
+}  // namespace
+
+ServingScheduler::ServingScheduler(const Searcher& searcher,
+                                   const ServingOptions& options)
+    : searcher_(&searcher),
+      options_(options),
+      dim_(searcher.dim()),
+      device_(searcher.device()),
+      queue_(options.max_queue_depth == 0 ? 1 : options.max_queue_depth),
+      start_(Clock::now()) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  if (options_.latency_window == 0) options_.latency_window = 1;
+  // The identity contract (see ServingOptions::params): every request
+  // searches exactly as a batch-of-one would, whatever batch it rides.
+  options_.params.uniform_seed = true;
+  latency_ring_.reserve(std::min<size_t>(options_.latency_window, 65536));
+  workers_.reserve(options_.num_workers);
+  for (size_t w = 0; w < options_.num_workers; w++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServingScheduler::~ServingScheduler() { Shutdown(); }
+
+void ServingScheduler::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    stopping_.store(true, std::memory_order_release);
+    // Close wakes blocked poppers; items already queued are still
+    // delivered, so workers drain every admitted request (flushing
+    // partially collected batches early — the timed pop returns as soon
+    // as the queue closes) before their Pop reports empty.
+    queue_.Close();
+    for (auto& w : workers_) w.join();
+  });
+}
+
+std::future<Result<QueryResponse>> ServingScheduler::Submit(const float* query,
+                                                            size_t k) {
+  auto req = std::make_shared<Request>();
+  auto future = req->promise.get_future();
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    req->promise.set_value(
+        Status::Unavailable("scheduler is shut down; request rejected"));
+    return future;
+  }
+  SearchParams p = options_.params;
+  p.k = k;
+  Status valid = ValidateSearchParams(p);
+  if (!valid.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    failed_++;
+    req->promise.set_value(valid);
+    return future;
+  }
+
+  req->query.assign(query, query + dim_);
+  req->k = k;
+  req->enqueue = Clock::now();
+
+  if (!queue_.TryPush(req)) {
+    // Admission control: a full queue means the backend is already
+    // max_queue_depth requests behind — shedding now beats queueing
+    // into a latency the client has long given up on. (A closed queue
+    // lands here too when Shutdown raced the stopping_ check above.)
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    shed_++;
+    req->promise.set_value(Status::Unavailable(
+        stopping_.load(std::memory_order_acquire)
+            ? "scheduler is shut down; request rejected"
+            : "serving queue is full; request shed"));
+    return future;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  submitted_++;
+  return future;
+}
+
+void ServingScheduler::WorkerLoop() {
+  while (true) {
+    // Block for the batch opener; nullopt here means closed *and*
+    // drained — the graceful-shutdown exit.
+    auto first = queue_.Pop();
+    if (!first.has_value()) return;
+
+    std::vector<std::shared_ptr<Request>> batch;
+    batch.reserve(options_.max_batch);
+    batch.push_back(std::move(*first));
+
+    // Deadline flush: admit until the window closes or the batch fills.
+    // PopUntil also returns early when the queue closes, so shutdown
+    // never waits out the window.
+    const auto deadline =
+        Clock::now() + std::chrono::microseconds(options_.collect_window_us);
+    while (batch.size() < options_.max_batch) {
+      auto next = queue_.PopUntil(deadline);
+      if (!next.has_value()) break;
+      batch.push_back(std::move(*next));
+    }
+    ExecuteBatch(batch);
+  }
+}
+
+void ServingScheduler::ExecuteBatch(
+    std::vector<std::shared_ptr<Request>>& batch) {
+  const auto formed = Clock::now();
+  const size_t batch_rows = batch.size();
+
+  // One Search call per distinct k: k feeds the internal budgets
+  // (itopk, iteration caps), so mixing k values in one call would make
+  // a request's result depend on its batchmates. Uniform-k traffic —
+  // the common case — stays one call.
+  std::map<size_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < batch.size(); i++) groups[batch[i]->k].push_back(i);
+
+  std::vector<double> latencies;
+  latencies.reserve(batch.size());
+  size_t completed = 0;
+  size_t failed = 0;
+  double modeled_seconds = 0;
+  // Responses are staged and fulfilled only after the stats update:
+  // once a caller sees its future resolve, a Snapshot must already
+  // account for it.
+  std::vector<std::pair<size_t, Result<QueryResponse>>> outcomes;
+  outcomes.reserve(batch.size());
+
+  for (auto& [k, rows] : groups) {
+    Matrix<float> queries(rows.size(), dim_);
+    for (size_t r = 0; r < rows.size(); r++) {
+      const auto& q = batch[rows[r]]->query;
+      std::copy(q.begin(), q.end(), queries.MutableRow(r));
+    }
+
+    SearchParams p = options_.params;
+    p.k = k;
+    // Pin the batch-shape auto choices (Fig. 7 algo rule, multi-CTA
+    // width) as if the request ran alone: with uniform_seed this makes
+    // every response EXPECT_EQ-identical to a per-query Search call,
+    // whatever micro-batch it was coalesced into.
+    p = ResolveBatchShape(p, device_, 1);
+
+    Timer timer;
+    auto result = searcher_->Search(queries, p);
+    const double search_us = timer.Seconds() * 1e6;
+    const auto done = Clock::now();
+
+    if (!result.ok()) {
+      for (size_t idx : rows) outcomes.emplace_back(idx, result.status());
+      failed += rows.size();
+      continue;
+    }
+    modeled_seconds += result->modeled_seconds;
+    for (size_t r = 0; r < rows.size(); r++) {
+      const Request& req = *batch[rows[r]];
+      QueryResponse resp;
+      const uint32_t* ids = result->neighbors.ids.data() + r * k;
+      const float* dists = result->neighbors.distances.data() + r * k;
+      resp.ids.assign(ids, ids + k);
+      resp.distances.assign(dists, dists + k);
+      resp.queue_us = MicrosBetween(req.enqueue, formed);
+      resp.search_us = search_us;
+      resp.total_us = MicrosBetween(req.enqueue, done);
+      resp.batch_rows = batch_rows;
+      latencies.push_back(resp.total_us);
+      outcomes.emplace_back(rows[r], std::move(resp));
+    }
+    completed += rows.size();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    batches_++;
+    batch_rows_total_ += batch_rows;
+    modeled_device_seconds_ += modeled_seconds;
+    completed_ += completed;
+    failed_ += failed;
+    for (double lat : latencies) {
+      if (latency_ring_.size() < options_.latency_window) {
+        latency_ring_.push_back(lat);
+      } else {
+        latency_ring_[latency_count_ % options_.latency_window] = lat;
+      }
+      latency_count_++;
+    }
+  }
+  for (auto& [idx, outcome] : outcomes) {
+    batch[idx]->promise.set_value(std::move(outcome));
+  }
+}
+
+ServingStats ServingScheduler::Snapshot() const {
+  ServingStats stats;
+  std::vector<double> lat;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats.submitted = submitted_;
+    stats.completed = completed_;
+    stats.shed = shed_;
+    stats.failed = failed_;
+    stats.batches = batches_;
+    stats.modeled_device_seconds = modeled_device_seconds_;
+    stats.mean_batch_rows =
+        batches_ > 0
+            ? static_cast<double>(batch_rows_total_) /
+                  static_cast<double>(batches_)
+            : 0.0;
+    lat = latency_ring_;
+  }
+  stats.uptime_seconds =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  stats.qps = stats.uptime_seconds > 0
+                  ? static_cast<double>(stats.completed) / stats.uptime_seconds
+                  : 0.0;
+  stats.modeled_qps =
+      stats.modeled_device_seconds > 0
+          ? static_cast<double>(stats.completed) / stats.modeled_device_seconds
+          : 0.0;
+  if (!lat.empty()) {
+    auto percentile = [&lat](double p) {
+      const size_t idx = static_cast<size_t>(
+          p * static_cast<double>(lat.size() - 1) + 0.5);
+      std::nth_element(lat.begin(), lat.begin() + idx, lat.end());
+      return lat[idx];
+    };
+    stats.p50_us = percentile(0.50);
+    stats.p95_us = percentile(0.95);
+    stats.p99_us = percentile(0.99);
+  }
+  return stats;
+}
+
+namespace {
+
+double MicrosBetween(ServingScheduler::Clock::time_point a,
+                     ServingScheduler::Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+}  // namespace cagra

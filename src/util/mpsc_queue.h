@@ -1,6 +1,7 @@
 #ifndef CAGRA_UTIL_MPSC_QUEUE_H_
 #define CAGRA_UTIL_MPSC_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -60,6 +61,25 @@ class MpscBoundedQueue {
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Pop with a deadline — the flush wait of the serving scheduler's
+  /// micro-batch collector: block until an item arrives, the deadline
+  /// passes, or the queue closes. Returns nullopt on timeout and on
+  /// closed-and-drained alike; a collector treats both as "flush what
+  /// you have" (the next blocking Pop distinguishes them: it returns
+  /// nullopt only once the queue is closed and empty).
+  template <typename Clock, typename Duration>
+  std::optional<T> PopUntil(
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_until(lock, deadline,
+                          [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();

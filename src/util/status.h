@@ -17,6 +17,10 @@ enum class StatusCode {
   kIoError,
   kCapacityExceeded,
   kInternal,
+  /// Transient refusal: the serving layer sheds load past its queue
+  /// bound or is shutting down. Distinct from kInvalidArgument — the
+  /// same request may succeed if retried later.
+  kUnavailable,
 };
 
 /// Lightweight status object: a code plus a human-readable message.
@@ -47,6 +51,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -98,6 +105,7 @@ inline std::string Status::ToString() const {
     case StatusCode::kIoError: name = "IO_ERROR"; break;
     case StatusCode::kCapacityExceeded: name = "CAPACITY_EXCEEDED"; break;
     case StatusCode::kInternal: name = "INTERNAL"; break;
+    case StatusCode::kUnavailable: name = "UNAVAILABLE"; break;
   }
   return std::string(name) + ": " + message_;
 }

@@ -1,0 +1,234 @@
+// The unified Searcher front door (PR 6 API redesign): Precision folded
+// into SearchParams with delegating positional overloads, one shared
+// ValidateSearchParams on every path (identical bad input -> identical
+// error), the uniform_seed result-identity contract the serving
+// scheduler builds on, and host_threads reporting the width a batch can
+// actually occupy.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/searcher.h"
+#include "core/sharded.h"
+#include "dataset/profile.h"
+#include "dataset/synthetic.h"
+#include "util/thread_pool.h"
+
+namespace cagra {
+namespace {
+
+class SearcherTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const DatasetProfile* p = FindProfile("DEEP-1M");
+    data_ = new SyntheticData(GenerateDataset(*p, 3000, 24, 4242));
+    BuildParams bp;
+    bp.graph_degree = 16;
+    auto index = CagraIndex::Build(data_->base, bp);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = new CagraIndex(std::move(index.value()));
+    index_->EnableHalfPrecision();
+    auto sharded = ShardedCagraIndex::Build(data_->base, bp, 2);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    sharded_ = new ShardedCagraIndex(std::move(sharded.value()));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete index_;
+    delete sharded_;
+  }
+  static SyntheticData* data_;
+  static CagraIndex* index_;
+  static ShardedCagraIndex* sharded_;
+};
+
+SyntheticData* SearcherTest::data_ = nullptr;
+CagraIndex* SearcherTest::index_ = nullptr;
+ShardedCagraIndex* SearcherTest::sharded_ = nullptr;
+
+void ExpectSameNeighbors(const SearchResult& a, const SearchResult& b) {
+  ASSERT_EQ(a.neighbors.ids.size(), b.neighbors.ids.size());
+  EXPECT_EQ(a.neighbors.ids, b.neighbors.ids);
+  EXPECT_EQ(a.neighbors.distances, b.neighbors.distances);
+}
+
+// --- Validation unification -----------------------------------------------
+
+TEST_F(SearcherTest, IdenticalErrorForZeroKOnBothPaths) {
+  SearchParams sp;
+  sp.k = 0;
+  auto single = Search(*index_, data_->queries, sp);
+  auto sharded = sharded_->Search(data_->queries, sp);
+  ASSERT_FALSE(single.ok());
+  ASSERT_FALSE(sharded.ok());
+  EXPECT_EQ(single.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(single.status().code(), sharded.status().code());
+  EXPECT_EQ(single.status().message(), sharded.status().message());
+}
+
+TEST_F(SearcherTest, IdenticalErrorForItopkBelowKOnBothPaths) {
+  SearchParams sp;
+  sp.k = 20;
+  sp.itopk = 10;
+  auto single = Search(*index_, data_->queries, sp);
+  auto sharded = sharded_->Search(data_->queries, sp);
+  ASSERT_FALSE(single.ok());
+  ASSERT_FALSE(sharded.ok());
+  EXPECT_EQ(single.status().code(), sharded.status().code());
+  EXPECT_EQ(single.status().message(), sharded.status().message());
+  // And both match the shared validator verbatim.
+  EXPECT_EQ(single.status().message(), ValidateSearchParams(sp).message());
+}
+
+TEST_F(SearcherTest, ValidateSearchParamsAcceptsAutoItopk) {
+  SearchParams sp;
+  sp.k = 100;
+  sp.itopk = 0;  // auto widens past k; must not be rejected
+  EXPECT_TRUE(ValidateSearchParams(sp).ok());
+}
+
+// --- Precision folded into SearchParams -----------------------------------
+
+TEST_F(SearcherTest, PrecisionInParamsMatchesPositionalOverload) {
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  sp.precision = Precision::kFp16;
+  auto via_params = Search(*index_, data_->queries, sp);
+  ASSERT_TRUE(via_params.ok()) << via_params.status().ToString();
+
+  SearchParams plain;
+  plain.k = 10;
+  plain.itopk = 64;
+  auto via_positional =
+      Search(*index_, data_->queries, plain, Precision::kFp16);
+  ASSERT_TRUE(via_positional.ok()) << via_positional.status().ToString();
+  ExpectSameNeighbors(*via_params, *via_positional);
+}
+
+TEST_F(SearcherTest, PositionalPrecisionOverridesParamsField) {
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  sp.precision = Precision::kPq;  // not enabled; override must win
+  auto r = Search(*index_, data_->queries, sp, Precision::kFp32);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST_F(SearcherTest, ShardedPrecisionInParamsMatchesPositionalOverload) {
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  auto via_params = sharded_->Search(data_->queries, sp);
+  ASSERT_TRUE(via_params.ok());
+  auto via_positional =
+      sharded_->Search(data_->queries, sp, Precision::kFp32);
+  ASSERT_TRUE(via_positional.ok());
+  ExpectSameNeighbors(*via_params, *via_positional);
+}
+
+// --- Searcher interface ----------------------------------------------------
+
+TEST_F(SearcherTest, IndexSearcherMatchesFreeFunction) {
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  IndexSearcher adapter(*index_);
+  const Searcher& searcher = adapter;
+  EXPECT_EQ(searcher.dim(), index_->dim());
+  auto via_interface = searcher.Search(data_->queries, sp);
+  auto direct = Search(*index_, data_->queries, sp);
+  ASSERT_TRUE(via_interface.ok());
+  ASSERT_TRUE(direct.ok());
+  ExpectSameNeighbors(*via_interface, *direct);
+}
+
+TEST_F(SearcherTest, ShardedIndexIsASearcher) {
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  const Searcher& searcher = *sharded_;
+  EXPECT_EQ(searcher.dim(), data_->base.dim());
+  auto via_interface = searcher.Search(data_->queries, sp);
+  auto direct = sharded_->Search(data_->queries, sp);
+  ASSERT_TRUE(via_interface.ok());
+  ASSERT_TRUE(direct.ok());
+  ExpectSameNeighbors(*via_interface, *direct);
+}
+
+// --- uniform_seed identity contract ---------------------------------------
+
+TEST_F(SearcherTest, UniformSeedMatchesBatchOfOne) {
+  // The serving scheduler's contract: with the shape pinned at batch 1
+  // and uniform_seed on, every row of a coalesced batch returns exactly
+  // what a lone single-query Search would.
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  SearchParams pinned = ResolveBatchShape(sp, DeviceSpec{}, 1);
+  pinned.uniform_seed = true;
+  auto batched = Search(*index_, data_->queries, pinned);
+  ASSERT_TRUE(batched.ok());
+  for (size_t q = 0; q < data_->queries.rows(); q++) {
+    Matrix<float> one = SliceQueries(data_->queries, q, 1);
+    auto lone = Search(*index_, one, sp);
+    ASSERT_TRUE(lone.ok());
+    for (size_t i = 0; i < sp.k; i++) {
+      EXPECT_EQ(batched->neighbors.ids[q * sp.k + i], lone->neighbors.ids[i])
+          << "query " << q << " rank " << i;
+      EXPECT_EQ(batched->neighbors.distances[q * sp.k + i],
+                lone->neighbors.distances[i]);
+    }
+  }
+}
+
+TEST_F(SearcherTest, UniformSeedStreamingMatchesBarrier) {
+  // The chunked streaming pipeline must skip its chunk-base seed offset
+  // under uniform_seed or chunking would change results.
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  sp.uniform_seed = true;
+  auto barrier = sharded_->SearchBarrier(data_->queries, sp);
+  ASSERT_TRUE(barrier.ok());
+  for (size_t chunk : {size_t{1}, size_t{7}, data_->queries.rows()}) {
+    sp.shard_chunk_queries = chunk;
+    auto streaming = sharded_->Search(data_->queries, sp);
+    ASSERT_TRUE(streaming.ok());
+    ExpectSameNeighbors(*streaming, *barrier);
+  }
+}
+
+// --- host_threads reports the actual width --------------------------------
+
+TEST_F(SearcherTest, HostThreadsClampedToBatch) {
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  // A 1-query batch runs on exactly one thread no matter how wide the
+  // global pool is.
+  Matrix<float> one = SliceQueries(data_->queries, 0, 1);
+  auto single = Search(*index_, one, sp);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->host_threads, 1u);
+
+  // A full batch occupies min(batch, pool + caller).
+  auto batched = Search(*index_, data_->queries, sp);
+  ASSERT_TRUE(batched.ok());
+  const size_t width = GlobalThreadPool().num_threads() + 1;
+  EXPECT_EQ(batched->host_threads,
+            std::min(data_->queries.rows(), width));
+}
+
+TEST_F(SearcherTest, HostThreadsSerialIsOne) {
+  SearchParams sp;
+  sp.k = 10;
+  sp.itopk = 64;
+  sp.num_threads = 1;
+  auto r = Search(*index_, data_->queries, sp);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->host_threads, 1u);
+}
+
+}  // namespace
+}  // namespace cagra

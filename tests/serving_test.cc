@@ -1,0 +1,333 @@
+// The micro-batching serving scheduler: deadline flush, max_batch
+// flush, admission control (distinct shed Status), graceful drain on
+// shutdown, and the result-identity contract — a batched request's
+// response is EXPECT_EQ-identical to a lone per-query Search call.
+// This suite also runs under the TSan CI job: the scheduler's queue,
+// worker, and stats paths are exactly the concurrency surface it pins.
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/searcher.h"
+#include "dataset/profile.h"
+#include "dataset/synthetic.h"
+#include "serving/serving.h"
+
+namespace cagra {
+namespace {
+
+using std::chrono::milliseconds;
+
+class ServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const DatasetProfile* p = FindProfile("DEEP-1M");
+    data_ = new SyntheticData(GenerateDataset(*p, 2500, 32, 99));
+    BuildParams bp;
+    bp.graph_degree = 16;
+    auto index = CagraIndex::Build(data_->base, bp);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = new CagraIndex(std::move(index.value()));
+    searcher_ = new IndexSearcher(*index_);
+  }
+  static void TearDownTestSuite() {
+    delete searcher_;
+    delete index_;
+    delete data_;
+  }
+
+  /// The serial reference a scheduler response must match exactly.
+  static SearchResult SerialReference(size_t row, size_t k) {
+    SearchParams sp;
+    sp.k = k;
+    Matrix<float> one = SliceQueries(data_->queries, row, 1);
+    auto r = Search(*index_, one, sp);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  static SyntheticData* data_;
+  static CagraIndex* index_;
+  static IndexSearcher* searcher_;
+};
+
+SyntheticData* ServingTest::data_ = nullptr;
+CagraIndex* ServingTest::index_ = nullptr;
+IndexSearcher* ServingTest::searcher_ = nullptr;
+
+/// Controllable Searcher fake: Search blocks until Release(), so tests
+/// can hold the worker mid-batch and fill the queue deterministically.
+/// Injected through the same interface the real backends implement —
+/// the payoff of the unified front door.
+class BlockingSearcher : public Searcher {
+ public:
+  explicit BlockingSearcher(size_t dim) : dim_(dim) {}
+
+  Result<SearchResult> Search(const Matrix<float>& queries,
+                              const SearchParams& params) const override {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      searches_started_++;
+      started_.notify_all();
+      release_.wait(lock, [&] { return released_; });
+    }
+    SearchResult r;
+    r.neighbors.k = params.k;
+    r.neighbors.ids.assign(queries.rows() * params.k, 0u);
+    r.neighbors.distances.assign(queries.rows() * params.k, 0.0f);
+    return r;
+  }
+
+  size_t dim() const override { return dim_; }
+
+  void WaitForSearchStart() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    started_.wait(lock, [&] { return searches_started_ > 0; });
+  }
+
+  void Release() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    release_.notify_all();
+  }
+
+ private:
+  size_t dim_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable started_;
+  mutable std::condition_variable release_;
+  mutable int searches_started_ = 0;
+  mutable bool released_ = false;
+};
+
+TEST_F(ServingTest, DeadlineFlushFiresWithPartialBatch) {
+  ServingOptions opt;
+  opt.collect_window_us = 50000;  // 50 ms — far longer than 5 submits take
+  opt.max_batch = 100;
+  ServingScheduler sched(*searcher_, opt);
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (size_t q = 0; q < 5; q++) {
+    futures.push_back(sched.Submit(data_->queries.Row(q), 10));
+  }
+  for (auto& f : futures) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // The batch flushed well short of max_batch: the deadline fired.
+    EXPECT_EQ(r->batch_rows, 5u);
+    EXPECT_EQ(r->ids.size(), 10u);
+  }
+  const ServingStats stats = sched.Snapshot();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_rows, 5.0);
+}
+
+TEST_F(ServingTest, MaxBatchFlushFiresBeforeDeadline) {
+  ServingOptions opt;
+  opt.collect_window_us = 10u * 1000u * 1000u;  // 10 s: only size can flush
+  opt.max_batch = 4;
+  ServingScheduler sched(*searcher_, opt);
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (size_t q = 0; q < 8; q++) {
+    futures.push_back(sched.Submit(data_->queries.Row(q), 10));
+  }
+  for (auto& f : futures) {
+    // Resolving quickly (not after 10 s) proves the size flush fired.
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->batch_rows, 4u);
+  }
+  const ServingStats stats = sched.Snapshot();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_rows, 4.0);
+}
+
+TEST_F(ServingTest, ShedsLoadPastQueueDepthWithDistinctStatus) {
+  BlockingSearcher blocking(8);
+  ServingOptions opt;
+  opt.collect_window_us = 0;
+  opt.max_batch = 1;
+  opt.max_queue_depth = 2;
+  ServingScheduler sched(blocking, opt);
+
+  const std::vector<float> query(8, 0.5f);
+  // First request: popped by the worker, which blocks inside Search.
+  auto in_flight = sched.Submit(query.data(), 4);
+  blocking.WaitForSearchStart();
+  // Two more fill the queue to its bound.
+  auto queued1 = sched.Submit(query.data(), 4);
+  auto queued2 = sched.Submit(query.data(), 4);
+  // Past the bound: shed immediately with the distinct Status.
+  auto shed1 = sched.Submit(query.data(), 4);
+  auto shed2 = sched.Submit(query.data(), 4);
+  ASSERT_EQ(shed1.wait_for(milliseconds(0)), std::future_status::ready);
+  ASSERT_EQ(shed2.wait_for(milliseconds(0)), std::future_status::ready);
+  auto s1 = shed1.get();
+  ASSERT_FALSE(s1.ok());
+  EXPECT_EQ(s1.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s1.status().message(), "serving queue is full; request shed");
+  EXPECT_FALSE(shed2.get().ok());
+
+  blocking.Release();
+  sched.Shutdown();
+  // Every admitted request still completed.
+  EXPECT_TRUE(in_flight.get().ok());
+  EXPECT_TRUE(queued1.get().ok());
+  EXPECT_TRUE(queued2.get().ok());
+  const ServingStats stats = sched.Snapshot();
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+TEST_F(ServingTest, ShutdownDrainsInFlightRequests) {
+  ServingOptions opt;
+  opt.collect_window_us = 10u * 1000u * 1000u;  // collectors mid-window
+  opt.max_batch = 4;
+  ServingScheduler sched(*searcher_, opt);
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (size_t q = 0; q < 10; q++) {
+    futures.push_back(sched.Submit(data_->queries.Row(q), 10));
+  }
+  // Shutdown must flush the partially collected batch early (no 10 s
+  // wait), execute everything queued, then join.
+  sched.Shutdown();
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(milliseconds(0)), std::future_status::ready);
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  const ServingStats stats = sched.Snapshot();
+  EXPECT_EQ(stats.completed, 10u);
+
+  // Past shutdown: rejected, not queued forever.
+  auto late = sched.Submit(data_->queries.Row(0), 10);
+  ASSERT_EQ(late.wait_for(milliseconds(0)), std::future_status::ready);
+  auto r = late.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(r.status().message(), "scheduler is shut down; request rejected");
+}
+
+TEST_F(ServingTest, BatchedResultsIdenticalToSerialSearch) {
+  ServingOptions opt;
+  opt.collect_window_us = 50000;
+  opt.max_batch = 8;
+  opt.num_workers = 2;
+  ServingScheduler sched(*searcher_, opt);
+
+  const size_t n = data_->queries.rows();
+  std::vector<std::future<Result<QueryResponse>>> futures(n);
+  // MPSC for real: several producer threads submitting concurrently.
+  std::vector<std::thread> producers;
+  const size_t kProducers = 4;
+  for (size_t t = 0; t < kProducers; t++) {
+    producers.emplace_back([&, t] {
+      for (size_t q = t; q < n; q += kProducers) {
+        futures[q] = sched.Submit(data_->queries.Row(q), 10);
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+
+  bool any_coalesced = false;
+  for (size_t q = 0; q < n; q++) {
+    auto r = futures[q].get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    any_coalesced |= r->batch_rows > 1;
+    const SearchResult ref = SerialReference(q, 10);
+    EXPECT_EQ(r->ids, ref.neighbors.ids) << "query " << q;
+    EXPECT_EQ(r->distances, ref.neighbors.distances) << "query " << q;
+    EXPECT_GT(r->total_us, 0.0);
+    EXPECT_GE(r->total_us, r->queue_us);
+  }
+  // The point of the scheduler: requests actually rode micro-batches.
+  EXPECT_TRUE(any_coalesced);
+  const ServingStats stats = sched.Snapshot();
+  EXPECT_EQ(stats.completed, n);
+  EXPECT_GT(stats.mean_batch_rows, 1.0);
+}
+
+TEST_F(ServingTest, MixedKRequestsKeepPerRequestResults) {
+  ServingOptions opt;
+  opt.collect_window_us = 50000;
+  opt.max_batch = 32;
+  ServingScheduler sched(*searcher_, opt);
+
+  const size_t n = 16;
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  std::vector<size_t> ks;
+  for (size_t q = 0; q < n; q++) {
+    const size_t k = (q % 2 == 0) ? 5 : 10;
+    ks.push_back(k);
+    futures.push_back(sched.Submit(data_->queries.Row(q), k));
+  }
+  for (size_t q = 0; q < n; q++) {
+    auto r = futures[q].get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->ids.size(), ks[q]);
+    const SearchResult ref = SerialReference(q, ks[q]);
+    EXPECT_EQ(r->ids, ref.neighbors.ids) << "query " << q << " k " << ks[q];
+    EXPECT_EQ(r->distances, ref.neighbors.distances);
+  }
+}
+
+TEST_F(ServingTest, InvalidKFailsWithSharedValidationMessage) {
+  ServingOptions opt;
+  ServingScheduler sched(*searcher_, opt);
+  auto f = sched.Submit(data_->queries.Row(0), 0);
+  ASSERT_EQ(f.wait_for(milliseconds(0)), std::future_status::ready);
+  auto r = f.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Identical to the direct Search front doors (shared validator).
+  SearchParams bad;
+  bad.k = 0;
+  EXPECT_EQ(r.status().message(), ValidateSearchParams(bad).message());
+  EXPECT_EQ(sched.Snapshot().failed, 1u);
+}
+
+TEST_F(ServingTest, StatsSnapshotIsConsistent) {
+  ServingOptions opt;
+  opt.collect_window_us = 2000;
+  opt.max_batch = 8;
+  ServingScheduler sched(*searcher_, opt);
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (size_t q = 0; q < 16; q++) {
+    futures.push_back(sched.Submit(data_->queries.Row(q % 32), 10));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+
+  const ServingStats stats = sched.Snapshot();
+  EXPECT_EQ(stats.submitted, 16u);
+  EXPECT_EQ(stats.completed, 16u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GE(stats.mean_batch_rows, 1.0);
+  EXPECT_GT(stats.qps, 0.0);
+  EXPECT_GT(stats.modeled_device_seconds, 0.0);
+  EXPECT_GT(stats.modeled_qps, 0.0);
+  EXPECT_GT(stats.uptime_seconds, 0.0);
+  EXPECT_GT(stats.p50_us, 0.0);
+  EXPECT_LE(stats.p50_us, stats.p95_us);
+  EXPECT_LE(stats.p95_us, stats.p99_us);
+}
+
+TEST(ServingStatusTest, UnavailableIsDistinctAndPrintable) {
+  const Status s = Status::Unavailable("load shed");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "UNAVAILABLE: load shed");
+}
+
+}  // namespace
+}  // namespace cagra
