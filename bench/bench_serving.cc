@@ -10,6 +10,11 @@
 //   - load sweep: offered-load fractions of the micro-batched capacity,
 //     reporting p50/p95/p99 latency, achieved QPS, mean batch size, and
 //     shed count per point — the latency/QPS curve later PRs move.
+//   - deadline sweep: the same open-loop client stamping a per-request
+//     deadline (1/5/20 ms) on every Submit, reporting what fraction of
+//     requests actually met it end-to-end, with deadline-truncated
+//     partials, formation-time sheds, and queue sheds counted
+//     separately — the SLO view of the scheduler.
 //
 // Emits one JSON object on stdout (CI uploads it with the other bench
 // artifacts). `bench_serving smoke` shrinks the dataset and request
@@ -95,6 +100,98 @@ LoadPointSample RunLoadPoint(const Searcher& searcher,
   sample.completed = stats.completed;
   sample.shed = stats.shed;
   return sample;
+}
+
+struct DeadlinePointSample {
+  double deadline_ms = 0;
+  double offered_qps = 0;
+  size_t requests = 0;
+  size_t met = 0;            ///< complete response delivered by the deadline
+  size_t late_complete = 0;  ///< complete, but past the deadline
+  size_t partial = 0;        ///< deadline truncated the search mid-flight
+  size_t expired_shed = 0;   ///< kDeadlineExceeded at batch formation
+  size_t queue_shed = 0;     ///< kUnavailable admission shed
+  size_t failed = 0;         ///< anything else (should be zero)
+  double met_fraction = 0;
+};
+
+/// Open-loop client as in RunLoadPoint, but every Submit carries
+/// deadline = its own arrival + `deadline`. A request "meets" the
+/// deadline only if its complete response was ready within the budget
+/// (QueryResponse::total_us measures enqueue -> response ready, the
+/// client-visible latency); best-effort partials and sheds are the
+/// degraded outcomes the deadline machinery exists to make explicit,
+/// so they are counted per class instead of folded into a mean.
+DeadlinePointSample RunDeadlinePoint(const Searcher& searcher,
+                                     const ServingOptions& options,
+                                     const Matrix<float>& queries, size_t k,
+                                     double offered_qps,
+                                     std::chrono::microseconds deadline,
+                                     size_t num_requests, uint64_t seed) {
+  ServingOptions opt = options;
+  opt.latency_window = num_requests;
+  ServingScheduler sched(searcher, opt);
+
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> gap_seconds(
+      offered_qps > 0 ? offered_qps : 1.0);
+  std::uniform_int_distribution<size_t> pick_row(0, queries.rows() - 1);
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  futures.reserve(num_requests);
+  auto next_arrival = ServingScheduler::Clock::now();
+  for (size_t i = 0; i < num_requests; i++) {
+    if (offered_qps > 0) {
+      next_arrival += std::chrono::duration_cast<
+          ServingScheduler::Clock::duration>(
+          std::chrono::duration<double>(gap_seconds(rng)));
+      std::this_thread::sleep_until(next_arrival);
+    }
+    futures.push_back(sched.Submit(queries.Row(pick_row(rng)), k,
+                                   ServingScheduler::Clock::now() + deadline));
+  }
+
+  DeadlinePointSample sample;
+  sample.deadline_ms =
+      std::chrono::duration<double, std::milli>(deadline).count();
+  sample.offered_qps = offered_qps;
+  sample.requests = num_requests;
+  const double budget_us =
+      std::chrono::duration<double, std::micro>(deadline).count();
+  for (auto& f : futures) {
+    auto r = f.get();
+    if (!r.ok()) {
+      switch (r.status().code()) {
+        case StatusCode::kDeadlineExceeded: sample.expired_shed++; break;
+        case StatusCode::kUnavailable: sample.queue_shed++; break;
+        default: sample.failed++; break;
+      }
+    } else if (!r->complete) {
+      sample.partial++;
+    } else if (r->total_us <= budget_us) {
+      sample.met++;
+    } else {
+      sample.late_complete++;
+    }
+  }
+  sched.Shutdown();
+  sample.met_fraction = num_requests > 0
+                            ? static_cast<double>(sample.met) /
+                                  static_cast<double>(num_requests)
+                            : 0.0;
+  return sample;
+}
+
+void PrintDeadlineSample(const char* indent, const DeadlinePointSample& s,
+                         bool last) {
+  std::printf(
+      "%s{\"deadline_ms\": %.0f, \"offered_qps\": %.1f, \"requests\": %zu, "
+      "\"met\": %zu, \"met_fraction\": %.4f, \"late_complete\": %zu, "
+      "\"partial\": %zu, \"expired_shed\": %zu, \"queue_shed\": %zu, "
+      "\"failed\": %zu}%s\n",
+      indent, s.deadline_ms, s.offered_qps, s.requests, s.met, s.met_fraction,
+      s.late_complete, s.partial, s.expired_shed, s.queue_shed, s.failed,
+      last ? "" : ",");
 }
 
 void PrintSample(const char* indent, const LoadPointSample& s, bool last) {
@@ -192,6 +289,32 @@ int main(int argc, char** argv) {
         RunLoadPoint(searcher, micro, wb.data.queries, k, offered,
                      sweep_requests, 100 + i);
     PrintSample("    ", s, i + 1 == num_points);
+  }
+  std::printf("  ],\n");
+
+  // --- Deadline sweep: the SLO view. Each point stamps every request
+  // with arrival + {1, 5, 20} ms and reports the outcome mix at two
+  // offered loads. The 1 ms column is expected to be mostly partials
+  // and sheds with the default 1 ms collect window — the documented
+  // collect_window_us x deadline interaction, measured.
+  std::printf("  \"deadline_sweep\": [\n");
+  const double deadline_ms[] = {1.0, 5.0, 20.0};
+  const double deadline_fractions[] = {0.5, 0.9};
+  const size_t num_deadlines = sizeof(deadline_ms) / sizeof(deadline_ms[0]);
+  const size_t num_loads =
+      sizeof(deadline_fractions) / sizeof(deadline_fractions[0]);
+  const size_t deadline_requests = smoke ? 400 : 2000;
+  for (size_t d = 0; d < num_deadlines; d++) {
+    for (size_t l = 0; l < num_loads; l++) {
+      const double offered = deadline_fractions[l] * sat_micro.achieved_qps;
+      const DeadlinePointSample s = RunDeadlinePoint(
+          searcher, micro, wb.data.queries, k, offered,
+          std::chrono::microseconds(
+              static_cast<int64_t>(deadline_ms[d] * 1000.0)),
+          deadline_requests, 200 + d * num_loads + l);
+      PrintDeadlineSample("    ", s,
+                          d + 1 == num_deadlines && l + 1 == num_loads);
+    }
   }
   std::printf("  ],\n");
   std::printf(

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace cagra {
@@ -165,6 +166,7 @@ Status CagraIndex::Save(const std::string& path) const {
 }
 
 Result<CagraIndex> CagraIndex::Load(const std::string& path) {
+  CAGRA_RETURN_IF_ERROR(CAGRA_FAULT_STATUS("io_read"));
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IoError("cannot open " + path);
   uint64_t header[5];
@@ -177,6 +179,32 @@ Result<CagraIndex> CagraIndex::Load(const std::string& path) {
   const size_t rows = header[1];
   const size_t dim = header[2];
   const size_t degree = header[3];
+  if (header[4] > static_cast<uint64_t>(Metric::kCosine)) {
+    return Status::IoError(path + ": unknown metric in header");
+  }
+
+  // Validate the claimed shape against the actual file size before any
+  // allocation: a torn or corrupt header must fail with kIoError here,
+  // not drive multi-gigabyte allocations or short reads deep in the
+  // file. The division form keeps every comparison overflow-free —
+  // rows * (dim + degree) 4-byte elements must fit in the payload.
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return Status::IoError(path + ": cannot determine file size");
+  }
+  const long file_size = std::ftell(f.get());
+  if (file_size < 0 ||
+      std::fseek(f.get(), sizeof(header), SEEK_SET) != 0) {
+    return Status::IoError(path + ": cannot determine file size");
+  }
+  const uint64_t payload_elems =
+      (static_cast<uint64_t>(file_size) - sizeof(header)) / sizeof(float);
+  if (rows != 0) {
+    if (dim > payload_elems || degree > payload_elems ||
+        dim + degree > payload_elems / rows) {
+      return Status::IoError(
+          path + ": header inconsistent with file size (truncated?)");
+    }
+  }
 
   CagraIndex index;
   index.dataset_ = Matrix<float>(rows, dim);
@@ -203,6 +231,12 @@ Result<CagraIndex> CagraIndex::Load(const std::string& path) {
   if (std::fread(&flags, sizeof(flags), 1, f.get()) != 1) {
     return index;  // pre-trailer file: no optional sections
   }
+  if ((flags & ~kIndexFlagPq) != 0) {
+    // A flags word with bits this reader doesn't know is either a
+    // future format or torn data mid-file; both fail cleanly rather
+    // than misparse the trailer.
+    return Status::IoError(path + ": unknown section flags");
+  }
   if (flags & kIndexFlagPq) {
     uint64_t pq_header[5];
     if (std::fread(pq_header, sizeof(pq_header), 1, f.get()) != 1) {
@@ -220,6 +254,37 @@ Result<CagraIndex> CagraIndex::Load(const std::string& path) {
       // anything else is a corrupt header — and, unchecked, would size
       // the centroid buffers from untrusted input.
       return Status::IoError(path + ": pq header inconsistent with index");
+    }
+    // Same file-size plausibility gate as the main sections: the
+    // rotation alone is dim^2 floats, so a torn flag bit must not
+    // trigger the allocation unless the bytes are actually there. Every
+    // section deducts from `rem` through division-checked products, so
+    // no adversarial header can overflow the arithmetic.
+    {
+      const long pos = std::ftell(f.get());
+      if (pos < 0) {
+        return Status::IoError(path + ": cannot determine file size");
+      }
+      uint64_t rem =
+          static_cast<uint64_t>(file_size) - static_cast<uint64_t>(pos);
+      auto take = [&rem](uint64_t a, uint64_t b, uint64_t c) {
+        // Deducts a*b*c bytes from rem iff the product fits, without
+        // ever forming an overflowing intermediate.
+        if (a == 0 || b == 0 || c == 0) return true;
+        if (b > rem / a) return false;
+        if (c > rem / (a * b)) return false;
+        rem -= a * b * c;
+        return true;
+      };
+      const bool fits =
+          (pq_header[4] == 0 || take(dim, dim, sizeof(float))) &&
+          take(m_subs, PqDataset::kNumCentroids, pq.dsub * sizeof(float)) &&
+          take(m_subs, PqDataset::kNumCentroids, sizeof(float)) &&
+          take(pq_rows, m_subs, 1);
+      if (!fits) {
+        return Status::IoError(
+            path + ": pq trailer inconsistent with file size (truncated?)");
+      }
     }
     if (pq_header[4] != 0) pq.rotation.resize(pq.dim * pq.dim);
     pq.centroids.resize(m_subs * PqDataset::kNumCentroids * pq.dsub);

@@ -75,6 +75,14 @@ class CagraIndex {
   /// Serializes graph + dataset + metric — plus, when EnablePq has run,
   /// the PQ copy (codebooks, OPQ rotation, row norms, codes) — to
   /// `path` (binary). Load restores HasPq() accordingly.
+  ///
+  /// Load is hardened against truncated or torn files: the header's
+  /// claimed shape is validated against the actual file size before any
+  /// allocation, unknown section flags and out-of-range metrics are
+  /// rejected, and every failure returns a clean kIoError. It builds
+  /// into a local index and returns it by value, so a failed load never
+  /// leaves partial state anywhere — callers that overwrite an existing
+  /// index only do so by assigning a fully-validated result.
   Status Save(const std::string& path) const;
   static Result<CagraIndex> Load(const std::string& path);
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "distance/distance.h"
+#include "util/cancel.h"
 
 namespace cagra {
 
@@ -95,6 +96,20 @@ struct SearchParams {
   /// pinned per chunk and batch-shape auto choices are resolved on the
   /// full batch — so this, too, is purely a throughput knob.
   size_t shard_chunk_queries = 0;
+  /// Cooperative cancellation/deadline token (util/cancel.h), checked
+  /// at iteration boundaries in the core search kernels, per
+  /// (chunk, shard) task and per straggler wait in the streaming
+  /// sharded pipeline, and per block in the bruteforce scans. When it
+  /// expires mid-search the call still returns ok() with best-effort
+  /// partial results, marked SearchResult::complete == false; rows the
+  /// search never reached carry the standard padding
+  /// (0xffffffff / +inf). nullptr (the default) disables every check —
+  /// results and hot-loop cost are exactly the token-free ones.
+  ///
+  /// Non-owning: the token must stay alive for the duration of the
+  /// Search call (detaching executors derive their own internal token
+  /// and never retain this pointer past the return).
+  const CancelToken* cancel = nullptr;
 };
 
 /// Thresholds of the Fig. 7 implementation-choice rule. The paper

@@ -148,6 +148,7 @@ Result<SearchResult> Search(const CagraIndex& index,
   ResolvedConfig cfg = ResolveConfig(params, algo, d, index.size());
   cfg.cta_per_query =
       algo == SearchAlgo::kMultiCta ? shaped.cta_per_query : 1;
+  cfg.cancel = params.cancel;
 
   const DatasetView dataset(index, precision);
 
@@ -159,6 +160,9 @@ Result<SearchResult> Search(const CagraIndex& index,
   result.neighbors.distances.assign(batch * cfg.k,
                                     std::numeric_limits<float>::infinity());
   std::vector<KernelCounters> per_query(batch);
+  // Per-query cancellation marks (uint8_t, not vector<bool>: distinct
+  // queries write distinct slots concurrently).
+  std::vector<uint8_t> truncated(batch, 0);
 
   // Queries are independent (the "one CTA per query" mapping, executed
   // as host threads): each worker slot keeps its own scratch — visited
@@ -173,17 +177,20 @@ Result<SearchResult> Search(const CagraIndex& index,
         params.uniform_seed ? cfg.seed : cfg.seed + 0x1000003ULL * q;
     uint32_t* ids = result.neighbors.ids.data() + q * cfg.k;
     float* dists = result.neighbors.distances.data() + q * cfg.k;
+    bool cut = false;
     size_t iters;
     if (algo == SearchAlgo::kMultiCta) {
       iters = internal_search::SearchMultiCta(dataset, index.graph(),
                                               queries.Row(q), cfg, query_seed,
-                                              ids, dists, &counters, scratch);
+                                              ids, dists, &counters, scratch,
+                                              &cut);
     } else {
       iters = internal_search::SearchSingleCta(dataset, index.graph(),
                                                queries.Row(q), cfg,
                                                query_seed, ids, dists,
-                                               &counters, scratch);
+                                               &counters, scratch, &cut);
     }
+    if (cut) truncated[q] = 1;
     counters.iterations = iters;
     counters.max_iterations = iters;
     counters.queries = 1;
@@ -235,6 +242,14 @@ Result<SearchResult> Search(const CagraIndex& index,
 
   for (const auto& c : per_query) result.counters.Add(c);
   result.counters.kernel_launches = 1;  // single fused kernel (§IV-C1)
+
+  // Partial-result bookkeeping: per-query rows scored (the counters
+  // already track exactly that) and the batch-level completion flag.
+  result.rows_examined.resize(batch);
+  for (size_t q = 0; q < batch; q++) {
+    result.rows_examined[q] = per_query[q].distance_computations;
+    if (truncated[q] != 0) result.complete = false;
+  }
 
   // --- Launch configuration for the cost model.
   KernelLaunchConfig launch;

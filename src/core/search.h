@@ -2,6 +2,8 @@
 #define CAGRA_CORE_SEARCH_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "core/index.h"
 #include "core/params.h"
@@ -26,6 +28,18 @@ struct SearchResult {
   size_t host_threads = 1;     ///< host threads the batch ran across
   SearchAlgo algo_used = SearchAlgo::kSingleCta;
   size_t team_size_used = 0;
+  /// False when a cancellation/deadline token (SearchParams::cancel)
+  /// stopped work early: the results are best-effort partial — still
+  /// well-formed (each query's rows sorted ascending, padded with
+  /// 0xffffffff / +inf, no duplicate ids) but possibly missing
+  /// candidates the full search would have found. True on every
+  /// token-free call.
+  bool complete = true;
+  /// Per-query dataset rows actually scored (one entry per batch row):
+  /// the partial-result yardstick — a cancelled query reports how much
+  /// of the search it got through, and a sharded query sums over the
+  /// shard/chunk scans that finished before the deadline.
+  std::vector<uint64_t> rows_examined;
 };
 
 /// Index-independent request validation, shared by every search front

@@ -164,6 +164,9 @@ struct ResolvedConfig {
   bool hash_in_shared;
   size_t cta_per_query;        ///< multi-CTA only
   uint64_t seed;
+  /// Cooperative cancellation token (SearchParams::cancel), consulted
+  /// at iteration boundaries; nullptr = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Reusable per-worker workspace for the batch-parallel search: the
@@ -231,20 +234,27 @@ ResolvedConfig ResolveConfig(const SearchParams& params, SearchAlgo algo,
 /// to `out_ids`/`out_dists` (preallocated, offset q*k) and accumulates
 /// counters. `scratch` is this worker's reusable workspace (never
 /// shared across concurrent queries). Returns the iteration count.
+/// cfg.cancel is checked once per iteration; an expired token breaks
+/// out of the loop and the current (well-formed, sorted, deduplicated)
+/// top-k is emitted, with *truncated set — the results are best-effort
+/// partial, never malformed. `truncated` may be nullptr.
 size_t SearchSingleCta(const DatasetView& dataset,
                        const FixedDegreeGraph& graph, const float* query,
                        const ResolvedConfig& cfg, uint64_t query_seed,
                        uint32_t* out_ids, float* out_dists,
-                       KernelCounters* counters, SearchScratch* scratch);
+                       KernelCounters* counters, SearchScratch* scratch,
+                       bool* truncated = nullptr);
 
 /// Runs one query in multi-CTA mode (§IV-C2): cfg.cta_per_query CTAs,
 /// each with a 32-entry local top-M and p=1, sharing one device-memory
-/// visited table. Returns the (lockstep) iteration count.
+/// visited table. Returns the (lockstep) iteration count. Cancellation
+/// follows the single-CTA contract, checked once per lockstep round.
 size_t SearchMultiCta(const DatasetView& dataset,
                       const FixedDegreeGraph& graph, const float* query,
                       const ResolvedConfig& cfg, uint64_t query_seed,
                       uint32_t* out_ids, float* out_dists,
-                      KernelCounters* counters, SearchScratch* scratch);
+                      KernelCounters* counters, SearchScratch* scratch,
+                      bool* truncated = nullptr);
 
 /// Sorts the candidate segment and merges it into the sorted top-M
 /// segment, charging bitonic or radix cost per the §IV-B2 rule

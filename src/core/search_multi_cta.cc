@@ -21,7 +21,8 @@ size_t SearchMultiCta(const DatasetView& dataset,
                       const FixedDegreeGraph& graph, const float* query,
                       const ResolvedConfig& cfg, uint64_t query_seed,
                       uint32_t* out_ids, float* out_dists,
-                      KernelCounters* counters, SearchScratch* scratch) {
+                      KernelCounters* counters, SearchScratch* scratch,
+                      bool* truncated) {
   const size_t n = dataset.size();
   const size_t d = graph.degree();
   const size_t num_ctas = cfg.cta_per_query;
@@ -74,7 +75,16 @@ size_t SearchMultiCta(const DatasetView& dataset,
   // its single best non-parent node (p = 1), and refills its candidates
   // with one batched distance call per CTA.
   size_t iterations = 0;
+  // Cancellation boundary: one amortized check per lockstep round (a
+  // round spans every active CTA, so rounds are the coarsest safe
+  // granularity). Breaking leaves each CTA's local top-M sorted and
+  // valid; the merge below emits the partial result unchanged.
+  CancelCheck cancel(cfg.cancel, /*stride=*/4);
   while (iterations < cfg.max_iterations) {
+    if (cancel.Expired()) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
     bool any_active = false;
     for (SearchScratch::CtaState& cta : ctas) {
       if (!cta.active) continue;

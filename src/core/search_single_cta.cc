@@ -29,7 +29,8 @@ size_t SearchSingleCta(const DatasetView& dataset,
                        const FixedDegreeGraph& graph, const float* query,
                        const ResolvedConfig& cfg, uint64_t query_seed,
                        uint32_t* out_ids, float* out_dists,
-                       KernelCounters* counters, SearchScratch* scratch) {
+                       KernelCounters* counters, SearchScratch* scratch,
+                       bool* truncated) {
   const size_t n = dataset.size();
   const size_t d = graph.degree();
   const size_t num_candidates = cfg.search_width * d;
@@ -90,12 +91,22 @@ size_t SearchSingleCta(const DatasetView& dataset,
   std::vector<uint32_t>& parents = scratch->parents;
   parents.clear();
   parents.reserve(cfg.search_width);
+  // Cancellation boundary: one amortized token check per iteration
+  // (an iteration already costs p*d distance computations, so the
+  // stride mostly amortizes the steady_clock read). Breaking here
+  // leaves topm a valid sorted prefix of the search so far — the
+  // output block below emits it unchanged, just earlier.
+  CancelCheck cancel(cfg.cancel, /*stride=*/4);
   while (true) {
     // --- Step 1: update internal top-M from the whole buffer.
     SortAndMerge(&topm, &candidates, counters);
     iterations++;
 
     if (iterations >= cfg.max_iterations) break;
+    if (cancel.Expired()) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
 
     // --- Step 2: pick up to p best non-parent nodes, set their MSB flag
     // (§IV-B4), gather their adjacency rows.

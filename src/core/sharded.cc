@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "util/bounded_heap.h"
+#include "util/cancel.h"
+#include "util/fault_injection.h"
 #include "util/mpsc_queue.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -22,12 +26,172 @@ constexpr double kMergeOverheadPerQueryShard = 2e-7;  // 200ns
 
 constexpr float kInf = std::numeric_limits<float>::infinity();
 
+/// How long the merger waits for already-cancelling tasks after it
+/// observes expiry, before abandoning whoever still hasn't published.
+/// Cooperative cancellation inside a search is observed within a few
+/// iterations (tens of microseconds here), so a small grace drains every
+/// well-behaved task; only a genuinely stalled one gets abandoned.
+constexpr std::chrono::milliseconds kCancelDrainGrace{2};
+
+/// Poll period of the cancelable merger wait: bounds how late a manual
+/// Cancel() from another thread is forwarded into the pipeline.
+constexpr std::chrono::milliseconds kCancelPollPeriod{1};
+
 /// Effective chunk size of the streaming pipeline: the explicit request
 /// clamped to the batch, or the auto default of ~4 chunks per batch
 /// (minimum 8 rows, so tiny batches don't dissolve into per-row tasks).
 size_t ResolveShardChunk(size_t requested, size_t batch) {
   if (requested == 0) requested = std::max<size_t>(8, (batch + 3) / 4);
   return std::min(requested, batch);
+}
+
+/// The marker a task records when it skips its scan because the token
+/// expired first. Not an error of the search — the merger folds the
+/// shards that did run and marks the result incomplete.
+Status CancelMarker(const CancelToken& token) {
+  return token.has_deadline()
+             ? Status::DeadlineExceeded(
+                   "deadline expired before this shard scan started")
+             : Status::Cancelled("cancelled before this shard scan started");
+}
+
+bool IsCancelMarker(const Status& s) {
+  return s.code() == StatusCode::kDeadlineExceeded ||
+         s.code() == StatusCode::kCancelled;
+}
+
+/// Heap-owned state of one streaming pipeline run, shared (shared_ptr)
+/// between the merging caller and every (chunk, shard) task. In
+/// cancelable mode the merger may return before every task has run —
+/// abandoned tasks keep the state alive and finish against it
+/// harmlessly, so nothing here may reference the caller's stack. The
+/// token-free path also routes through this struct (one heap
+/// allocation) but keeps the zero-copy reference to the caller's
+/// queries, which is safe because a token-free merger always drains
+/// every chunk before returning.
+struct StreamState {
+  StreamState(size_t num_chunks_in, size_t num_shards_in,
+              const CancelToken* parent)
+      : num_chunks(num_chunks_in),
+        num_shards(num_shards_in),
+        chunks(num_chunks_in),
+        chunk_sliced(num_chunks_in),
+        results(num_chunks_in * num_shards_in),
+        remaining(num_chunks_in),
+        ready(num_chunks_in),
+        // The derived token tasks consult: the caller's deadline is
+        // copied in (so tasks observe it on their own clock reads) and
+        // manual cancels are forwarded by the merger while it is still
+        // around. Tasks never touch the caller's token, whose lifetime
+        // ends with the call.
+        token(parent != nullptr && parent->has_deadline()
+                  ? CancelToken(parent->deadline())
+                  : CancelToken()) {
+    for (auto& r : remaining) r.store(num_shards, std::memory_order_relaxed);
+  }
+
+  const size_t num_chunks;
+  const size_t num_shards;
+  const std::vector<CagraIndex>* shards = nullptr;
+  /// Points at the caller's matrix (token-free mode) or owned_queries
+  /// (cancelable mode).
+  const Matrix<float>* queries = nullptr;
+  Matrix<float> owned_queries;
+  SearchParams task_params;
+  DeviceSpec device;
+  size_t chunk_rows = 0;
+  size_t batch = 0;
+  bool cancelable = false;
+
+  /// Query chunks are sliced lazily, once each (whichever shard's task
+  /// gets there first), and shared by the other shards' tasks — the
+  /// copies overlap with running scans instead of serializing in front
+  /// of the whole pipeline.
+  std::vector<Matrix<float>> chunks;
+  std::vector<std::once_flag> chunk_sliced;
+  std::vector<std::optional<Result<SearchResult>>> results;
+  std::vector<std::atomic<size_t>> remaining;
+  /// Carries chunk ids only (results are preallocated above), sized to
+  /// hold every chunk: a worker that finishes a chunk never blocks
+  /// behind a busy merger while runnable search tasks sit in the pool
+  /// queue — and an abandoned task's final push cannot block either.
+  MpscBoundedQueue<size_t> ready;
+  CancelToken token;
+
+  const Matrix<float>& ChunkQueries(size_t c) {
+    std::call_once(chunk_sliced[c], [this, c] {
+      const size_t begin = c * chunk_rows;
+      chunks[c] =
+          SliceQueries(*queries, begin, std::min(chunk_rows, batch - begin));
+    });
+    return chunks[c];
+  }
+};
+
+/// One (chunk, shard) task of the streaming pipeline. Owns a reference
+/// to the shared state (and nothing else), so it runs correctly even
+/// after a cancelled merger has returned.
+void RunShardTask(const std::shared_ptr<StreamState>& st, size_t c,
+                  size_t s) {
+  auto publish = [&] {
+    if (st->remaining[c].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      CAGRA_FAULT_POINT("queue_push_stall");
+      st->ready.Push(c);
+    }
+  };
+  std::optional<Result<SearchResult>>& slot =
+      st->results[c * st->num_shards + s];
+
+  CAGRA_FAULT_POINT("shard_scan_stall");
+  Status injected = CAGRA_FAULT_STATUS("shard_scan_fail");
+  if (!injected.ok()) {
+    slot.emplace(injected);
+    publish();
+    return;
+  }
+  // Shed before scanning once the pipeline is cancelled: an expired
+  // deadline means nobody is waiting for this chunk anymore. The task's
+  // token is the pipeline's derived one on the pool path, the caller's
+  // own on the inline path — whatever task_params carries.
+  const CancelToken* task_token = st->task_params.cancel;
+  if (st->cancelable && task_token->Expired()) {
+    slot.emplace(CancelMarker(*task_token));
+    publish();
+    return;
+  }
+
+  SearchParams p = st->task_params;
+  // Chunk-local row q is global row c * chunk_rows + q; offsetting the
+  // seed by the chunk base keeps every per-query seed equal to the
+  // unchunked run's (Search derives them as seed + 0x1000003 * row).
+  // Under uniform_seed every row uses the seed verbatim, so the offset
+  // must be skipped to stay identical to the unchunked run.
+  if (!st->task_params.uniform_seed) {
+    p.seed = st->task_params.seed + 0x1000003ULL * (c * st->chunk_rows);
+  }
+  slot.emplace(
+      cagra::Search((*st->shards)[s], st->ChunkQueries(c), p, st->device));
+  publish();
+}
+
+/// The merger's wait in cancelable mode. Polls so a manual Cancel() on
+/// the caller's token is forwarded into the pipeline's derived token;
+/// on expiry grants kCancelDrainGrace for in-flight chunks to publish,
+/// then reports nullopt — the signal to abandon the stragglers.
+std::optional<size_t> PopCancelable(StreamState* st,
+                                    const CancelToken* caller) {
+  while (true) {
+    if (st->token.Expired()) {
+      return st->ready.PopUntil(CancelToken::Clock::now() + kCancelDrainGrace);
+    }
+    auto until = CancelToken::Clock::now() + kCancelPollPeriod;
+    if (st->token.has_deadline() && st->token.deadline() < until) {
+      until = st->token.deadline();
+    }
+    std::optional<size_t> c = st->ready.PopUntil(until);
+    if (c.has_value()) return c;
+    if (caller->Expired()) st->token.Cancel();
+  }
 }
 
 }  // namespace
@@ -109,7 +273,7 @@ Result<ShardedCagraIndex> ShardedCagraIndex::Build(
     index.shards_[s] = std::move(shard.value());
   });
   for (const Status& s : shard_status) {
-    if (!s.ok()) return s;
+    CAGRA_RETURN_IF_ERROR(s);
   }
 
   local.total_seconds = total.Seconds();
@@ -137,17 +301,18 @@ Status ShardedCagraIndex::ValidateSearch(const SearchParams& params) const {
 }
 
 void ShardedCagraIndex::MergeRows(
-    const std::vector<const SearchResult*>& shard_results, size_t begin,
-    size_t rows, size_t k, NeighborList* out) const {
-  const size_t num_shards = shard_results.size();
-  std::vector<ShardMergeList> lists(num_shards);
+    const std::vector<std::pair<size_t, const SearchResult*>>& shard_results,
+    size_t begin, size_t rows, size_t k, NeighborList* out) const {
+  const size_t num_lists = shard_results.size();
+  std::vector<ShardMergeList> lists(num_lists);
   for (size_t q = 0; q < rows; q++) {
-    for (size_t s = 0; s < num_shards; s++) {
-      const NeighborList& n = shard_results[s]->neighbors;
-      lists[s] = {n.distances.data() + q * k, n.ids.data() + q * k, k,
+    for (size_t l = 0; l < num_lists; l++) {
+      const size_t s = shard_results[l].first;
+      const NeighborList& n = shard_results[l].second->neighbors;
+      lists[l] = {n.distances.data() + q * k, n.ids.data() + q * k, k,
                   global_ids_[s].data(), global_ids_[s].size()};
     }
-    MergeShardTopK(lists.data(), num_shards, k,
+    MergeShardTopK(lists.data(), num_lists, k,
                    out->ids.data() + (begin + q) * k,
                    out->distances.data() + (begin + q) * k);
   }
@@ -164,21 +329,24 @@ Result<SearchResult> ShardedCagraIndex::SearchBarrier(
 Result<SearchResult> ShardedCagraIndex::SearchBarrier(
     const Matrix<float>& queries, const SearchParams& params,
     const DeviceSpec& device) const {
-  Status valid = ValidateSearch(params);
-  if (!valid.ok()) return valid;
+  CAGRA_RETURN_IF_ERROR(ValidateSearch(params));
 
   const size_t k = params.k;
   const size_t batch = queries.rows();
   const size_t num_shards = shards_.size();
 
   // Pin the batch-shape auto choices exactly as the streaming path does,
-  // so both paths hand every shard identical effective params.
+  // so both paths hand every shard identical effective params. The
+  // caller's token rides along: per-shard searches observe it at
+  // iteration boundaries, and ParallelFor joins before returning, so no
+  // task outlives the caller's stack here (no detachment to guard).
   const SearchParams shard_params = ResolveBatchShape(params, device, batch);
 
   SearchResult out;
   out.neighbors.k = k;
   out.neighbors.ids.assign(batch * k, kInvalidShardEntry);
   out.neighbors.distances.assign(batch * k, kInf);
+  out.rows_examined.assign(batch, 0);
 
   // Shards search the whole batch in parallel on the host pool; nothing
   // merges until every shard has finished (the global barrier).
@@ -205,7 +373,8 @@ Result<SearchResult> ShardedCagraIndex::SearchBarrier(
   double slowest_shard = 0.0;
   size_t slowest_index = 0;
   out.host_threads = 0;
-  std::vector<const SearchResult*> merged(num_shards);
+  std::vector<std::pair<size_t, const SearchResult*>> merged;
+  merged.reserve(num_shards);
   for (size_t s = 0; s < num_shards; s++) {
     Result<SearchResult>& r = *shard_results[s];
     if (!r.ok()) return r.status();
@@ -215,7 +384,14 @@ Result<SearchResult> ShardedCagraIndex::SearchBarrier(
     }
     out.counters.Add(r->counters);
     out.host_threads = std::max(out.host_threads, r->host_threads);
-    merged[s] = &r.value();
+    // Partial-result bookkeeping: a shard truncated by the token makes
+    // the merged batch incomplete; rows-examined sums over shards (each
+    // scanned its own sub-dataset for the query).
+    if (!r->complete) out.complete = false;
+    for (size_t q = 0; q < batch && q < r->rows_examined.size(); q++) {
+      out.rows_examined[q] += r->rows_examined[q];
+    }
+    merged.emplace_back(s, &r.value());
   }
   MergeRows(merged, 0, batch, k, &out.neighbors);
   out.host_seconds = host.Seconds();
@@ -260,8 +436,7 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
 Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
                                                const SearchParams& params,
                                                const DeviceSpec& device) const {
-  Status valid = ValidateSearch(params);
-  if (!valid.ok()) return valid;
+  CAGRA_RETURN_IF_ERROR(ValidateSearch(params));
 
   const size_t batch = queries.rows();
   // Nothing to stream over; the barrier path handles the empty batch
@@ -270,76 +445,82 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
 
   const size_t k = params.k;
   const size_t num_shards = shards_.size();
+  const CancelToken* caller_token = params.cancel;
+  const bool cancelable = caller_token != nullptr;
 
   // Auto choices that depend on the batch shape (execution mode,
   // multi-CTA width) are resolved once on the full batch: a chunk must
   // never search differently than the same rows would in an unchunked
   // run, or chunking would change the results.
-  const SearchParams base_params = ResolveBatchShape(params, device, batch);
-  const size_t chunk_rows = ResolveShardChunk(params.shard_chunk_queries, batch);
+  const size_t chunk_rows =
+      ResolveShardChunk(params.shard_chunk_queries, batch);
   const size_t num_chunks = (batch + chunk_rows - 1) / chunk_rows;
 
-  // Query chunks are sliced lazily, once each (whichever shard's task
-  // gets there first), and shared by the other shards' tasks — the
-  // copies overlap with running scans instead of serializing in front
-  // of the whole pipeline.
-  std::vector<Matrix<float>> chunks(num_chunks);
-  std::vector<std::once_flag> chunk_sliced(num_chunks);
-  auto chunk_queries = [&](size_t c) -> const Matrix<float>& {
-    std::call_once(chunk_sliced[c], [&queries, &chunks, c, chunk_rows,
-                                     batch] {
-      const size_t begin = c * chunk_rows;
-      chunks[c] =
-          SliceQueries(queries, begin, std::min(chunk_rows, batch - begin));
-    });
-    return chunks[c];
-  };
+  auto st = std::make_shared<StreamState>(num_chunks, num_shards,
+                                          caller_token);
+  st->shards = &shards_;
+  st->task_params = ResolveBatchShape(params, device, batch);
+  st->device = device;
+  st->chunk_rows = chunk_rows;
+  st->batch = batch;
+  st->cancelable = cancelable;
+  if (cancelable && params.num_threads == 0) {
+    // Pool-scheduled tasks may outlive this call (abandonment), so they
+    // must not reference the caller's stack: queries are copied into
+    // the shared state once, and tasks consult the pipeline's derived
+    // token, never the caller's. The token-free path skips the copy —
+    // its merger provably drains every chunk before returning, keeping
+    // the hot path zero-copy and byte-identical to the
+    // pre-cancellation code.
+    st->owned_queries = queries;
+    st->queries = &st->owned_queries;
+    st->task_params.cancel = &st->token;
+  } else {
+    // Inline tasks run to completion on this stack before the call
+    // returns, so they may keep the caller's token (already copied into
+    // task_params by ResolveBatchShape) — which also lets a manual
+    // Cancel() land mid-search instead of waiting for a task boundary.
+    st->queries = &queries;
+  }
 
   SearchResult out;
   out.neighbors.k = k;
   out.neighbors.ids.assign(batch * k, kInvalidShardEntry);
   out.neighbors.distances.assign(batch * k, kInf);
+  out.rows_examined.assign(batch, 0);
 
-  // Pipeline state: every (chunk, shard) task writes its own result
-  // slot, then decrements the chunk's latch; the task that trips the
-  // latch publishes the chunk id through the bounded queue. The latch's
-  // acq_rel decrement orders every shard's result store before the
-  // publish, so the merger reads the slots race-free.
-  std::vector<std::optional<Result<SearchResult>>> results(num_chunks *
-                                                           num_shards);
-  std::vector<std::atomic<size_t>> remaining(num_chunks);
-  for (auto& r : remaining) r.store(num_shards, std::memory_order_relaxed);
-  // The queue carries chunk ids only (the results are preallocated
-  // above), so it is sized to hold every chunk: a worker that finishes
-  // a chunk must never block behind a busy merger while runnable search
-  // tasks sit in the pool queue.
-  MpscBoundedQueue<size_t> ready(num_chunks);
-
-  auto run_task = [&](size_t c, size_t s) {
-    SearchParams p = base_params;
-    // Chunk-local row q is global row c * chunk_rows + q; offsetting the
-    // seed by the chunk base keeps every per-query seed equal to the
-    // unchunked run's (Search derives them as seed + 0x1000003 * row).
-    // Under uniform_seed every row uses the seed verbatim, so the
-    // offset must be skipped to stay identical to the unchunked run.
-    if (!base_params.uniform_seed) {
-      p.seed = base_params.seed + 0x1000003ULL * (c * chunk_rows);
-    }
-    results[c * num_shards + s].emplace(
-        cagra::Search(shards_[s], chunk_queries(c), p, device));
-    if (remaining[c].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      ready.Push(c);
-    }
-  };
+  // Which chunks the merger has popped. A popped chunk's result slots
+  // are all written and ordered-before the pop (the latch's acq_rel
+  // decrement), so only popped chunks may be read after the loop —
+  // under abandonment the other slots still belong to live tasks.
+  std::vector<uint8_t> chunk_popped(num_chunks, 0);
 
   auto merge_chunk = [&](size_t c) {
-    std::vector<const SearchResult*> shard_results(num_shards);
+    chunk_popped[c] = 1;
+    std::vector<std::pair<size_t, const SearchResult*>> shard_results;
+    shard_results.reserve(num_shards);
     for (size_t s = 0; s < num_shards; s++) {
-      Result<SearchResult>& r = *results[c * num_shards + s];
-      if (!r.ok()) return;  // reported after the pipeline drains
-      shard_results[s] = &r.value();
+      Result<SearchResult>& r = *st->results[c * num_shards + s];
+      if (!r.ok()) {
+        if (IsCancelMarker(r.status())) {
+          // This shard shed its scan at the deadline; merge the shards
+          // that did run — best-effort partial rows.
+          out.complete = false;
+          continue;
+        }
+        return;  // real error: reported after the pipeline drains
+      }
+      if (!r->complete) out.complete = false;
+      const size_t begin = c * chunk_rows;
+      const size_t rows = std::min(chunk_rows, batch - begin);
+      for (size_t q = 0; q < rows && q < r->rows_examined.size(); q++) {
+        out.rows_examined[begin + q] += r->rows_examined[q];
+      }
+      shard_results.emplace_back(s, &r.value());
     }
-    MergeRows(shard_results, c * chunk_rows, chunks[c].rows(), k,
+    if (shard_results.empty()) return;  // fully shed chunk: padding stays
+    const size_t begin = c * chunk_rows;
+    MergeRows(shard_results, begin, std::min(chunk_rows, batch - begin), k,
               &out.neighbors);
   };
 
@@ -347,10 +528,12 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
   if (params.num_threads != 0) {
     // An explicit width is a total budget: tasks run inline in
     // (chunk, shard) order with each per-chunk search at the full
-    // width — the same streaming structure on a serial schedule.
+    // width — the same streaming structure on a serial schedule. Every
+    // task runs on this thread (expired tokens shed inside the task),
+    // so every chunk publishes and no abandonment arises.
     for (size_t c = 0; c < num_chunks; c++) {
-      for (size_t s = 0; s < num_shards; s++) run_task(c, s);
-      merge_chunk(*ready.Pop());
+      for (size_t s = 0; s < num_shards; s++) RunShardTask(st, c, s);
+      merge_chunk(*st->ready.Pop());
     }
   } else {
     // Producers fan out chunk-major so early chunks finish first; the
@@ -359,23 +542,38 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
     ThreadPool& pool = GlobalThreadPool();
     for (size_t c = 0; c < num_chunks; c++) {
       for (size_t s = 0; s < num_shards; s++) {
-        pool.Submit([&run_task, c, s] { run_task(c, s); });
+        pool.Submit([st, c, s] { RunShardTask(st, c, s); });
       }
     }
-    // Once every chunk has been popped, every task has completed and
-    // its stores are visible — safe to read all result slots below.
-    for (size_t m = 0; m < num_chunks; m++) merge_chunk(*ready.Pop());
+    for (size_t m = 0; m < num_chunks; m++) {
+      std::optional<size_t> c = cancelable
+                                    ? PopCancelable(st.get(), caller_token)
+                                    : st->ready.Pop();
+      if (!c.has_value()) {
+        // Deadline passed and the grace drain went dry: abandon the
+        // stragglers. They hold the shared state (and observe the
+        // cancelled derived token at their next boundary), so they
+        // finish harmlessly after we return. Unpopped chunks keep
+        // their (kInvalidShardEntry, +inf) padding — well-formed.
+        st->token.Cancel();
+        out.complete = false;
+        break;
+      }
+      merge_chunk(*c);
+    }
   }
   out.host_seconds = host.Seconds();
   out.host_qps = out.host_seconds > 0
                      ? static_cast<double>(batch) / out.host_seconds
                      : 0.0;
 
-  // Errors surface in deterministic (chunk, shard) order.
+  // Errors surface in deterministic (chunk, shard) order, over the
+  // chunks whose results we own (all of them unless abandoned).
   for (size_t c = 0; c < num_chunks; c++) {
+    if (chunk_popped[c] == 0) continue;
     for (size_t s = 0; s < num_shards; s++) {
-      const Result<SearchResult>& r = *results[c * num_shards + s];
-      if (!r.ok()) return r.status();
+      const Result<SearchResult>& r = *st->results[c * num_shards + s];
+      if (!r.ok() && !IsCancelMarker(r.status())) return r.status();
     }
   }
 
@@ -389,28 +587,36 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
   // paid once — only the per-launch overhead multiplies with the chunk
   // count (already summed into counters.kernel_launches). With a single
   // chunk this reduces to the chunk's own estimate. The slowest shard
-  // contributes the reported breakdown.
+  // contributes the reported breakdown. Under cancellation only popped
+  // chunks' finished results contribute (partial work is still real
+  // work, but unfinished slots are unreadable).
   double slowest_seconds = 0.0;
+  bool have_meta = false;
   out.host_threads = 0;
   for (size_t s = 0; s < num_shards; s++) {
     KernelCounters shard_counters;
+    const SearchResult* first_done = nullptr;
     for (size_t c = 0; c < num_chunks; c++) {
-      const SearchResult& r = results[c * num_shards + s]->value();
-      shard_counters.Add(r.counters);
-      out.host_threads = std::max(out.host_threads, r.host_threads);
+      if (chunk_popped[c] == 0) continue;
+      const Result<SearchResult>& r = *st->results[c * num_shards + s];
+      if (!r.ok()) continue;  // cancel marker (errors returned above)
+      shard_counters.Add(r->counters);
+      out.host_threads = std::max(out.host_threads, r->host_threads);
+      if (first_done == nullptr) first_done = &r.value();
     }
+    if (first_done == nullptr) continue;
     out.counters.Add(shard_counters);
-    const SearchResult& first = results[s]->value();  // chunk 0, shard s
-    KernelLaunchConfig launch = first.launch;
+    KernelLaunchConfig launch = first_done->launch;
     launch.batch = batch;  // the shape every chunk shares, at full fill
     const CostBreakdown shard_cost =
         EstimateKernelTime(device, launch, shard_counters);
-    if (s == 0 || shard_cost.total > slowest_seconds) {
+    if (!have_meta || shard_cost.total > slowest_seconds) {
+      have_meta = true;
       slowest_seconds = shard_cost.total;
       out.cost = shard_cost;
       out.launch = launch;
-      out.algo_used = first.algo_used;
-      out.team_size_used = first.team_size_used;
+      out.algo_used = first_done->algo_used;
+      out.team_size_used = first_done->team_size_used;
     }
   }
 
@@ -418,10 +624,10 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
   // a batch pays the slowest shard's summed chunk time plus only the
   // merge tail of the final chunk — not the full-batch merge the
   // barrier path serializes after its global wait.
+  const size_t last_rows = batch - (num_chunks - 1) * chunk_rows;
   out.modeled_seconds =
       slowest_seconds + kMergeOverheadPerQueryShard *
-                            static_cast<double>(chunks.back().rows() *
-                                                num_shards);
+                            static_cast<double>(last_rows * num_shards);
   out.modeled_qps = out.modeled_seconds > 0
                         ? static_cast<double>(batch) / out.modeled_seconds
                         : 0.0;

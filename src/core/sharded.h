@@ -99,6 +99,19 @@ class ShardedCagraIndex : public Searcher {
   /// runs its tasks inline in (chunk, shard) order and each per-chunk
   /// search uses the full width. The storage mode comes from
   /// params.precision (the Searcher front door).
+  ///
+  /// Deadline/cancellation (params.cancel): every (chunk, shard) task
+  /// checks the token before scanning and the per-chunk searches check
+  /// it at iteration boundaries, so an expired token drains the
+  /// pipeline cooperatively. A straggler that cannot observe the token
+  /// (a stalled shard) is *abandoned*: after a short grace the call
+  /// returns the best-effort merge of every chunk that did finish,
+  /// marked SearchResult::complete == false, with untouched rows left
+  /// as padding. Abandoned tasks run to completion against detached
+  /// heap-owned state (they never reference the caller's stack, token
+  /// included) — the only caller obligation is that the index itself
+  /// outlive them, which cancellation bounds to roughly the stall
+  /// plus one search iteration.
   Result<SearchResult> Search(const Matrix<float>& queries,
                               const SearchParams& params) const override;
   Result<SearchResult> Search(const Matrix<float>& queries,
@@ -128,11 +141,12 @@ class ShardedCagraIndex : public Searcher {
   Status ValidateSearch(const SearchParams& params) const;
 
   /// Merges all queries in [begin, begin + rows) from the per-shard
-  /// results `shard_results` (one full SearchResult per shard, query q
-  /// at local row q - begin) into `out` at global rows.
-  void MergeRows(const std::vector<const SearchResult*>& shard_results,
-                 size_t begin, size_t rows, size_t k,
-                 NeighborList* out) const;
+  /// results `shard_results` — (shard index, result) pairs so a
+  /// cancelled search can merge the subset of shards that finished —
+  /// into `out` at global rows (query q at local row q - begin).
+  void MergeRows(
+      const std::vector<std::pair<size_t, const SearchResult*>>& shard_results,
+      size_t begin, size_t rows, size_t k, NeighborList* out) const;
 
   std::vector<CagraIndex> shards_;
   /// global_ids_[s][local] = dataset row of shard s's local row.

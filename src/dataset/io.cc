@@ -5,6 +5,8 @@
 #include <cstring>
 #include <memory>
 
+#include "util/fault_injection.h"
+
 namespace cagra {
 
 namespace {
@@ -36,6 +38,7 @@ bool FileSize(std::FILE* f, uint64_t* size) {
 template <typename T, typename Widen>
 Result<Matrix<T>> ReadVecs(const std::string& path, size_t elem_size,
                            size_t max_rows, Widen widen) {
+  CAGRA_RETURN_IF_ERROR(CAGRA_FAULT_STATUS("io_read"));
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IoError("cannot open " + path);
   // When the size is unavailable (non-seekable stream, or ftell's long

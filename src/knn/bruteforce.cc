@@ -1,7 +1,9 @@
 #include "knn/bruteforce.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <limits>
 
 #include "distance/pq_fastscan.h"
 #include "util/bounded_heap.h"
@@ -28,13 +30,25 @@ template <typename PrepareFn, typename ScoreFn, typename SkipFn,
           typename EmitFn>
 void BlockScan(size_t base_rows, size_t num_queries, size_t k,
                const PrepareFn& prepare, const ScoreFn& score,
-               const SkipFn& skip, const EmitFn& emit) {
+               const SkipFn& skip, const EmitFn& emit,
+               const CancelToken* cancel = nullptr,
+               std::atomic<bool>* truncated = nullptr) {
   GlobalThreadPool().ParallelFor(0, num_queries, [&](size_t q) {
     const auto ctx = prepare(q);
     BoundedHeap heap(k);
     const uint32_t skip_id = skip(q);
     float block_dists[kScanBlock];
+    // A block (kScanBlock distances) is the cancellation granularity:
+    // breaking between blocks leaves the heap a valid top-k of the
+    // prefix scanned so far.
+    CancelCheck check(cancel, /*stride=*/4);
     for (size_t i0 = 0; i0 < base_rows; i0 += kScanBlock) {
+      if (check.Expired()) {
+        if (truncated != nullptr) {
+          truncated->store(true, std::memory_order_relaxed);
+        }
+        break;
+      }
       const size_t block = std::min(kScanBlock, base_rows - i0);
       score(ctx, q, i0, block, block_dists);
       for (size_t j = 0; j < block; j++) {
@@ -56,11 +70,17 @@ inline int NoPrepare(size_t) { return 0; }
 template <typename PrepareFn, typename ScoreFn>
 NeighborList ScanToNeighborList(size_t base_rows, size_t num_queries,
                                 size_t k, const PrepareFn& prepare,
-                                const ScoreFn& score) {
+                                const ScoreFn& score,
+                                const CancelToken* cancel = nullptr,
+                                bool* complete = nullptr) {
   NeighborList out;
   out.k = k;
   out.ids.resize(num_queries * k, kNoSkip);
-  out.distances.resize(num_queries * k, 0.0f);
+  // +inf padding keeps short rows (cancelled scans, k > rows) sorted
+  // and unambiguous, matching the SearchResult partial contract.
+  out.distances.resize(num_queries * k,
+                       std::numeric_limits<float>::infinity());
+  std::atomic<bool> truncated{false};
   BlockScan(base_rows, num_queries, k, prepare, score,
             [](size_t) { return kNoSkip; },
             [&](size_t q, const auto& sorted) {
@@ -68,7 +88,11 @@ NeighborList ScanToNeighborList(size_t base_rows, size_t num_queries,
                 out.ids[q * k + i] = sorted[i].id;
                 out.distances[q * k + i] = sorted[i].distance;
               }
-            });
+            },
+            cancel, &truncated);
+  if (complete != nullptr) {
+    *complete = !truncated.load(std::memory_order_relaxed);
+  }
   return out;
 }
 
@@ -76,25 +100,29 @@ NeighborList ScanToNeighborList(size_t base_rows, size_t num_queries,
 
 NeighborList ExactSearch(const Matrix<float>& base,
                          const Matrix<float>& queries, size_t k,
-                         Metric metric) {
+                         Metric metric, const CancelToken* cancel,
+                         bool* complete) {
   return ScanToNeighborList(
       base.rows(), queries.rows(), k, NoPrepare,
       [&](int, size_t q, size_t i0, size_t block, float* dists) {
         ComputeDistanceBatch(metric, queries.Row(q), base.Row(i0), block,
                              base.dim(), dists);
-      });
+      },
+      cancel, complete);
 }
 
 NeighborList ExactSearch(const QuantizedDataset& base,
                          const Matrix<float>& queries, size_t k,
-                         Metric metric) {
+                         Metric metric, const CancelToken* cancel,
+                         bool* complete) {
   return ScanToNeighborList(
       base.rows(), queries.rows(), k, NoPrepare,
       [&](int, size_t q, size_t i0, size_t block, float* dists) {
         ComputeDistanceBatch(metric, queries.Row(q), base.codes.Row(i0),
                              base.scale.data(), base.offset.data(), block,
                              base.dim(), dists);
-      });
+      },
+      cancel, complete);
 }
 
 namespace {
@@ -106,7 +134,8 @@ namespace {
 /// step), returned distances are exact ADC values.
 NeighborList FastScanSearch(const PqDataset& base,
                             const Matrix<float>& queries, size_t k,
-                            Metric metric, size_t rerank) {
+                            Metric metric, size_t rerank,
+                            const CancelToken* cancel, bool* complete) {
   const size_t rows = base.rows();
   const size_t m = base.num_subspaces();
   const std::vector<uint8_t> codes_col = SubspaceMajorCodes(base);
@@ -114,7 +143,9 @@ NeighborList FastScanSearch(const PqDataset& base,
   NeighborList out;
   out.k = k;
   out.ids.resize(queries.rows() * k, kNoSkip);
-  out.distances.resize(queries.rows() * k, 0.0f);
+  out.distances.resize(queries.rows() * k,
+                       std::numeric_limits<float>::infinity());
+  std::atomic<bool> truncated{false};
   // Not the shared BlockScan: the rerank needs the per-query ADC table
   // again after candidate selection, so the whole query runs in one
   // lambda and the table is built exactly once.
@@ -135,7 +166,15 @@ NeighborList FastScanSearch(const PqDataset& base,
     BoundedHeap heap(rerank);
     uint32_t acc[kScanBlock];
     float rank[kScanBlock];
+    // Same per-block cancellation boundary as BlockScan; the rerank
+    // below still runs over whatever candidates were gathered, so a
+    // truncated query emits a well-formed (if shallow) top-k.
+    CancelCheck check(cancel, /*stride=*/4);
     for (size_t i0 = 0; i0 < rows; i0 += kScanBlock) {
+      if (check.Expired()) {
+        truncated.store(true, std::memory_order_relaxed);
+        break;
+      }
       const size_t block = std::min(kScanBlock, rows - i0);
       PqFastScan(q8.lut.data(), codes_col.data() + i0, rows, block, m, acc);
       if (metric == Metric::kCosine) {
@@ -179,6 +218,9 @@ NeighborList FastScanSearch(const PqDataset& base,
       out.distances[q * k + i] = best[i].distance;
     }
   });
+  if (complete != nullptr) {
+    *complete = !truncated.load(std::memory_order_relaxed);
+  }
   return out;
 }
 
@@ -186,7 +228,8 @@ NeighborList FastScanSearch(const PqDataset& base,
 
 NeighborList ExactSearch(const PqDataset& base, const Matrix<float>& queries,
                          size_t k, Metric metric,
-                         const PqScanOptions& options) {
+                         const PqScanOptions& options,
+                         const CancelToken* cancel, bool* complete) {
   // M > 256 would overflow the fast scan's u16 lane accumulators;
   // QuantizeAdcTable refuses, so fall back to the exact ADC scan.
   if (options.approximate_scan && base.num_subspaces() <= 256 &&
@@ -194,7 +237,7 @@ NeighborList ExactSearch(const PqDataset& base, const Matrix<float>& queries,
     size_t rerank =
         options.rerank != 0 ? options.rerank : std::max(4 * k, size_t{64});
     rerank = std::min(std::max(rerank, k), base.rows());
-    return FastScanSearch(base, queries, k, metric, rerank);
+    return FastScanSearch(base, queries, k, metric, rerank, cancel, complete);
   }
   return ScanToNeighborList(
       base.rows(), queries.rows(), k,
@@ -206,7 +249,8 @@ NeighborList ExactSearch(const PqDataset& base, const Matrix<float>& queries,
       [&](const PqAdcTable& table, size_t, size_t i0, size_t block,
           float* dists) {
         ComputeDistanceAdcBatch(table, base.codes.Row(i0), i0, block, dists);
-      });
+      },
+      cancel, complete);
 }
 
 Matrix<uint32_t> ComputeGroundTruth(const Matrix<float>& base,

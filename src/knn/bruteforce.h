@@ -10,15 +10,25 @@
 #include "dataset/recall.h"
 #include "distance/distance.h"
 #include "graph/fixed_degree_graph.h"
+#include "util/cancel.h"
 
 namespace cagra {
 
 /// Exact k-NN by exhaustive scan — the NNS reference of Eq. (2); used to
 /// produce ground truth for every recall measurement in the benches.
 /// Parallelized over queries.
+///
+/// Cancellation (shared by every ExactSearch overload): `cancel`, when
+/// non-null, is checked once per kScanBlock-row block. An expired token
+/// stops each query's scan at its next block boundary; rows already
+/// scored still rank, so the output is a well-formed (sorted, padded)
+/// top-k of the prefix scanned — and `*complete` (when non-null) is set
+/// false. With a null or never-expiring token *complete stays true and
+/// results are the usual exact ones.
 NeighborList ExactSearch(const Matrix<float>& base,
                          const Matrix<float>& queries, size_t k,
-                         Metric metric);
+                         Metric metric, const CancelToken* cancel = nullptr,
+                         bool* complete = nullptr);
 
 /// Exhaustive scan over an int8-quantized dataset (§V-E: the compressed
 /// copy is the only one resident when the fp32 dataset exceeds memory).
@@ -26,7 +36,8 @@ NeighborList ExactSearch(const Matrix<float>& base,
 /// results are exact w.r.t. the decoded values.
 NeighborList ExactSearch(const QuantizedDataset& base,
                          const Matrix<float>& queries, size_t k,
-                         Metric metric);
+                         Metric metric, const CancelToken* cancel = nullptr,
+                         bool* complete = nullptr);
 
 /// Opt-in scan mode for the PQ ExactSearch overload.
 struct PqScanOptions {
@@ -53,7 +64,9 @@ struct PqScanOptions {
 /// fast-scan-selected and ADC-reranked.
 NeighborList ExactSearch(const PqDataset& base, const Matrix<float>& queries,
                          size_t k, Metric metric,
-                         const PqScanOptions& options = PqScanOptions{});
+                         const PqScanOptions& options = PqScanOptions{},
+                         const CancelToken* cancel = nullptr,
+                         bool* complete = nullptr);
 
 /// Ground truth in the ivecs-like Matrix form consumed by ComputeRecall.
 Matrix<uint32_t> ComputeGroundTruth(const Matrix<float>& base,

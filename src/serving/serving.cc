@@ -4,6 +4,8 @@
 #include <map>
 #include <utility>
 
+#include "util/cancel.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace cagra {
@@ -52,6 +54,17 @@ void ServingScheduler::Shutdown() {
 
 std::future<Result<QueryResponse>> ServingScheduler::Submit(const float* query,
                                                             size_t k) {
+  return SubmitImpl(query, k, /*has_deadline=*/false, Clock::time_point{});
+}
+
+std::future<Result<QueryResponse>> ServingScheduler::Submit(
+    const float* query, size_t k, Clock::time_point deadline) {
+  return SubmitImpl(query, k, /*has_deadline=*/true, deadline);
+}
+
+std::future<Result<QueryResponse>> ServingScheduler::SubmitImpl(
+    const float* query, size_t k, bool has_deadline,
+    Clock::time_point deadline) {
   auto req = std::make_shared<Request>();
   auto future = req->promise.get_future();
 
@@ -73,6 +86,21 @@ std::future<Result<QueryResponse>> ServingScheduler::Submit(const float* query,
   req->query.assign(query, query + dim_);
   req->k = k;
   req->enqueue = Clock::now();
+  req->deadline = deadline;
+  req->has_deadline = has_deadline;
+
+  // Fault sites of the admission path: whatever fires here, the
+  // caller's future still resolves exactly once (below or in a worker).
+  CAGRA_FAULT_POINT("serving_queue_push_stall");
+  {
+    Status injected = CAGRA_FAULT_STATUS("serving_queue_push_fail");
+    if (!injected.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      failed_++;
+      req->promise.set_value(injected);
+      return future;
+    }
+  }
 
   if (!queue_.TryPush(req)) {
     // Admission control: a full queue means the backend is already
@@ -122,23 +150,51 @@ void ServingScheduler::ExecuteBatch(
   const auto formed = Clock::now();
   const size_t batch_rows = batch.size();
 
-  // One Search call per distinct k: k feeds the internal budgets
-  // (itopk, iteration caps), so mixing k values in one call would make
-  // a request's result depend on its batchmates. Uniform-k traffic —
-  // the common case — stays one call.
-  std::map<size_t, std::vector<size_t>> groups;
-  for (size_t i = 0; i < batch.size(); i++) groups[batch[i]->k].push_back(i);
-
   std::vector<double> latencies;
   latencies.reserve(batch.size());
   size_t completed = 0;
   size_t failed = 0;
+  size_t deadline_expired = 0;
+  size_t partial = 0;
   double modeled_seconds = 0;
   // Responses are staged and fulfilled only after the stats update:
   // once a caller sees its future resolve, a Snapshot must already
   // account for it.
   std::vector<std::pair<size_t, Result<QueryResponse>>> outcomes;
   outcomes.reserve(batch.size());
+
+  // One Search call per distinct k: k feeds the internal budgets
+  // (itopk, iteration caps), so mixing k values in one call would make
+  // a request's result depend on its batchmates. Uniform-k traffic —
+  // the common case — stays one call. Requests whose deadline already
+  // passed are shed here, before any search is burned on them.
+  std::map<size_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < batch.size(); i++) {
+    const Request& req = *batch[i];
+    if (req.has_deadline && formed >= req.deadline) {
+      outcomes.emplace_back(
+          i, Status::DeadlineExceeded(
+                 "request deadline passed while queued; shed at "
+                 "batch formation"));
+      deadline_expired++;
+      continue;
+    }
+    groups[req.k].push_back(i);
+  }
+
+  // Fault site of the execution path: an injected failure here fails
+  // every request of the batch, but still resolves every future.
+  CAGRA_FAULT_POINT("serving_batch_execute_stall");
+  {
+    Status injected = CAGRA_FAULT_STATUS("serving_batch_execute_fail");
+    if (!injected.ok()) {
+      for (auto& [k, rows] : groups) {
+        for (size_t idx : rows) outcomes.emplace_back(idx, injected);
+        failed += rows.size();
+      }
+      groups.clear();
+    }
+  }
 
   for (auto& [k, rows] : groups) {
     Matrix<float> queries(rows.size(), dim_);
@@ -154,6 +210,26 @@ void ServingScheduler::ExecuteBatch(
     // every response EXPECT_EQ-identical to a per-query Search call,
     // whatever micro-batch it was coalesced into.
     p = ResolveBatchShape(p, device_, 1);
+
+    // The tightest deadline in the group drives the whole call's
+    // token: a truncation hits every rider, but conservatively — no
+    // request outlives its own deadline inside the batch. The token
+    // lives on this stack, which is safe even against the sharded
+    // searcher's task abandonment (it derives its own heap-owned token
+    // and never retains this one).
+    bool group_has_deadline = false;
+    Clock::time_point tightest{};
+    for (size_t idx : rows) {
+      const Request& req = *batch[idx];
+      if (!req.has_deadline) continue;
+      if (!group_has_deadline || req.deadline < tightest) {
+        group_has_deadline = true;
+        tightest = req.deadline;
+      }
+    }
+    CancelToken token = group_has_deadline ? CancelToken(tightest)
+                                           : CancelToken();
+    if (group_has_deadline) p.cancel = &token;
 
     Timer timer;
     auto result = searcher_->Search(queries, p);
@@ -177,6 +253,14 @@ void ServingScheduler::ExecuteBatch(
       resp.search_us = search_us;
       resp.total_us = MicrosBetween(req.enqueue, done);
       resp.batch_rows = batch_rows;
+      // Deadline-truncated searches come back as best-effort partials:
+      // completeness is batch-level (conservative for every rider),
+      // rows-examined is this request's own row.
+      resp.complete = result->complete;
+      if (r < result->rows_examined.size()) {
+        resp.rows_examined = result->rows_examined[r];
+      }
+      if (!resp.complete) partial++;
       latencies.push_back(resp.total_us);
       outcomes.emplace_back(rows[r], std::move(resp));
     }
@@ -190,6 +274,8 @@ void ServingScheduler::ExecuteBatch(
     modeled_device_seconds_ += modeled_seconds;
     completed_ += completed;
     failed_ += failed;
+    deadline_expired_ += deadline_expired;
+    partial_ += partial;
     for (double lat : latencies) {
       if (latency_ring_.size() < options_.latency_window) {
         latency_ring_.push_back(lat);
@@ -213,6 +299,8 @@ ServingStats ServingScheduler::Snapshot() const {
     stats.completed = completed_;
     stats.shed = shed_;
     stats.failed = failed_;
+    stats.deadline_expired = deadline_expired_;
+    stats.partial = partial_;
     stats.batches = batches_;
     stats.modeled_device_seconds = modeled_device_seconds_;
     stats.mean_batch_rows =

@@ -23,6 +23,14 @@ struct ServingOptions {
   /// of a batch it keeps admitting more until this window elapses (or
   /// max_batch fills). 0 = greedy — take whatever is already queued and
   /// flush immediately.
+  ///
+  /// Interaction with per-request deadlines (Submit's deadline
+  /// overload): the window is spent *waiting*, so it eats into every
+  /// collected request's deadline budget before the search even starts.
+  /// Requests whose deadline passes while a batch collects are shed
+  /// with kDeadlineExceeded at batch-formation time; keep the window
+  /// well under the tightest deadline you intend to serve (e.g. a 1ms
+  /// window is already 10% of a 10ms deadline, and fatal to a 1ms one).
   size_t collect_window_us = 1000;
   /// Largest micro-batch a worker flushes; 1 disables coalescing (the
   /// single-query-at-a-time baseline of bench_serving).
@@ -54,6 +62,13 @@ struct QueryResponse {
   double search_us = 0;   ///< the batched search this request rode
   double total_us = 0;    ///< enqueue -> response ready
   size_t batch_rows = 0;  ///< size of the micro-batch it was coalesced into
+  /// False when the search hit the request deadline mid-flight and the
+  /// neighbors are a best-effort partial top-k (still sorted, padded
+  /// with 0xffffffff/+inf, no duplicates — the SearchResult contract).
+  bool complete = true;
+  /// Dataset rows scored for this query (partial searches show how far
+  /// they got before the deadline cut them off).
+  uint64_t rows_examined = 0;
 };
 
 /// Point-in-time scheduler statistics (Snapshot()). Percentiles are over
@@ -63,6 +78,14 @@ struct ServingStats {
   size_t completed = 0;  ///< responses delivered OK
   size_t shed = 0;       ///< rejected at admission (queue full)
   size_t failed = 0;     ///< rejected by validation or a failed search
+  /// Requests dropped with kDeadlineExceeded at batch-formation time:
+  /// their deadline had already passed when a worker collected them, so
+  /// no search was burned on them.
+  size_t deadline_expired = 0;
+  /// Responses delivered with complete == false — the search ran but
+  /// the deadline truncated it to a best-effort partial top-k. Counted
+  /// inside `completed` as well (the caller did get a usable response).
+  size_t partial = 0;
   size_t batches = 0;    ///< micro-batches flushed
   double mean_batch_rows = 0;
   double qps = 0;        ///< completed / uptime
@@ -118,6 +141,19 @@ class ServingScheduler {
   /// request was shed or the scheduler is shut down.
   std::future<Result<QueryResponse>> Submit(const float* query, size_t k);
 
+  /// Deadline-carrying Submit: the request must complete by `deadline`
+  /// (steady clock). If the deadline passes while the request is still
+  /// queued it is shed with kDeadlineExceeded at batch-formation time;
+  /// if it passes mid-search, the search is cooperatively truncated and
+  /// the response comes back with complete == false (the tightest
+  /// deadline of a micro-batch drives the whole batch's CancelToken —
+  /// uniform-deadline traffic never truncates anyone early, and mixed
+  /// traffic truncates conservatively). See
+  /// ServingOptions::collect_window_us for how the collect window eats
+  /// into the deadline budget.
+  std::future<Result<QueryResponse>> Submit(const float* query, size_t k,
+                                            Clock::time_point deadline);
+
   /// Rejects new work, drains everything queued, and joins the workers.
   void Shutdown();
 
@@ -131,8 +167,13 @@ class ServingScheduler {
     size_t k = 0;
     std::promise<Result<QueryResponse>> promise;
     Clock::time_point enqueue;
+    Clock::time_point deadline{};
+    bool has_deadline = false;
   };
 
+  std::future<Result<QueryResponse>> SubmitImpl(const float* query, size_t k,
+                                                bool has_deadline,
+                                                Clock::time_point deadline);
   void WorkerLoop();
   void ExecuteBatch(std::vector<std::shared_ptr<Request>>& batch);
 
@@ -154,6 +195,8 @@ class ServingScheduler {
   size_t completed_ = 0;
   size_t shed_ = 0;
   size_t failed_ = 0;
+  size_t deadline_expired_ = 0;
+  size_t partial_ = 0;
   size_t batches_ = 0;
   size_t batch_rows_total_ = 0;
   double modeled_device_seconds_ = 0;

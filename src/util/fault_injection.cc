@@ -1,0 +1,70 @@
+#include "util/fault_injection.h"
+
+#include <thread>
+
+namespace cagra {
+
+FaultController& FaultController::Instance() {
+  static FaultController* controller = new FaultController();
+  return *controller;
+}
+
+void FaultController::Arm(const std::string& point, FaultSpec spec) {
+  if (spec.every_nth == 0) spec.every_nth = 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState& site = sites_[point];
+  site.spec = std::move(spec);
+  site.armed = true;
+  site.seen = 0;
+  site.fired = 0;
+}
+
+void FaultController::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(point);
+  if (it != sites_.end()) it->second.armed = false;
+}
+
+void FaultController::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+}
+
+Status FaultController::Hit(const char* point) {
+  std::chrono::microseconds delay{0};
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SiteState& site = sites_[point];
+    site.hits++;
+    if (!site.armed) return Status::Ok();
+    site.seen++;
+    if (site.seen <= site.spec.skip_first) return Status::Ok();
+    if ((site.seen - site.spec.skip_first - 1) % site.spec.every_nth != 0) {
+      return Status::Ok();
+    }
+    if (site.fired >= site.spec.max_fires) return Status::Ok();
+    site.fired++;
+    delay = site.spec.delay;
+    status = site.spec.status;
+  }
+  // Sleep outside the lock: a stalled site must not serialize hits at
+  // unrelated (or even the same) site behind it — the whole point of
+  // the stall faults is observing *other* paths make progress.
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  return status;
+}
+
+size_t FaultController::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(point);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+size_t FaultController::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(point);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+}  // namespace cagra

@@ -1,0 +1,104 @@
+#ifndef CAGRA_UTIL_FAULT_INJECTION_H_
+#define CAGRA_UTIL_FAULT_INJECTION_H_
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cagra {
+
+/// Deterministic fault-injection controller behind the
+/// CAGRA_FAULT_POINT / CAGRA_FAULT_STATUS macros below. Production code
+/// names its hazard sites ("shard_scan", "io_read", ...); tests arm a
+/// site with a FaultSpec — an injected delay and/or Status failure,
+/// fired on a deterministic schedule — and assert the system degrades
+/// instead of hanging or corrupting state.
+///
+/// Compiled out entirely unless CAGRA_FAULT_INJECTION is defined (the
+/// CMake option of the same name): without it the macros expand to
+/// nothing / an OK status and the controller is never consulted, so
+/// release binaries carry zero overhead at the sites.
+///
+/// Determinism: firing is decided by per-site hit counters
+/// (skip_first / every_nth / max_fires) under one mutex, so a given
+/// sequence of hits at a site produces the same injected faults on
+/// every run. Cross-thread hit *order* at a shared site is the
+/// scheduler's; specs that fire on every hit (the default) are
+/// schedule-independent.
+struct FaultSpec {
+  /// Injected stall applied on each firing hit, before the status is
+  /// returned. Models a slow disk, a stuck shard, a GC pause.
+  std::chrono::microseconds delay{0};
+  /// Injected failure returned from CAGRA_FAULT_STATUS sites on firing
+  /// hits (void CAGRA_FAULT_POINT sites apply the delay and drop it).
+  /// Ok() = delay-only fault.
+  Status status = Status::Ok();
+  /// Hits skipped before the first firing.
+  size_t skip_first = 0;
+  /// After skip_first, fire every Nth hit (1 = every hit).
+  size_t every_nth = 1;
+  /// Total firings allowed; SIZE_MAX = unlimited.
+  size_t max_fires = static_cast<size_t>(-1);
+};
+
+class FaultController {
+ public:
+  /// Process-wide instance the macros consult.
+  static FaultController& Instance();
+
+  /// Arms (or re-arms, resetting counters) the named site.
+  void Arm(const std::string& point, FaultSpec spec);
+
+  /// Disarms one site; hits pass through untouched again.
+  void Disarm(const std::string& point);
+
+  /// Disarms every site and clears all hit counters — test teardown.
+  void Reset();
+
+  /// Records a hit at `point`; if the site is armed and its schedule
+  /// fires, sleeps the injected delay and returns the injected status.
+  /// Returns Ok() (instantly) for unarmed sites.
+  Status Hit(const char* point);
+
+  /// Total hits observed at `point` (armed or not) since Reset().
+  size_t hits(const std::string& point) const;
+
+  /// Times the site's schedule actually fired since it was armed.
+  size_t fires(const std::string& point) const;
+
+ private:
+  struct SiteState {
+    FaultSpec spec;
+    bool armed = false;
+    size_t hits = 0;   ///< counted from Reset(), armed or not
+    size_t seen = 0;   ///< hits since Arm (drives the schedule)
+    size_t fired = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, SiteState> sites_;
+};
+
+}  // namespace cagra
+
+#if defined(CAGRA_FAULT_INJECTION)
+/// Void hazard site: applies an armed delay, discards any status.
+#define CAGRA_FAULT_POINT(name) \
+  ((void)::cagra::FaultController::Instance().Hit(name))
+/// Status-bearing hazard site: evaluates to the injected Status (Ok
+/// when unarmed / not firing). Callers propagate it like any other
+/// fallible call, so the injected failure exercises the real error
+/// path.
+#define CAGRA_FAULT_STATUS(name) \
+  (::cagra::FaultController::Instance().Hit(name))
+#else
+#define CAGRA_FAULT_POINT(name) ((void)0)
+#define CAGRA_FAULT_STATUS(name) (::cagra::Status::Ok())
+#endif
+
+#endif  // CAGRA_UTIL_FAULT_INJECTION_H_

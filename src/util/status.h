@@ -21,6 +21,16 @@ enum class StatusCode {
   /// bound or is shutting down. Distinct from kInvalidArgument — the
   /// same request may succeed if retried later.
   kUnavailable,
+  /// The request's deadline passed before (or while) it executed. A
+  /// search that got far enough may still carry best-effort partial
+  /// results (SearchResult::complete == false); this code means no
+  /// result was produced at all — e.g. the serving scheduler shedding
+  /// an already-expired request at batch-formation time.
+  kDeadlineExceeded,
+  /// The request was cooperatively cancelled via CancelToken::Cancel()
+  /// before any result was produced. Like kDeadlineExceeded but
+  /// caller-initiated rather than clock-initiated.
+  kCancelled,
 };
 
 /// Lightweight status object: a code plus a human-readable message.
@@ -54,6 +64,12 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -106,10 +122,43 @@ inline std::string Status::ToString() const {
     case StatusCode::kCapacityExceeded: name = "CAPACITY_EXCEEDED"; break;
     case StatusCode::kInternal: name = "INTERNAL"; break;
     case StatusCode::kUnavailable: name = "UNAVAILABLE"; break;
+    case StatusCode::kDeadlineExceeded: name = "DEADLINE_EXCEEDED"; break;
+    case StatusCode::kCancelled: name = "CANCELLED"; break;
   }
   return std::string(name) + ": " + message_;
 }
 
 }  // namespace cagra
+
+/// Evaluates a Status expression and returns it from the enclosing
+/// function if it is an error — the repo-wide replacement for the
+/// hand-rolled `Status s = ...; if (!s.ok()) return s;` chains.
+/// Usable in any function returning Status or Result<T> (Result
+/// implicitly converts from Status).
+#define CAGRA_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::cagra::Status cagra_status_ = (expr);    \
+    if (!cagra_status_.ok()) {                 \
+      return cagra_status_;                    \
+    }                                          \
+  } while (0)
+
+#define CAGRA_STATUS_CONCAT_INNER_(x, y) x##y
+#define CAGRA_STATUS_CONCAT_(x, y) CAGRA_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluates a Result<T> expression; on error returns its Status from
+/// the enclosing function, otherwise move-assigns the value into
+/// `lhs` (which may be a declaration: CAGRA_ASSIGN_OR_RETURN(auto v,
+/// MakeV());).
+#define CAGRA_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  CAGRA_ASSIGN_OR_RETURN_IMPL_(                                        \
+      CAGRA_STATUS_CONCAT_(cagra_result_, __LINE__), lhs, rexpr)
+
+#define CAGRA_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) {                                    \
+    return result.status();                              \
+  }                                                      \
+  lhs = std::move(result).value()
 
 #endif  // CAGRA_UTIL_STATUS_H_

@@ -1,0 +1,245 @@
+// Fuzz-style hardening suite for CagraIndex::Load against truncated
+// and torn files. A saved index (with the full PQ trailer, rotation
+// included) is cut at every section boundary, one byte to either side
+// of each, and on a coarse sweep of interior offsets; every prefix
+// must load to exactly one of the documented outcomes — a clean
+// kIoError, or an OK index for the two legal prefixes (the full file,
+// and the pre-trailer legacy format that ends at the graph). Nothing
+// may crash, over-allocate from a torn header, or leave partial state
+// (Load builds into a local and returns by value).
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/search.h"
+#include "dataset/profile.h"
+#include "dataset/synthetic.h"
+
+namespace cagra {
+namespace {
+
+std::vector<unsigned char> ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<unsigned char> bytes(static_cast<size_t>(size));
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+void WritePrefix(const std::string& path,
+                 const std::vector<unsigned char>& bytes, size_t len) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  if (len > 0) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, len, f), len);
+  }
+  std::fclose(f);
+}
+
+class IndexLoadFuzzTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto data = GenerateDataset(*FindProfile("DEEP-1M"), 300, 4, 913);
+    BuildParams bp;
+    bp.graph_degree = 8;
+    auto built = CagraIndex::Build(data.base, bp);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    index_ = new CagraIndex(std::move(built.value()));
+    PqTrainParams pq;
+    pq.rotate = true;  // the largest trailer layout: rotation included
+    pq.kmeans_iterations = 2;
+    pq.sample_size = 256;
+    index_->EnablePq(pq);
+    ASSERT_TRUE(index_->HasPq());
+    path_ = new std::string(::testing::TempDir() + "/fuzz_index.cagra");
+    ASSERT_TRUE(index_->Save(*path_).ok());
+    bytes_ = new std::vector<unsigned char>(ReadAll(*path_));
+  }
+  static void TearDownTestSuite() {
+    std::remove(path_->c_str());
+    delete bytes_;
+    delete path_;
+    delete index_;
+    bytes_ = nullptr;
+    path_ = nullptr;
+    index_ = nullptr;
+  }
+
+  /// Byte offsets of every section boundary in the serialized layout
+  /// (each value = first byte past the section).
+  static std::vector<size_t> SectionBoundaries() {
+    const size_t rows = index_->size();
+    const size_t dim = index_->dim();
+    const size_t degree = index_->degree();
+    const PqDataset& pq = index_->pq_dataset();
+    const size_t m = pq.num_subspaces();
+    std::vector<size_t> b;
+    size_t off = 5 * sizeof(uint64_t);               // header
+    b.push_back(off);
+    off += rows * dim * sizeof(float);               // dataset
+    b.push_back(off);
+    off += rows * degree * sizeof(uint32_t);         // graph
+    b.push_back(off);                                // == legacy EOF
+    off += sizeof(uint64_t);                         // flags word
+    b.push_back(off);
+    off += 5 * sizeof(uint64_t);                     // pq header
+    b.push_back(off);
+    off += dim * dim * sizeof(float);                // rotation
+    b.push_back(off);
+    off += m * PqDataset::kNumCentroids * pq.dsub * sizeof(float);
+    b.push_back(off);                                // centroids
+    off += m * PqDataset::kNumCentroids * sizeof(float);
+    b.push_back(off);                                // centroid norms
+    off += rows * m;                                 // codes
+    b.push_back(off);                                // == full file
+    return b;
+  }
+
+  static size_t GraphEndOffset() { return SectionBoundaries()[2]; }
+  static size_t FlagsEndOffset() { return SectionBoundaries()[3]; }
+
+  static CagraIndex* index_;
+  static std::string* path_;
+  static std::vector<unsigned char>* bytes_;
+};
+
+CagraIndex* IndexLoadFuzzTest::index_ = nullptr;
+std::string* IndexLoadFuzzTest::path_ = nullptr;
+std::vector<unsigned char>* IndexLoadFuzzTest::bytes_ = nullptr;
+
+TEST_F(IndexLoadFuzzTest, BoundaryLayoutMatchesTheFile) {
+  // The offsets above must describe the actual serialized layout, or
+  // every other test here fuzzes the wrong positions.
+  EXPECT_EQ(SectionBoundaries().back(), bytes_->size());
+}
+
+TEST_F(IndexLoadFuzzTest, TruncationAtAndAroundEveryBoundary) {
+  const std::string cut = ::testing::TempDir() + "/fuzz_cut.cagra";
+  const size_t graph_end = GraphEndOffset();
+  const size_t flags_end = FlagsEndOffset();
+  std::vector<size_t> lengths;
+  for (size_t b : SectionBoundaries()) {
+    if (b > 0) lengths.push_back(b - 1);
+    lengths.push_back(b);
+    if (b + 1 <= bytes_->size()) lengths.push_back(b + 1);
+  }
+  lengths.push_back(0);
+  for (size_t len : lengths) {
+    SCOPED_TRACE("truncated to " + std::to_string(len) + " of " +
+                 std::to_string(bytes_->size()) + " bytes");
+    WritePrefix(cut, *bytes_, len);
+    auto loaded = CagraIndex::Load(cut);
+    if (len == bytes_->size()) {
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      EXPECT_TRUE(loaded->HasPq());
+    } else if (len >= graph_end && len < flags_end) {
+      // Ends at (or tears inside) the flags word: indistinguishable
+      // from the pre-trailer legacy format, which is accepted — the
+      // graph and dataset are complete — just without optional
+      // sections.
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      EXPECT_FALSE(loaded->HasPq());
+    } else {
+      ASSERT_FALSE(loaded.ok()) << "accepted a " + std::to_string(len) +
+                                       "-byte truncation";
+      EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+    }
+  }
+  std::remove(cut.c_str());
+}
+
+TEST_F(IndexLoadFuzzTest, TruncationSweepAcrossInteriorOffsets) {
+  // A coarse prime-stride sweep over interior cut points (the
+  // boundaries test covers the exact edges): every prefix must resolve
+  // to the same three-way contract, crash-free.
+  const std::string cut = ::testing::TempDir() + "/fuzz_sweep.cagra";
+  const size_t graph_end = GraphEndOffset();
+  const size_t flags_end = FlagsEndOffset();
+  for (size_t len = 1; len < bytes_->size(); len += 997) {
+    SCOPED_TRACE("truncated to " + std::to_string(len) + " bytes");
+    WritePrefix(cut, *bytes_, len);
+    auto loaded = CagraIndex::Load(cut);
+    if (len >= graph_end && len < flags_end) {
+      EXPECT_TRUE(loaded.ok());
+    } else {
+      ASSERT_FALSE(loaded.ok());
+      EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+    }
+  }
+  std::remove(cut.c_str());
+}
+
+TEST_F(IndexLoadFuzzTest, LegacyPrefixStillSearches) {
+  // The accepted graph-end prefix is not merely "doesn't crash": it
+  // must be a fully functional index (minus PQ).
+  const std::string cut = ::testing::TempDir() + "/fuzz_legacy.cagra";
+  WritePrefix(cut, *bytes_, GraphEndOffset());
+  auto loaded = CagraIndex::Load(cut);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), index_->size());
+  EXPECT_EQ(loaded->graph().edges(), index_->graph().edges());
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), 300, 4, 913);
+  SearchParams sp;
+  sp.k = 5;
+  auto a = Search(*index_, data.queries, sp);
+  auto b = Search(*loaded, data.queries, sp);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->neighbors.ids, b->neighbors.ids);
+  std::remove(cut.c_str());
+}
+
+TEST_F(IndexLoadFuzzTest, CorruptHeaderFieldsRejectCleanly) {
+  const std::string cut = ::testing::TempDir() + "/fuzz_corrupt.cagra";
+  struct Corruption {
+    const char* what;
+    size_t offset;       ///< byte offset of the u64 to overwrite
+    uint64_t value;
+  };
+  const std::vector<Corruption> cases = {
+      {"magic", 0, 0xdeadbeefull},
+      {"huge rows", 8, 1ull << 40},
+      {"huge dim", 16, 1ull << 40},
+      {"huge degree", 24, 1ull << 40},
+      {"unknown metric", 32, 17},
+      {"unknown flags", GraphEndOffset(), 0xffull},
+      // rows overflow bait: rows * (dim + degree) wrapping u64 must
+      // still be caught by the division-form size check.
+      {"overflow rows", 8, (1ull << 63) / 13},
+  };
+  for (const Corruption& c : cases) {
+    SCOPED_TRACE(c.what);
+    std::vector<unsigned char> mutated = *bytes_;
+    ASSERT_LE(c.offset + sizeof(uint64_t), mutated.size());
+    std::memcpy(mutated.data() + c.offset, &c.value, sizeof(c.value));
+    WritePrefix(cut, mutated, mutated.size());
+    auto loaded = CagraIndex::Load(cut);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  }
+  std::remove(cut.c_str());
+}
+
+TEST_F(IndexLoadFuzzTest, EmptyAndHeaderOnlyFilesReject) {
+  const std::string cut = ::testing::TempDir() + "/fuzz_tiny.cagra";
+  for (size_t len : {size_t{0}, size_t{1}, size_t{8}, size_t{39}}) {
+    SCOPED_TRACE(len);
+    WritePrefix(cut, *bytes_, len);
+    auto loaded = CagraIndex::Load(cut);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  }
+  std::remove(cut.c_str());
+}
+
+}  // namespace
+}  // namespace cagra

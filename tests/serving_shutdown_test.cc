@@ -1,0 +1,335 @@
+// Shutdown/lifetime races of the serving scheduler and the semantics
+// of the deadline-carrying Submit. The TSan CI job runs this suite;
+// the races it pins: Shutdown concurrent with Submits from several
+// producers, destruction with a backlog still queued, and concurrent
+// double-Shutdown. The invariant throughout: every future a Submit
+// ever returned resolves exactly once — with a response or a clean
+// rejection — and Shutdown always returns.
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/searcher.h"
+#include "serving/serving.h"
+
+namespace cagra {
+namespace {
+
+using Clock = ServingScheduler::Clock;
+using std::chrono::milliseconds;
+
+/// Minimal instant backend: counts Search calls and records the cancel
+/// token it was handed, so tests can pin the scheduler's deadline
+/// plumbing without the noise (and cost) of a real index.
+class RecordingSearcher : public Searcher {
+ public:
+  explicit RecordingSearcher(size_t dim) : dim_(dim) {}
+
+  Result<SearchResult> Search(const Matrix<float>& queries,
+                              const SearchParams& params) const override {
+    searches_.fetch_add(1, std::memory_order_relaxed);
+    if (params.cancel != nullptr) {
+      searches_with_token_.fetch_add(1, std::memory_order_relaxed);
+      if (params.cancel->has_deadline()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        last_deadline_ = params.cancel->deadline();
+        has_last_deadline_ = true;
+      }
+    }
+    SearchResult r;
+    r.neighbors.k = params.k;
+    r.neighbors.ids.assign(queries.rows() * params.k, 0u);
+    r.neighbors.distances.assign(queries.rows() * params.k, 0.0f);
+    r.rows_examined.assign(queries.rows(), 1);
+    // Model a deadline-truncated backend: expired token => partial.
+    if (params.cancel != nullptr && params.cancel->Expired()) {
+      r.complete = false;
+    }
+    return r;
+  }
+
+  size_t dim() const override { return dim_; }
+  size_t searches() const {
+    return searches_.load(std::memory_order_relaxed);
+  }
+  size_t searches_with_token() const {
+    return searches_with_token_.load(std::memory_order_relaxed);
+  }
+  bool last_deadline(Clock::time_point* out) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (has_last_deadline_) *out = last_deadline_;
+    return has_last_deadline_;
+  }
+
+ private:
+  size_t dim_;
+  mutable std::atomic<size_t> searches_{0};
+  mutable std::atomic<size_t> searches_with_token_{0};
+  mutable std::mutex mutex_;
+  mutable Clock::time_point last_deadline_{};
+  mutable bool has_last_deadline_ = false;
+};
+
+constexpr size_t kDim = 8;
+const std::vector<float> kQuery(kDim, 0.25f);
+
+/// A resolved future is either a response or one of the clean
+/// rejection codes — nothing else may come out of a shutdown race.
+void ExpectCleanOutcome(std::future<Result<QueryResponse>>& f) {
+  ASSERT_TRUE(f.valid());
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready)
+      << "a Submit future never resolved";
+  auto r = f.get();
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kUnavailable) << r.status().ToString();
+  }
+}
+
+TEST(ServingShutdownTest, ShutdownRacesConcurrentSubmitsFromManyProducers) {
+  RecordingSearcher backend(kDim);
+  ServingOptions opt;
+  opt.collect_window_us = 100;
+  opt.max_batch = 8;
+  opt.num_workers = 2;
+  ServingScheduler sched(backend, opt);
+
+  constexpr size_t kProducers = 4;
+  constexpr size_t kPerProducer = 200;
+  std::vector<std::vector<std::future<Result<QueryResponse>>>> futures(
+      kProducers);
+  std::atomic<size_t> submitted{0};
+  std::vector<std::thread> producers;
+  for (size_t t = 0; t < kProducers; t++) {
+    producers.emplace_back([&, t] {
+      futures[t].reserve(kPerProducer);
+      for (size_t i = 0; i < kPerProducer; i++) {
+        futures[t].push_back(sched.Submit(kQuery.data(), 4));
+        submitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Shut down mid-stream: some Submits land before the close, some
+  // race it, some arrive after. All are defined; all must resolve.
+  while (submitted.load(std::memory_order_relaxed) < kProducers * 20) {
+    std::this_thread::yield();
+  }
+  sched.Shutdown();
+  for (auto& p : producers) p.join();
+
+  size_t ok = 0, rejected = 0;
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) {
+      ASSERT_EQ(f.wait_for(milliseconds(0)), std::future_status::ready);
+      auto r = f.get();
+      if (r.ok()) {
+        ok++;
+      } else {
+        ASSERT_EQ(r.status().code(), StatusCode::kUnavailable);
+        rejected++;
+      }
+    }
+  }
+  EXPECT_EQ(ok + rejected, kProducers * kPerProducer);
+  // The pre-shutdown prefix was admitted and must have completed.
+  EXPECT_GT(ok, 0u);
+  const ServingStats stats = sched.Snapshot();
+  EXPECT_EQ(stats.completed, ok);
+}
+
+TEST(ServingShutdownTest, DestructorDrainsQueuedBacklogWithoutExplicitShutdown) {
+  RecordingSearcher backend(kDim);
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  {
+    ServingOptions opt;
+    opt.collect_window_us = 10u * 1000u * 1000u;  // workers mid-window
+    opt.max_batch = 4;
+    ServingScheduler sched(backend, opt);
+    for (size_t i = 0; i < 32; i++) {
+      futures.push_back(sched.Submit(kQuery.data(), 4));
+    }
+    // Scope exit: the destructor's implicit Shutdown must flush the
+    // half-collected batches and resolve everything before returning.
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(milliseconds(0)), std::future_status::ready);
+    EXPECT_TRUE(f.get().ok());
+  }
+}
+
+TEST(ServingShutdownTest, DestructionConcurrentWithSubmitTail) {
+  // Producers submit through the live scheduler while the main thread
+  // shuts it down and immediately destroys it. Shutdown-vs-Submit is
+  // the documented-safe race; the destructor then runs as the
+  // after-explicit-Shutdown no-op — with producers still inside
+  // Submit until they observe the rejection.
+  for (int rep = 0; rep < 10; rep++) {
+    std::vector<std::future<Result<QueryResponse>>> futures(64);
+    std::atomic<bool> done{false};
+    RecordingSearcher backend(kDim);
+    auto sched = std::make_unique<ServingScheduler>(backend, ServingOptions{});
+    std::thread producer([&] {
+      for (auto& slot : futures) {
+        slot = sched->Submit(kQuery.data(), 4);
+      }
+      done.store(true, std::memory_order_release);
+    });
+    sched->Shutdown();
+    // Destroy only after the producer stops touching the object —
+    // object lifetime is the caller's contract; the scheduler's is
+    // that this destructor (post-Shutdown, possibly with rejected
+    // Submits racing it) is a clean no-op and nothing leaks or hangs.
+    producer.join();
+    ASSERT_TRUE(done.load(std::memory_order_acquire));
+    sched.reset();
+    for (auto& f : futures) ExpectCleanOutcome(f);
+  }
+}
+
+TEST(ServingShutdownTest, ConcurrentDoubleShutdownIsIdempotent) {
+  RecordingSearcher backend(kDim);
+  ServingOptions opt;
+  opt.collect_window_us = 100;
+  ServingScheduler sched(backend, opt);
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (size_t i = 0; i < 16; i++) {
+    futures.push_back(sched.Submit(kQuery.data(), 4));
+  }
+  // Two threads race Shutdown; call_once serializes them and both
+  // return only after the drain. A third, sequential call is a no-op.
+  std::thread a([&] { sched.Shutdown(); });
+  std::thread b([&] { sched.Shutdown(); });
+  a.join();
+  b.join();
+  sched.Shutdown();
+  for (auto& f : futures) ExpectCleanOutcome(f);
+  EXPECT_EQ(sched.Snapshot().completed, 16u);
+}
+
+TEST(ServingShutdownTest, SubmitAfterShutdownRejectsImmediately) {
+  RecordingSearcher backend(kDim);
+  ServingScheduler sched(backend, ServingOptions{});
+  sched.Shutdown();
+  auto f = sched.Submit(kQuery.data(), 4);
+  ASSERT_EQ(f.wait_for(milliseconds(0)), std::future_status::ready);
+  auto r = f.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-carrying Submit.
+// ---------------------------------------------------------------------------
+
+TEST(ServingDeadlineTest, ExpiredDeadlineShedAtFormationWithoutASearch) {
+  RecordingSearcher backend(kDim);
+  ServingOptions opt;
+  opt.collect_window_us = 0;
+  ServingScheduler sched(backend, opt);
+
+  auto f = sched.Submit(kQuery.data(), 4, Clock::now() - milliseconds(1));
+  auto r = f.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  sched.Shutdown();
+  const ServingStats stats = sched.Snapshot();
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  // Shed before any search was burned on it.
+  EXPECT_EQ(backend.searches(), 0u);
+}
+
+TEST(ServingDeadlineTest, GenerousDeadlineCompletesWithTokenPropagated) {
+  RecordingSearcher backend(kDim);
+  ServingOptions opt;
+  opt.collect_window_us = 0;
+  ServingScheduler sched(backend, opt);
+
+  const auto deadline = Clock::now() + std::chrono::seconds(30);
+  auto f = sched.Submit(kQuery.data(), 4, deadline);
+  auto r = f.get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->complete);
+  EXPECT_EQ(r->ids.size(), 4u);
+  // The deadline rode into the search as a CancelToken.
+  EXPECT_EQ(backend.searches_with_token(), 1u);
+  Clock::time_point seen;
+  ASSERT_TRUE(backend.last_deadline(&seen));
+  EXPECT_EQ(seen, deadline);
+  const ServingStats stats = sched.Snapshot();
+  EXPECT_EQ(stats.partial, 0u);
+  EXPECT_EQ(stats.deadline_expired, 0u);
+}
+
+TEST(ServingDeadlineTest, TightestDeadlineOfTheBatchDrivesTheToken) {
+  RecordingSearcher backend(kDim);
+  ServingOptions opt;
+  opt.collect_window_us = 500000;  // 500ms: both requests coalesce
+  opt.max_batch = 2;
+  ServingScheduler sched(backend, opt);
+
+  const auto loose = Clock::now() + std::chrono::seconds(60);
+  const auto tight = Clock::now() + std::chrono::seconds(30);
+  auto f1 = sched.Submit(kQuery.data(), 4, loose);
+  auto f2 = sched.Submit(kQuery.data(), 4, tight);
+  ASSERT_TRUE(f1.get().ok());
+  ASSERT_TRUE(f2.get().ok());
+  EXPECT_EQ(backend.searches(), 1u);  // one coalesced batch
+  Clock::time_point seen;
+  ASSERT_TRUE(backend.last_deadline(&seen));
+  EXPECT_EQ(seen, tight);
+}
+
+TEST(ServingDeadlineTest, DeadlineFreeRequestsCarryNoToken) {
+  RecordingSearcher backend(kDim);
+  ServingOptions opt;
+  opt.collect_window_us = 0;
+  ServingScheduler sched(backend, opt);
+  ASSERT_TRUE(sched.Submit(kQuery.data(), 4).get().ok());
+  EXPECT_EQ(backend.searches(), 1u);
+  EXPECT_EQ(backend.searches_with_token(), 0u);
+}
+
+TEST(ServingDeadlineTest, PartialResponsesAreCountedAndFlagged) {
+  // An already-expired token reaching a backend that honors it yields
+  // complete == false; pin the response flag and the partial counter.
+  // (Deadline just far enough that formation does not shed it, close
+  // enough that the backend sees it expired: unreliable with a real
+  // clock — so drive the backend contract directly instead. The
+  // RecordingSearcher marks results partial iff the token expired.)
+  RecordingSearcher backend(kDim);
+  ServingOptions opt;
+  // A collect window longer than the deadline: formation happens right
+  // after the window, by which point the deadline has passed... but
+  // formation-shedding would win. Use the other ordering: a deadline
+  // comfortably past formation that expires before the (instant)
+  // search observes it is impossible to schedule deterministically, so
+  // accept either clean outcome and assert the bookkeeping matches.
+  opt.collect_window_us = 0;
+  ServingScheduler sched(backend, opt);
+  auto f = sched.Submit(kQuery.data(), 4, Clock::now() + milliseconds(2));
+  auto r = f.get();
+  sched.Shutdown();
+  const ServingStats stats = sched.Snapshot();
+  if (!r.ok()) {
+    // Formation-time shed.
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(stats.deadline_expired, 1u);
+    EXPECT_EQ(stats.partial, 0u);
+  } else if (!r.value().complete) {
+    // Ran, but the token expired mid-"search".
+    EXPECT_EQ(stats.partial, 1u);
+    EXPECT_EQ(stats.completed, 1u);
+  } else {
+    // Beat the deadline outright.
+    EXPECT_EQ(stats.partial, 0u);
+    EXPECT_EQ(stats.completed, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace cagra
