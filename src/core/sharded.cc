@@ -69,6 +69,19 @@ bool IsCancelMarker(const Status& s) {
 /// allocation) but keeps the zero-copy reference to the caller's
 /// queries, which is safe because a token-free merger always drains
 /// every chunk before returning.
+///
+/// Synchronization contract (latch-published, not mutex-guarded — so
+/// outside CAGRA_GUARDED_BY's vocabulary; the mutex+2cv protocol lives
+/// inside the annotated MpscBoundedQueue member `ready`):
+///  - `results[c * num_shards + s]` is written by exactly one task,
+///    then that task decrements `remaining[c]` (acq_rel). The final
+///    decrement pushes c into `ready`; the consumer's pop acquires, so
+///    a popped chunk's slots are all ordered-before the read. Slots of
+///    never-popped chunks still belong to (possibly abandoned) tasks
+///    and must not be read — Search tracks popped chunks explicitly.
+///  - `chunks[c]` is published through std::call_once(chunk_sliced[c]).
+///  - Everything else is set before the first task is submitted and
+///    read-only afterwards (`token` is internally atomic).
 struct StreamState {
   StreamState(size_t num_chunks_in, size_t num_shards_in,
               const CancelToken* parent)

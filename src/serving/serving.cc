@@ -77,8 +77,12 @@ std::future<Result<QueryResponse>> ServingScheduler::SubmitImpl(
   p.k = k;
   Status valid = ValidateSearchParams(p);
   if (!valid.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    failed_++;
+    {
+      MutexLock lock(stats_mutex_);
+      failed_++;
+    }
+    // Resolve the promise outside the stats hold: set_value wakes the
+    // caller's future, and no lock should span a wakeup.
     req->promise.set_value(valid);
     return future;
   }
@@ -95,8 +99,10 @@ std::future<Result<QueryResponse>> ServingScheduler::SubmitImpl(
   {
     Status injected = CAGRA_FAULT_STATUS("serving_queue_push_fail");
     if (!injected.ok()) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      failed_++;
+      {
+        MutexLock lock(stats_mutex_);
+        failed_++;
+      }
       req->promise.set_value(injected);
       return future;
     }
@@ -107,15 +113,17 @@ std::future<Result<QueryResponse>> ServingScheduler::SubmitImpl(
     // max_queue_depth requests behind — shedding now beats queueing
     // into a latency the client has long given up on. (A closed queue
     // lands here too when Shutdown raced the stopping_ check above.)
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    shed_++;
+    {
+      MutexLock lock(stats_mutex_);
+      shed_++;
+    }
     req->promise.set_value(Status::Unavailable(
         stopping_.load(std::memory_order_acquire)
             ? "scheduler is shut down; request rejected"
             : "serving queue is full; request shed"));
     return future;
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   submitted_++;
   return future;
 }
@@ -268,7 +276,7 @@ void ServingScheduler::ExecuteBatch(
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     batches_++;
     batch_rows_total_ += batch_rows;
     modeled_device_seconds_ += modeled_seconds;
@@ -294,7 +302,7 @@ ServingStats ServingScheduler::Snapshot() const {
   ServingStats stats;
   std::vector<double> lat;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     stats.submitted = submitted_;
     stats.completed = completed_;
     stats.shed = shed_;

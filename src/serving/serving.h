@@ -13,7 +13,9 @@
 
 #include "core/searcher.h"
 #include "util/mpsc_queue.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace cagra {
 
@@ -139,7 +141,8 @@ class ServingScheduler {
   /// returning) asking for its k nearest neighbors. The future resolves
   /// with the response, a validation error, or kUnavailable when the
   /// request was shed or the scheduler is shut down.
-  std::future<Result<QueryResponse>> Submit(const float* query, size_t k);
+  [[nodiscard]] std::future<Result<QueryResponse>> Submit(const float* query,
+                                                          size_t k);
 
   /// Deadline-carrying Submit: the request must complete by `deadline`
   /// (steady clock). If the deadline passes while the request is still
@@ -151,13 +154,13 @@ class ServingScheduler {
   /// traffic truncates conservatively). See
   /// ServingOptions::collect_window_us for how the collect window eats
   /// into the deadline budget.
-  std::future<Result<QueryResponse>> Submit(const float* query, size_t k,
-                                            Clock::time_point deadline);
+  [[nodiscard]] std::future<Result<QueryResponse>> Submit(
+      const float* query, size_t k, Clock::time_point deadline);
 
   /// Rejects new work, drains everything queued, and joins the workers.
-  void Shutdown();
+  void Shutdown() CAGRA_EXCLUDES(stats_mutex_);
 
-  ServingStats Snapshot() const;
+  ServingStats Snapshot() const CAGRA_EXCLUDES(stats_mutex_);
 
   const ServingOptions& options() const { return options_; }
 
@@ -173,9 +176,11 @@ class ServingScheduler {
 
   std::future<Result<QueryResponse>> SubmitImpl(const float* query, size_t k,
                                                 bool has_deadline,
-                                                Clock::time_point deadline);
-  void WorkerLoop();
-  void ExecuteBatch(std::vector<std::shared_ptr<Request>>& batch);
+                                                Clock::time_point deadline)
+      CAGRA_EXCLUDES(stats_mutex_);
+  void WorkerLoop() CAGRA_EXCLUDES(stats_mutex_);
+  void ExecuteBatch(std::vector<std::shared_ptr<Request>>& batch)
+      CAGRA_EXCLUDES(stats_mutex_);
 
   const Searcher* searcher_;
   ServingOptions options_;
@@ -190,18 +195,23 @@ class ServingScheduler {
   std::once_flag shutdown_once_;
 
   // --- Statistics (one mutex; touched per request/batch, not per row).
-  mutable std::mutex stats_mutex_;
-  size_t submitted_ = 0;
-  size_t completed_ = 0;
-  size_t shed_ = 0;
-  size_t failed_ = 0;
-  size_t deadline_expired_ = 0;
-  size_t partial_ = 0;
-  size_t batches_ = 0;
-  size_t batch_rows_total_ = 0;
-  double modeled_device_seconds_ = 0;
-  std::vector<double> latency_ring_;
-  size_t latency_count_ = 0;
+  // Every counter is CAGRA_GUARDED_BY(stats_mutex_): workers fold
+  // whole-batch deltas in under one hold, Snapshot copies under the
+  // same hold, and the analysis rejects any new unlocked touch.
+  mutable Mutex stats_mutex_;
+  size_t submitted_ CAGRA_GUARDED_BY(stats_mutex_) = 0;
+  size_t completed_ CAGRA_GUARDED_BY(stats_mutex_) = 0;
+  size_t shed_ CAGRA_GUARDED_BY(stats_mutex_) = 0;
+  size_t failed_ CAGRA_GUARDED_BY(stats_mutex_) = 0;
+  size_t deadline_expired_ CAGRA_GUARDED_BY(stats_mutex_) = 0;
+  size_t partial_ CAGRA_GUARDED_BY(stats_mutex_) = 0;
+  size_t batches_ CAGRA_GUARDED_BY(stats_mutex_) = 0;
+  size_t batch_rows_total_ CAGRA_GUARDED_BY(stats_mutex_) = 0;
+  double modeled_device_seconds_ CAGRA_GUARDED_BY(stats_mutex_) = 0;
+  std::vector<double> latency_ring_ CAGRA_GUARDED_BY(stats_mutex_);
+  size_t latency_count_ CAGRA_GUARDED_BY(stats_mutex_) = 0;
+  /// Construction time; immutable afterwards, so unguarded reads are
+  /// safe from any thread.
   Clock::time_point start_;
 };
 

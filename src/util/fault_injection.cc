@@ -11,7 +11,7 @@ FaultController& FaultController::Instance() {
 
 void FaultController::Arm(const std::string& point, FaultSpec spec) {
   if (spec.every_nth == 0) spec.every_nth = 1;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SiteState& site = sites_[point];
   site.spec = std::move(spec);
   site.armed = true;
@@ -20,13 +20,13 @@ void FaultController::Arm(const std::string& point, FaultSpec spec) {
 }
 
 void FaultController::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(point);
   if (it != sites_.end()) it->second.armed = false;
 }
 
 void FaultController::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sites_.clear();
 }
 
@@ -34,7 +34,7 @@ Status FaultController::Hit(const char* point) {
   std::chrono::microseconds delay{0};
   Status status;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     SiteState& site = sites_[point];
     site.hits++;
     if (!site.armed) return Status::Ok();
@@ -56,13 +56,13 @@ Status FaultController::Hit(const char* point) {
 }
 
 size_t FaultController::hits(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(point);
   return it == sites_.end() ? 0 : it->second.hits;
 }
 
 size_t FaultController::fires(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(point);
   return it == sites_.end() ? 0 : it->second.fired;
 }

@@ -4,11 +4,11 @@
 #include <chrono>
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <string>
-#include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace cagra {
 
@@ -52,24 +52,26 @@ class FaultController {
   static FaultController& Instance();
 
   /// Arms (or re-arms, resetting counters) the named site.
-  void Arm(const std::string& point, FaultSpec spec);
+  void Arm(const std::string& point, FaultSpec spec) CAGRA_EXCLUDES(mutex_);
 
   /// Disarms one site; hits pass through untouched again.
-  void Disarm(const std::string& point);
+  void Disarm(const std::string& point) CAGRA_EXCLUDES(mutex_);
 
   /// Disarms every site and clears all hit counters — test teardown.
-  void Reset();
+  void Reset() CAGRA_EXCLUDES(mutex_);
 
   /// Records a hit at `point`; if the site is armed and its schedule
   /// fires, sleeps the injected delay and returns the injected status.
   /// Returns Ok() (instantly) for unarmed sites.
-  Status Hit(const char* point);
+  /// The injected delay is slept *outside* the controller mutex so a
+  /// stalled site never serializes hits at other sites behind it.
+  Status Hit(const char* point) CAGRA_EXCLUDES(mutex_);
 
   /// Total hits observed at `point` (armed or not) since Reset().
-  size_t hits(const std::string& point) const;
+  size_t hits(const std::string& point) const CAGRA_EXCLUDES(mutex_);
 
   /// Times the site's schedule actually fired since it was armed.
-  size_t fires(const std::string& point) const;
+  size_t fires(const std::string& point) const CAGRA_EXCLUDES(mutex_);
 
  private:
   struct SiteState {
@@ -80,8 +82,8 @@ class FaultController {
     size_t fired = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, SiteState> sites_;
+  mutable Mutex mutex_;
+  std::map<std::string, SiteState> sites_ CAGRA_GUARDED_BY(mutex_);
 };
 
 }  // namespace cagra

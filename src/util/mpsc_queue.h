@@ -2,12 +2,13 @@
 #define CAGRA_UTIL_MPSC_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cagra {
 
@@ -21,10 +22,18 @@ namespace cagra {
 /// it sizes the queue to the chunk count and never blocks producers.)
 ///
 /// Written for one consumer (Pop from a single thread at a time) but
-/// safe as MPMC: all state is guarded by one mutex, so there is no
-/// lock-free subtlety for TSan to distrust. Throughput is bounded by
-/// the mutex, which is fine at the pipeline's granularity (one item
-/// per completed chunk, not per row).
+/// safe as MPMC: all state is guarded by one mutex — declared to the
+/// thread-safety analysis via CAGRA_GUARDED_BY, so any future path that
+/// touches `items_`/`closed_` without `mutex_` fails to compile under
+/// Clang — and there is no lock-free subtlety for TSan to distrust.
+/// Throughput is bounded by the mutex, which is fine at the pipeline's
+/// granularity (one item per completed chunk, not per row).
+///
+/// The mutex + two-condvar protocol: `not_full_` wakes producers
+/// (signalled on every pop and on Close), `not_empty_` wakes the
+/// consumer (signalled on every push and on Close). Waits are explicit
+/// loops over the guarded predicate — see CondVar for why predicates
+/// must not be lambdas.
 template <typename T>
 class MpscBoundedQueue {
  public:
@@ -37,35 +46,31 @@ class MpscBoundedQueue {
 
   /// Blocks while the queue is full; returns false (dropping `value`)
   /// if the queue is closed before space frees up.
-  bool Push(T value) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+  bool Push(T value) CAGRA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mutex_);
     if (closed_) return false;
     items_.push_back(std::move(value));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking push; false when full or closed.
-  bool TryPush(T value) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool TryPush(T value) CAGRA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(value));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks while the queue is empty; returns nullopt once the queue is
   /// closed *and* drained (items pushed before Close are still
   /// delivered).
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T out = std::move(items_.front());
-    items_.pop_front();
-    not_full_.notify_one();
-    return out;
+  std::optional<T> Pop() CAGRA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(mutex_);
+    return PopFrontLocked();
   }
 
   /// Pop with a deadline — the flush wait of the serving scheduler's
@@ -76,40 +81,50 @@ class MpscBoundedQueue {
   /// nullopt only once the queue is closed and empty).
   template <typename Clock, typename Duration>
   std::optional<T> PopUntil(
-      const std::chrono::time_point<Clock, Duration>& deadline) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait_until(lock, deadline,
-                          [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T out = std::move(items_.front());
-    items_.pop_front();
-    not_full_.notify_one();
-    return out;
+      const std::chrono::time_point<Clock, Duration>& deadline)
+      CAGRA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) {
+      if (not_empty_.WaitUntil(mutex_, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+    return PopFrontLocked();
   }
 
   /// Wakes every blocked producer (their pushes fail) and lets the
   /// consumer drain the remaining items before Pop reports nullopt.
-  void Close() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Close() CAGRA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     closed_ = true;
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   size_t capacity() const { return capacity_; }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t size() const CAGRA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
  private:
+  /// Shared tail of every pop form: takes the front item (waking one
+  /// producer) or reports empty.
+  std::optional<T> PopFrontLocked() CAGRA_REQUIRES(mutex_) {
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.NotifyOne();
+    return out;
+  }
+
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ CAGRA_GUARDED_BY(mutex_);
+  bool closed_ CAGRA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace cagra

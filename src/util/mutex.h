@@ -1,0 +1,98 @@
+#ifndef CAGRA_UTIL_MUTEX_H_
+#define CAGRA_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace cagra {
+
+/// Annotated mutex: std::mutex declared as a Clang Thread Safety
+/// Analysis capability, so CAGRA_GUARDED_BY / CAGRA_REQUIRES contracts
+/// written against it are compiler-checked (libstdc++'s std::mutex
+/// carries no annotations and is invisible to the analysis). Zero
+/// overhead: the wrapper is exactly a std::mutex.
+///
+/// Use MutexLock for scoped holds; Lock/Unlock exist for the rare
+/// protocol that cannot be scoped. Condition waits go through CondVar,
+/// which re-registers the hold with the analysis across the wait.
+class CAGRA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CAGRA_ACQUIRE() { mu_.lock(); }
+  void Unlock() CAGRA_RELEASE() { mu_.unlock(); }
+  bool TryLock() CAGRA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex, registered with the analysis as a scoped
+/// capability: the mutex is held from construction to scope exit on
+/// every path (early return, exception), which is what lets guarded
+/// accesses inside the scope verify.
+class CAGRA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CAGRA_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() CAGRA_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with cagra::Mutex. Waits require the
+/// mutex (CAGRA_REQUIRES), and the analysis treats the capability as
+/// continuously held across the wait — which matches the caller's
+/// view: the mutex is re-acquired before Wait returns.
+///
+/// Deliberately predicate-free: the analysis does not propagate lock
+/// state into lambdas, so `cv.wait(lock, [&]{ return guarded_; })`
+/// could not verify. Callers write the standard explicit loop instead:
+///
+///   MutexLock lock(mutex_);
+///   while (!guarded_condition_) cv_.Wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires `mu` before
+  /// returning. Spurious wakeups happen; always wait in a loop.
+  void Wait(Mutex& mu) CAGRA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's scope still owns the re-acquired mutex
+  }
+
+  /// Timed wait; returns std::cv_status::timeout once `deadline`
+  /// passes. The mutex is re-acquired before returning either way.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      CAGRA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cagra
+
+#endif  // CAGRA_UTIL_MUTEX_H_

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "util/mutex.h"
+
 namespace cagra {
 
 namespace {
@@ -27,8 +29,8 @@ struct BatchState {
 
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
-  std::mutex mutex;
-  std::condition_variable cv;
+  Mutex mutex;
+  CondVar cv;
 
   /// Claims and runs chunks until the ticket runs out. `fn` is only
   /// dereferenced under a successful claim, which the caller's wait
@@ -41,8 +43,11 @@ struct BatchState {
       const size_t hi = std::min(end, lo + chunk);
       for (size_t i = lo; i < hi; i++) (*fn)(slot, i);
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
-        std::lock_guard<std::mutex> lock(mutex);
-        cv.notify_all();
+        // Lock then notify: the waiter checks `done` under this mutex,
+        // so the empty critical section orders the final increment
+        // before the notify — no lost wakeup.
+        MutexLock lock(mutex);
+        cv.NotifyAll();
       }
     }
   }
@@ -63,10 +68,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -76,12 +81,15 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.Wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    // The task runs with no pool lock held: tasks may themselves call
+    // Submit/ParallelFor (both CAGRA_EXCLUDES(mutex_)) without
+    // self-deadlocking.
     task();
   }
 }
@@ -111,27 +119,27 @@ void ThreadPool::ParallelForSlotted(
 
   const size_t helpers = std::min(threads_.size(), num_chunks - 1);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (size_t h = 0; h < helpers; h++) {
       tasks_.push([state] { state->Drain(tls_worker_index); });
     }
   }
-  if (helpers > 0) cv_.notify_all();
+  if (helpers > 0) cv_.NotifyAll();
 
   state->Drain(caller_slot);
 
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->cv.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) == state->num_chunks;
-  });
+  MutexLock lock(state->mutex);
+  while (state->done.load(std::memory_order_acquire) != state->num_chunks) {
+    state->cv.Wait(state->mutex);
+  }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,

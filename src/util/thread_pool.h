@@ -1,13 +1,14 @@
 #ifndef CAGRA_UTIL_THREAD_POOL_H_
 #define CAGRA_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cagra {
 
@@ -42,7 +43,8 @@ class ThreadPool {
   /// iterations complete. fn must be safe to invoke concurrently for
   /// distinct i.
   void ParallelFor(size_t begin, size_t end,
-                   const std::function<void(size_t)>& fn);
+                   const std::function<void(size_t)>& fn)
+      CAGRA_EXCLUDES(mutex_);
 
   /// ParallelFor variant handing fn the executing thread's stable slot
   /// in [0, num_slots()): pool workers get their worker index, any other
@@ -50,7 +52,8 @@ class ThreadPool {
   /// never share a slot, so callers can keep per-slot scratch state
   /// (VisitedSet, search buffers) without locking.
   void ParallelForSlotted(size_t begin, size_t end,
-                          const std::function<void(size_t slot, size_t i)>& fn);
+                          const std::function<void(size_t slot, size_t i)>& fn)
+      CAGRA_EXCLUDES(mutex_);
 
   /// Enqueues a fire-and-forget task for the workers; returns
   /// immediately. Unlike ParallelFor the caller does not participate and
@@ -60,16 +63,16 @@ class ThreadPool {
   /// (the re-entrant caller-drains-its-own-batch rule still applies),
   /// but a submitted task must never block on another submitted task
   /// that could be queued behind it.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) CAGRA_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop(size_t worker_index);
+  void WorkerLoop(size_t worker_index) CAGRA_EXCLUDES(mutex_);
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::queue<std::function<void()>> tasks_ CAGRA_GUARDED_BY(mutex_);
+  Mutex mutex_;
+  CondVar cv_;
+  bool stop_ CAGRA_GUARDED_BY(mutex_) = false;
 };
 
 /// Returns a process-wide pool sized to the hardware.
