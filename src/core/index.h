@@ -37,13 +37,13 @@ class CagraIndex {
   /// intermediate_degree or 2d), then the §III-B optimization.
   /// Returns InvalidArgument for empty input or degree < 2, and
   /// CapacityExceeded beyond the MSB-flag dataset-size limit.
-  static Result<CagraIndex> Build(const Matrix<float>& dataset,
+  [[nodiscard]] static Result<CagraIndex> Build(const Matrix<float>& dataset,
                                   const BuildParams& params,
                                   BuildStats* stats = nullptr);
 
   /// Wraps an externally built graph (e.g. for graph-quality studies
   /// where a kNN or NSSG graph is searched with the CAGRA kernel).
-  static Result<CagraIndex> FromGraph(const Matrix<float>& dataset,
+  [[nodiscard]] static Result<CagraIndex> FromGraph(const Matrix<float>& dataset,
                                       FixedDegreeGraph graph, Metric metric);
 
   /// Materializes the fp16 copy of the dataset so searches can run in
@@ -83,8 +83,8 @@ class CagraIndex {
   /// into a local index and returns it by value, so a failed load never
   /// leaves partial state anywhere — callers that overwrite an existing
   /// index only do so by assigning a fully-validated result.
-  Status Save(const std::string& path) const;
-  static Result<CagraIndex> Load(const std::string& path);
+  [[nodiscard]] Status Save(const std::string& path) const;
+  [[nodiscard]] static Result<CagraIndex> Load(const std::string& path);
 
   /// Maximum dataset size supported by the MSB parent-flag scheme.
   static constexpr size_t kMaxDatasetSize = (1ull << 31) - 1;

@@ -47,7 +47,7 @@ struct SearchResult {
 /// scheduler's Submit) so identical bad inputs produce identical
 /// errors: k >= 1, and k <= itopk when itopk is set explicitly
 /// (itopk == 0 resolves to the auto default).
-Status ValidateSearchParams(const SearchParams& params);
+[[nodiscard]] Status ValidateSearchParams(const SearchParams& params);
 
 /// Runs the CAGRA search (§IV) over a query batch. Picks the execution
 /// mode by the Fig. 7 rule when params.algo == kAuto, the team size by
@@ -57,18 +57,17 @@ Status ValidateSearchParams(const SearchParams& params);
 /// the matching Enable*() call on the index.
 /// Requires ValidateSearchParams(params).ok() and
 /// queries.dim() == index.dim().
-Result<SearchResult> Search(const CagraIndex& index,
-                            const Matrix<float>& queries,
-                            const SearchParams& params,
-                            const DeviceSpec& device = DeviceSpec{});
+[[nodiscard]] Result<SearchResult> Search(
+    const CagraIndex& index, const Matrix<float>& queries,
+    const SearchParams& params, const DeviceSpec& device = DeviceSpec{});
 
 /// Delegating overload of the historical positional-Precision form:
 /// `precision` overrides params.precision. Prefer setting
 /// SearchParams::precision directly.
-Result<SearchResult> Search(const CagraIndex& index,
-                            const Matrix<float>& queries,
-                            const SearchParams& params, Precision precision,
-                            const DeviceSpec& device = DeviceSpec{});
+[[nodiscard]] Result<SearchResult> Search(
+    const CagraIndex& index, const Matrix<float>& queries,
+    const SearchParams& params, Precision precision,
+    const DeviceSpec& device = DeviceSpec{});
 
 /// Picks the team size (2..32) maximizing modeled load efficiency x
 /// occupancy for a given vector layout — the automatic version of the

@@ -21,8 +21,8 @@ class Searcher {
 
   /// Runs the batch. Implementations validate with ValidateSearchParams
   /// so identical bad inputs produce identical errors on every path.
-  virtual Result<SearchResult> Search(const Matrix<float>& queries,
-                                      const SearchParams& params) const = 0;
+  [[nodiscard]] virtual Result<SearchResult> Search(
+      const Matrix<float>& queries, const SearchParams& params) const = 0;
 
   /// Dimensionality a query row must have.
   virtual size_t dim() const = 0;
@@ -43,8 +43,9 @@ class IndexSearcher : public Searcher {
                          const DeviceSpec& device = DeviceSpec{})
       : index_(&index), device_(device) {}
 
-  Result<SearchResult> Search(const Matrix<float>& queries,
-                              const SearchParams& params) const override {
+  [[nodiscard]] Result<SearchResult> Search(
+      const Matrix<float>& queries,
+      const SearchParams& params) const override {
     return cagra::Search(*index_, queries, params, device_);
   }
 

@@ -66,7 +66,7 @@ class ShardedCagraIndex : public Searcher {
   /// identical to a sequential build — builds are seeded and
   /// independent. num_shards must be >= 1 and small enough that every
   /// shard keeps >= graph_degree + 1 rows.
-  static Result<ShardedCagraIndex> Build(const Matrix<float>& dataset,
+  [[nodiscard]] static Result<ShardedCagraIndex> Build(const Matrix<float>& dataset,
                                          const BuildParams& params,
                                          size_t num_shards,
                                          ShardedBuildStats* stats = nullptr);
@@ -112,17 +112,18 @@ class ShardedCagraIndex : public Searcher {
   /// included) — the only caller obligation is that the index itself
   /// outlive them, which cancellation bounds to roughly the stall
   /// plus one search iteration.
-  Result<SearchResult> Search(const Matrix<float>& queries,
-                              const SearchParams& params) const override;
-  Result<SearchResult> Search(const Matrix<float>& queries,
-                              const SearchParams& params,
-                              const DeviceSpec& device) const;
+  [[nodiscard]] Result<SearchResult> Search(
+      const Matrix<float>& queries,
+      const SearchParams& params) const override;
+  [[nodiscard]] Result<SearchResult> Search(const Matrix<float>& queries,
+                                            const SearchParams& params,
+                                            const DeviceSpec& device) const;
 
   /// Delegating overload of the historical positional-Precision form:
   /// `precision` overrides params.precision.
-  Result<SearchResult> Search(const Matrix<float>& queries,
-                              const SearchParams& params, Precision precision,
-                              const DeviceSpec& device = DeviceSpec{}) const;
+  [[nodiscard]] Result<SearchResult> Search(
+      const Matrix<float>& queries, const SearchParams& params,
+      Precision precision, const DeviceSpec& device = DeviceSpec{}) const;
 
   /// Scheduling-free reference: every shard searches the whole batch to
   /// completion (in parallel across shards), then the per-shard lists
@@ -130,10 +131,10 @@ class ShardedCagraIndex : public Searcher {
   /// for the streaming path and the baseline of the barrier-vs-
   /// streaming bench; the modeled time pays the full merge as a serial
   /// tail after the slowest shard.
-  Result<SearchResult> SearchBarrier(
+  [[nodiscard]] Result<SearchResult> SearchBarrier(
       const Matrix<float>& queries, const SearchParams& params,
       const DeviceSpec& device = DeviceSpec{}) const;
-  Result<SearchResult> SearchBarrier(
+  [[nodiscard]] Result<SearchResult> SearchBarrier(
       const Matrix<float>& queries, const SearchParams& params,
       Precision precision, const DeviceSpec& device = DeviceSpec{}) const;
 

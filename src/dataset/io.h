@@ -17,16 +17,16 @@ namespace cagra {
 ///
 /// These let users drop in the real SIFT/GIST/DEEP files; the benches fall
 /// back to synthetic profiles when no files are present.
-Result<Matrix<float>> ReadFvecs(const std::string& path,
+[[nodiscard]] Result<Matrix<float>> ReadFvecs(const std::string& path,
                                 size_t max_rows = 0);
-Status WriteFvecs(const std::string& path, const Matrix<float>& m);
+[[nodiscard]] Status WriteFvecs(const std::string& path, const Matrix<float>& m);
 
-Result<Matrix<uint32_t>> ReadIvecs(const std::string& path,
+[[nodiscard]] Result<Matrix<uint32_t>> ReadIvecs(const std::string& path,
                                    size_t max_rows = 0);
-Status WriteIvecs(const std::string& path, const Matrix<uint32_t>& m);
+[[nodiscard]] Status WriteIvecs(const std::string& path, const Matrix<uint32_t>& m);
 
 /// Reads `.bvecs` (uint8 rows) widened to float.
-Result<Matrix<float>> ReadBvecsAsFloat(const std::string& path,
+[[nodiscard]] Result<Matrix<float>> ReadBvecsAsFloat(const std::string& path,
                                        size_t max_rows = 0);
 
 }  // namespace cagra

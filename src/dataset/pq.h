@@ -93,7 +93,7 @@ struct PqTrainParams {
 /// the cluster with the largest quantization error, so codebooks never
 /// keep duplicate/stale centroids when the sample has fewer distinct
 /// rows than centroids.
-PqDataset TrainPq(const Matrix<float>& dataset,
+[[nodiscard]] PqDataset TrainPq(const Matrix<float>& dataset,
                   const PqTrainParams& params = PqTrainParams{});
 
 /// Recomputes PqDataset::row_norm2 from the codes and centroid norms

@@ -46,8 +46,8 @@ class FixedDegreeGraph {
   size_t MemoryBytes() const { return edges_.size() * sizeof(uint32_t); }
 
   /// Serializes to a binary file (magic, n, d, edge array).
-  Status Save(const std::string& path) const;
-  static Result<FixedDegreeGraph> Load(const std::string& path);
+  [[nodiscard]] Status Save(const std::string& path) const;
+  [[nodiscard]] static Result<FixedDegreeGraph> Load(const std::string& path);
 
  private:
   size_t num_nodes_;

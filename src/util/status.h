@@ -36,7 +36,14 @@ enum class StatusCode {
 /// Lightweight status object: a code plus a human-readable message.
 /// The library does not throw exceptions on expected failure paths;
 /// fallible public entry points return Status or Result<T>.
-class Status {
+///
+/// The type itself is [[nodiscard]]: a function returning Status may
+/// not have its result silently dropped anywhere in the repo — the
+/// compiler flags the call site (-Werror in CI, and the
+/// tests/compile_fail/ harness pins that the enforcement itself keeps
+/// working). Intentional drops must say so with a (void) cast and a
+/// comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -86,8 +93,10 @@ class Status {
 
 /// Result<T> holds either a value or an error Status, like
 /// std::expected<T, Status>. Use `ok()` before dereferencing.
+/// [[nodiscard]] like Status: dropping a Result drops both the value
+/// and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : payload_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : payload_(std::move(status)) {}  // NOLINT
