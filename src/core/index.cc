@@ -162,6 +162,12 @@ Status CagraIndex::Save(const std::string& path) const {
       return Status::IoError(path + ": pq write failed");
     }
   }
+  // Buffered data is only handed to the OS at flush/close, and the
+  // deleter's fclose cannot report failure — flush here so a full disk
+  // fails the Save instead of leaving a torn file behind an Ok().
+  if (std::fflush(f.get()) != 0) {
+    return Status::IoError(path + ": flush failed");
+  }
   return Status::Ok();
 }
 

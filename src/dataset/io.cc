@@ -97,6 +97,13 @@ Status WriteVecs(const std::string& path, const Matrix<T>& m) {
       return Status::IoError(path + ": short write");
     }
   }
+  // fwrite only fills the stdio buffer; the write(2) that can hit a full
+  // disk happens at flush/close, and the close in the deleter cannot
+  // report it. Flush here so ENOSPC surfaces as a Status instead of a
+  // silently torn file.
+  if (std::fflush(f.get()) != 0) {
+    return Status::IoError(path + ": flush failed");
+  }
   return Status::Ok();
 }
 

@@ -28,6 +28,12 @@ Status FixedDegreeGraph::Save(const std::string& path) const {
           edges_.size()) {
     return Status::IoError(path + ": edge write failed");
   }
+  // Buffered data is only handed to the OS at flush/close, and the
+  // deleter's fclose cannot report failure — flush here so a full disk
+  // fails the Save instead of leaving a torn file behind an Ok().
+  if (std::fflush(f.get()) != 0) {
+    return Status::IoError(path + ": flush failed");
+  }
   return Status::Ok();
 }
 
