@@ -1,0 +1,41 @@
+// Compile-fail test: touching a CAGRA_GUARDED_BY field without holding
+// its mutex must not compile under Clang's thread safety analysis
+// (-Werror=thread-safety, the static-analysis CI configuration). The
+// positive control takes the lock through MutexLock; the violation
+// reads the field bare. Clang-only — the annotations are no-ops on
+// other compilers, so CMakeLists.txt registers this test only there.
+// run_compile_fail.cmake compiles this twice — see that file.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    cagra::MutexLock lock(mutex_);
+    value_++;
+  }
+
+  int Read() {
+#ifdef CAGRA_EXPECT_FAIL
+    return value_;  // no lock held — analysis must reject this
+#else
+    cagra::MutexLock lock(mutex_);
+    return value_;
+#endif
+  }
+
+ private:
+  cagra::Mutex mutex_;
+  int value_ CAGRA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read();
+}

@@ -1,0 +1,27 @@
+// Compile-fail test: silently dropping a Status must not compile.
+// Status is class-level [[nodiscard]] (util/status.h) and the build
+// runs with -Werror=unused-result, so a bare `MightFail();` is a
+// compile error; the sanctioned idiom for an intentional drop is an
+// explicit (void) cast, which the positive control exercises.
+// run_compile_fail.cmake compiles this twice — see that file.
+
+#include "util/status.h"
+
+namespace {
+
+cagra::Status MightFail() { return cagra::Status::Ok(); }
+
+cagra::Result<int> MightFailWithValue() { return 42; }
+
+}  // namespace
+
+int main() {
+#ifdef CAGRA_EXPECT_FAIL
+  MightFail();           // discarded Status — must not compile
+  MightFailWithValue();  // discarded Result<T> — must not compile
+#else
+  (void)MightFail();           // explicit drop: the sanctioned idiom
+  (void)MightFailWithValue();
+#endif
+  return 0;
+}

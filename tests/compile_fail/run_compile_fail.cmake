@@ -1,0 +1,48 @@
+# Negative-compilation test driver, invoked at ctest time as
+#   cmake -DCXX=... -DSRC=... -DINCLUDE_DIR=... -DFLAGS=...
+#         -DEXPECT_REGEX=... -P run_compile_fail.cmake
+#
+# Each source under tests/compile_fail/ carries both a correct variant
+# and (under -DCAGRA_EXPECT_FAIL) a deliberate violation of one of the
+# repo's static contracts. The test passes only when
+#   1. the correct variant compiles (positive control — proves the
+#      harness is actually compiling the file against real headers), and
+#   2. the violation does NOT compile, with a diagnostic matching
+#      EXPECT_REGEX (proves it failed for the intended reason, not a
+#      typo or a missing include).
+# -fsyntax-only keeps it fast: both [[nodiscard]] and thread-safety
+# analysis run in the compiler frontend.
+
+foreach(var CXX SRC INCLUDE_DIR FLAGS EXPECT_REGEX)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_compile_fail.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+separate_arguments(FLAG_LIST UNIX_COMMAND "${FLAGS}")
+set(BASE_CMD ${CXX} -std=c++17 -fsyntax-only -I${INCLUDE_DIR} ${FLAG_LIST})
+
+execute_process(COMMAND ${BASE_CMD} ${SRC}
+                RESULT_VARIABLE control_result
+                ERROR_VARIABLE control_err)
+if(NOT control_result EQUAL 0)
+  message(FATAL_ERROR
+          "positive control failed to compile — the harness is not "
+          "testing what it thinks it is:\n${control_err}")
+endif()
+
+execute_process(COMMAND ${BASE_CMD} -DCAGRA_EXPECT_FAIL ${SRC}
+                RESULT_VARIABLE violation_result
+                ERROR_VARIABLE violation_err)
+if(violation_result EQUAL 0)
+  message(FATAL_ERROR
+          "violation variant compiled cleanly — the static enforcement "
+          "this test pins has stopped working (${SRC})")
+endif()
+if(NOT violation_err MATCHES "${EXPECT_REGEX}")
+  message(FATAL_ERROR
+          "violation was rejected, but for the wrong reason — expected "
+          "a diagnostic matching '${EXPECT_REGEX}', got:\n${violation_err}")
+endif()
+
+message(STATUS "compile-fail OK: ${SRC} rejected with the expected diagnostic")
