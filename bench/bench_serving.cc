@@ -30,6 +30,8 @@
 
 #include "bench/common.h"
 #include "core/searcher.h"
+#include "dataset/pq.h"
+#include "distance/distance.h"
 #include "serving/serving.h"
 #include "util/timer.h"
 
@@ -317,6 +319,55 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("  ],\n");
+
+  // --- ADC-table scratch reuse. A serving worker used to rebuild its
+  // per-query ADC scratch from a cold allocation on every Submit; the
+  // per-worker scratch cache in Search keeps the M x 256 table (and the
+  // OPQ rotated-query buffer) allocated across calls, so only the
+  // query-dependent table *contents* are recomputed. This measures that
+  // delta in isolation: BuildAdcTable into a fresh PqAdcTable per call
+  // vs into one reused buffer, over the same query stream.
+  index->EnablePq();
+  const PqDataset& pq = index->pq_dataset();
+  const size_t adc_iters = smoke ? 2000 : 10000;
+  const Matrix<float>& qs = wb.data.queries;
+  double fresh_seconds = 0;
+  {
+    Timer t;
+    for (size_t i = 0; i < adc_iters; i++) {
+      PqAdcTable table;
+      BuildAdcTable(pq, qs.Row(i % qs.rows()), wb.profile->metric, &table);
+    }
+    fresh_seconds = t.Seconds();
+  }
+  double reused_seconds = 0;
+  {
+    Timer t;
+    PqAdcTable table;
+    for (size_t i = 0; i < adc_iters; i++) {
+      BuildAdcTable(pq, qs.Row(i % qs.rows()), wb.profile->metric, &table);
+    }
+    reused_seconds = t.Seconds();
+  }
+  const double fresh_us = fresh_seconds / adc_iters * 1e6;
+  const double reused_us = reused_seconds / adc_iters * 1e6;
+  // And the end-to-end view: PQ-precision saturation throughput through
+  // the scheduler, whose workers hit the reused path on every Submit.
+  ServingOptions pq_micro = micro;
+  pq_micro.params.precision = Precision::kPq;
+  const LoadPointSample sat_pq = RunLoadPoint(
+      searcher, pq_micro, wb.data.queries, k, 0.0, saturate_requests, 3);
+  std::printf("  \"adc_scratch\": {\n");
+  std::printf("    \"iterations\": %zu,\n", adc_iters);
+  std::printf("    \"num_subspaces\": %zu,\n", pq.num_subspaces());
+  std::printf("    \"build_us_fresh\": %.3f,\n", fresh_us);
+  std::printf("    \"build_us_reused\": %.3f,\n", reused_us);
+  std::printf("    \"reuse_speedup\": %.3f,\n",
+              reused_us > 0 ? fresh_us / reused_us : 0.0);
+  std::printf("    \"pq_saturation\": ");
+  PrintSample("", sat_pq, true);
+  std::printf("  },\n");
+
   std::printf(
       "  \"notes\": \"open-loop Poisson client; latency percentiles are "
       "scheduler-side (queue wait + batched search). single_query executes "

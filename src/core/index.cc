@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "dataset/io.h"
 #include "util/fault_injection.h"
 #include "util/timer.h"
 
@@ -119,18 +120,24 @@ bool ReadVec(std::FILE* f, std::vector<T>* v) {
 }  // namespace
 
 Status CagraIndex::Save(const std::string& path) const {
+  if (out_of_core() && path == mmap_->path()) {
+    // Truncating the file this index is currently mapped over would
+    // turn every later row access into a SIGBUS; refuse up front.
+    return Status::InvalidArgument(
+        path + ": cannot overwrite the file backing this out-of-core index");
+  }
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return Status::IoError("cannot open " + path + " for writing");
-  const uint64_t header[5] = {kIndexMagic, dataset_.rows(), dataset_.dim(),
-                              graph_.degree(),
+  const uint64_t header[5] = {kIndexMagic, size(), dim(), graph_.degree(),
                               static_cast<uint64_t>(metric_)};
   if (std::fwrite(header, sizeof(header), 1, f.get()) != 1) {
     return Status::IoError(path + ": header write failed");
   }
-  const auto& vec = dataset_.data();
-  if (!vec.empty() &&
-      std::fwrite(vec.data(), sizeof(float), vec.size(), f.get()) !=
-          vec.size()) {
+  // Fp32Data reads through the active storage tier, so an out-of-core
+  // index saves the same bytes a resident one would.
+  const size_t n = size() * dim();
+  if (n != 0 &&
+      std::fwrite(Fp32Data(), sizeof(float), n, f.get()) != n) {
     return Status::IoError(path + ": dataset write failed");
   }
   const auto& edges = graph_.edges();
@@ -172,6 +179,15 @@ Status CagraIndex::Save(const std::string& path) const {
 }
 
 Result<CagraIndex> CagraIndex::Load(const std::string& path) {
+  return LoadImpl(path, /*out_of_core=*/false);
+}
+
+Result<CagraIndex> CagraIndex::LoadOutOfCore(const std::string& path) {
+  return LoadImpl(path, /*out_of_core=*/true);
+}
+
+Result<CagraIndex> CagraIndex::LoadImpl(const std::string& path,
+                                        bool out_of_core) {
   CAGRA_RETURN_IF_ERROR(CAGRA_FAULT_STATUS("io_read"));
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IoError("cannot open " + path);
@@ -194,16 +210,14 @@ Result<CagraIndex> CagraIndex::Load(const std::string& path) {
   // not drive multi-gigabyte allocations or short reads deep in the
   // file. The division form keeps every comparison overflow-free —
   // rows * (dim + degree) 4-byte elements must fit in the payload.
-  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
-    return Status::IoError(path + ": cannot determine file size");
-  }
-  const long file_size = std::ftell(f.get());
-  if (file_size < 0 ||
-      std::fseek(f.get(), sizeof(header), SEEK_SET) != 0) {
+  // The size comes from fstat (64-bit everywhere), not ftell's long:
+  // index files past 2 GiB are exactly the out-of-core regime.
+  uint64_t file_size = 0;
+  if (!FileByteSize(f.get(), &file_size)) {
     return Status::IoError(path + ": cannot determine file size");
   }
   const uint64_t payload_elems =
-      (static_cast<uint64_t>(file_size) - sizeof(header)) / sizeof(float);
+      (file_size - sizeof(header)) / sizeof(float);
   if (rows != 0) {
     if (dim > payload_elems || degree > payload_elems ||
         dim + degree > payload_elems / rows) {
@@ -213,13 +227,30 @@ Result<CagraIndex> CagraIndex::Load(const std::string& path) {
   }
 
   CagraIndex index;
-  index.dataset_ = Matrix<float>(rows, dim);
   index.metric_ = static_cast<Metric>(header[4]);
-  auto* vec = index.dataset_.mutable_data();
-  if (!vec->empty() &&
-      std::fread(vec->data(), sizeof(float), vec->size(), f.get()) !=
-          vec->size()) {
-    return Status::IoError(path + ": dataset read failed");
+  if (out_of_core) {
+    // The fp32 rows stay on disk: validate and map the dataset section
+    // instead of reading it, then continue to the graph past it. The
+    // offset arithmetic is 64-bit and the shape was just validated
+    // against the file size, so the seek target cannot overflow.
+    CAGRA_ASSIGN_OR_RETURN(
+        MmapMatrix mapped,
+        MmapMatrix::Open(path, rows, dim, sizeof(header)));
+    index.mmap_ = std::make_shared<const MmapMatrix>(std::move(mapped));
+    const uint64_t graph_off =
+        sizeof(header) +
+        static_cast<uint64_t>(rows) * dim * sizeof(float);
+    if (::fseeko(f.get(), static_cast<off_t>(graph_off), SEEK_SET) != 0) {
+      return Status::IoError(path + ": cannot seek past dataset section");
+    }
+  } else {
+    index.dataset_ = Matrix<float>(rows, dim);
+    auto* vec = index.dataset_.mutable_data();
+    if (!vec->empty() &&
+        std::fread(vec->data(), sizeof(float), vec->size(), f.get()) !=
+            vec->size()) {
+      return Status::IoError(path + ": dataset read failed");
+    }
   }
   index.graph_ = FixedDegreeGraph(rows, degree);
   std::vector<uint32_t> edges(rows * degree);
@@ -267,12 +298,11 @@ Result<CagraIndex> CagraIndex::Load(const std::string& path) {
     // section deducts from `rem` through division-checked products, so
     // no adversarial header can overflow the arithmetic.
     {
-      const long pos = std::ftell(f.get());
-      if (pos < 0) {
+      const off_t pos = ::ftello(f.get());
+      if (pos < 0 || static_cast<uint64_t>(pos) > file_size) {
         return Status::IoError(path + ": cannot determine file size");
       }
-      uint64_t rem =
-          static_cast<uint64_t>(file_size) - static_cast<uint64_t>(pos);
+      uint64_t rem = file_size - static_cast<uint64_t>(pos);
       auto take = [&rem](uint64_t a, uint64_t b, uint64_t c) {
         // Deducts a*b*c bytes from rem iff the product fits, without
         // ever forming an overflowing intermediate.
@@ -307,6 +337,45 @@ Result<CagraIndex> CagraIndex::Load(const std::string& path) {
     RecomputePqRowNorms(&pq);
   }
   return index;
+}
+
+Status CagraIndex::EnableOutOfCore(const std::string& path) {
+  if (out_of_core()) {
+    if (path == mmap_->path()) return Status::Ok();  // idempotent
+    return Status::InvalidArgument(
+        "index is already out-of-core over " + mmap_->path());
+  }
+  if (dataset_.empty()) {
+    return Status::InvalidArgument(
+        "index has no resident fp32 dataset to replace");
+  }
+  // `path` must hold Save() output for *this* index: check the header
+  // against the live shape/metric before trusting the mapped rows. A
+  // stale or foreign file fails here instead of silently serving wrong
+  // vectors to the rerank.
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open " + path);
+  uint64_t header[5];
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1) {
+    return Status::IoError(path + ": header read failed");
+  }
+  if (header[0] != kIndexMagic) {
+    return Status::IoError(path + ": not a CAGRA index file");
+  }
+  if (header[1] != dataset_.rows() || header[2] != dataset_.dim() ||
+      header[4] != static_cast<uint64_t>(metric_)) {
+    return Status::InvalidArgument(
+        path + ": saved index does not match this index's shape/metric");
+  }
+  CAGRA_ASSIGN_OR_RETURN(
+      MmapMatrix mapped,
+      MmapMatrix::Open(path, dataset_.rows(), dataset_.dim(),
+                       sizeof(header)));
+  mmap_ = std::make_shared<const MmapMatrix>(std::move(mapped));
+  // Release the resident fp32 copy — the whole point of the tier. The
+  // graph and any fp16/int8/PQ copies stay hot.
+  dataset_ = Matrix<float>();
+  return Status::Ok();
 }
 
 }  // namespace cagra

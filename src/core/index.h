@@ -2,11 +2,13 @@
 #define CAGRA_CORE_INDEX_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "core/optimize.h"
 #include "core/params.h"
 #include "dataset/matrix.h"
+#include "dataset/mmap_matrix.h"
 #include "dataset/pq.h"
 #include "dataset/quantize.h"
 #include "graph/fixed_degree_graph.h"
@@ -64,13 +66,52 @@ class CagraIndex {
   bool HasPq() const { return !pq_.empty(); }
   const PqDataset& pq_dataset() const { return pq_; }
 
+  /// RAM-resident fp32 rows; empty when the index is out-of-core (use
+  /// Fp32Row/Fp32Data, which read through whichever tier is active).
   const Matrix<float>& dataset() const { return dataset_; }
   const Matrix<Half>& half_dataset() const { return half_; }
   const FixedDegreeGraph& graph() const { return graph_; }
   Metric metric() const { return metric_; }
-  size_t size() const { return dataset_.rows(); }
-  size_t dim() const { return dataset_.dim(); }
+  size_t size() const { return mmap_ ? mmap_->rows() : dataset_.rows(); }
+  size_t dim() const { return mmap_ ? mmap_->dim() : dataset_.dim(); }
   size_t degree() const { return graph_.degree(); }
+
+  /// The out-of-core storage tier (DiskANN-shaped split, the ROADMAP's
+  /// "single biggest scale unlock"): the graph and every compressed
+  /// copy (fp16/int8/PQ) stay RAM-resident, while the fp32 rows are
+  /// served from a read-only mmap of a Save() file — touched only when
+  /// a search actually needs full precision (the top-r rerank, or an
+  /// fp32-precision traversal). EnableOutOfCore points this index at
+  /// `path` — which must hold Save() output matching this index's
+  /// shape/metric — then drops the resident fp32 copy. Enable*() calls
+  /// need the resident rows, so order them before going out-of-core
+  /// (LoadOutOfCore restores the PQ copy from the file's trailer
+  /// regardless).
+  ///
+  /// Results are bit-identical to the RAM-resident path: fp32 access
+  /// reads the same bytes through the map. The file must outlive the
+  /// index and must not be truncated while mapped (the usual mmap
+  /// contract; Save() onto the backing file is rejected).
+  [[nodiscard]] Status EnableOutOfCore(const std::string& path);
+
+  /// Opens a Save() file with the fp32 rows left on disk: header,
+  /// graph, and the optional PQ trailer load as usual, the dataset
+  /// section is skipped and mapped instead. Equivalent to
+  /// Load(path) + EnableOutOfCore(path) at a fraction of the RSS.
+  [[nodiscard]] static Result<CagraIndex> LoadOutOfCore(
+      const std::string& path);
+
+  bool out_of_core() const { return mmap_ != nullptr; }
+  /// The mapped fp32 tier, or nullptr when RAM-resident.
+  const MmapMatrix* out_of_core_dataset() const { return mmap_.get(); }
+
+  /// fp32 row access through the active storage tier.
+  const float* Fp32Row(size_t i) const {
+    return mmap_ ? mmap_->Row(i) : dataset_.Row(i);
+  }
+  const float* Fp32Data() const {
+    return mmap_ ? mmap_->data() : dataset_.data().data();
+  }
 
   /// Serializes graph + dataset + metric — plus, when EnablePq has run,
   /// the PQ copy (codebooks, OPQ rotation, row norms, codes) — to
@@ -90,12 +131,18 @@ class CagraIndex {
   static constexpr size_t kMaxDatasetSize = (1ull << 31) - 1;
 
  private:
+  [[nodiscard]] static Result<CagraIndex> LoadImpl(const std::string& path,
+                                                   bool out_of_core);
+
   Matrix<float> dataset_;
   Matrix<Half> half_;
   QuantizedDataset int8_;
   PqDataset pq_;
   FixedDegreeGraph graph_;
   Metric metric_ = Metric::kL2;
+  /// Mapped fp32 tier; shared so the index stays copyable (copies read
+  /// the same read-only mapping).
+  std::shared_ptr<const MmapMatrix> mmap_;
 };
 
 }  // namespace cagra

@@ -83,6 +83,21 @@ struct SearchParams {
   /// exactly as a batch-of-one would (row 0 gets `seed` either way).
   /// Chunked execution skips its chunk-base seed offset accordingly.
   bool uniform_seed = false;
+  /// r: exact-fp32 rerank depth. 0 (the default) = off. When set, the
+  /// graph search runs unchanged but keeps its top-r frontier
+  /// (clamped to [k, itopk]) instead of emitting top-k directly, then
+  /// rescores those r candidates with exact fp32 distances — fetched
+  /// through the index's active storage tier, i.e. straight from the
+  /// mapped file when the index is out-of-core — and returns the best
+  /// k under the exact metric. This is the DiskANN-shaped refinement
+  /// that buys back the recall a compressed traversal (kPq/kInt8/kFp16)
+  /// gives up, for r extra fp32 row fetches per query; the returned
+  /// distances are exact fp32 distances. Results are bit-identical
+  /// between RAM-resident and out-of-core indexes at every dispatch
+  /// tier. A deadline expiring mid-rerank falls back to the
+  /// approximate-ranked candidates for the affected queries and marks
+  /// the result incomplete, per the SearchResult::complete contract.
+  size_t rerank = 0;
   /// Host threads for the functional batch execution: 0 = the global
   /// pool (hardware concurrency), 1 = serial, N = a dedicated N-thread
   /// pool. Results are byte-identical at any setting — per-query work

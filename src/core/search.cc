@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/search_internal.h"
+#include "util/bounded_heap.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -24,6 +25,24 @@ using internal_search::SearchScratch;
 constexpr size_t kSingleCtaThreads = 256;
 constexpr size_t kMultiCtaThreads = 128;
 constexpr size_t kMultiCtaLocalTopM = 32;
+
+/// Per-thread scratch reused across Search() calls. The serving
+/// scheduler's workers call Search once per micro-batch on the same
+/// thread, and before this cache every call re-allocated the visited
+/// tables, search buffers, and — the expensive one for PQ — the M x 256
+/// ADC-table storage that DatasetView::Prepare rebuilds per query.
+/// Reuse is invisible to results (every query fully reinitializes the
+/// state it reads; the ADC table *contents* are still rebuilt per
+/// query, only the allocation persists). Safety: slot entries are
+/// handed to pool workers only for the duration of one
+/// ParallelForSlotted, which guarantees distinct slots for concurrent
+/// iterations of one call; concurrent Search calls come from distinct
+/// calling threads and therefore distinct thread_local caches.
+std::vector<std::unique_ptr<SearchScratch>>& ScratchCache(size_t slots) {
+  static thread_local std::vector<std::unique_ptr<SearchScratch>> cache;
+  if (cache.size() < slots) cache.resize(slots);
+  return cache;
+}
 
 size_t ResolveCtaPerQuery(const SearchParams& params, const DeviceSpec& dev,
                           size_t batch, size_t itopk) {
@@ -150,15 +169,46 @@ Result<SearchResult> Search(const CagraIndex& index,
       algo == SearchAlgo::kMultiCta ? shaped.cta_per_query : 1;
   cfg.cancel = params.cancel;
 
+  // --- Exact-fp32 rerank depth (params.rerank doc). The kernels consume
+  // cfg.k only at output emission (see search_single_cta.cc /
+  // search_multi_cta.cc), so widening it to r keeps the traversal — and
+  // therefore the candidate frontier — identical to a plain top-k
+  // search; the search just emits more of the frontier it already had.
+  const size_t out_k = cfg.k;
+  size_t rerank_n = 0;
+  if (params.rerank != 0) {
+    rerank_n = std::min(std::max(params.rerank, out_k), cfg.itopk);
+    if (algo == SearchAlgo::kMultiCta) {
+      // The merged multi-CTA list holds at most ctas x 32 entries;
+      // asking past that only pads.
+      rerank_n = std::min(rerank_n, cfg.cta_per_query * kMultiCtaLocalTopM);
+    }
+    rerank_n = std::max(rerank_n, out_k);
+    cfg.k = rerank_n;
+  }
+
   const DatasetView dataset(index, precision);
 
   // --- Functional execution, one query at a time (parallel on the host;
   // counters are accumulated per query then reduced).
   SearchResult result;
-  result.neighbors.k = cfg.k;
-  result.neighbors.ids.assign(batch * cfg.k, internal_search::kInvalidEntry);
-  result.neighbors.distances.assign(batch * cfg.k,
+  result.neighbors.k = out_k;
+  result.neighbors.ids.assign(batch * out_k, internal_search::kInvalidEntry);
+  result.neighbors.distances.assign(batch * out_k,
                                     std::numeric_limits<float>::infinity());
+  // With rerank on, the kernels emit their top-r into a staging buffer
+  // and the rescore below writes the final top-k into the result.
+  std::vector<uint32_t> cand_ids;
+  std::vector<float> cand_dists;
+  if (rerank_n != 0) {
+    cand_ids.assign(batch * rerank_n, internal_search::kInvalidEntry);
+    cand_dists.assign(batch * rerank_n,
+                      std::numeric_limits<float>::infinity());
+  }
+  uint32_t* const emit_ids =
+      rerank_n != 0 ? cand_ids.data() : result.neighbors.ids.data();
+  float* const emit_dists =
+      rerank_n != 0 ? cand_dists.data() : result.neighbors.distances.data();
   std::vector<KernelCounters> per_query(batch);
   // Per-query cancellation marks (uint8_t, not vector<bool>: distinct
   // queries write distinct slots concurrently).
@@ -175,8 +225,8 @@ Result<SearchResult> Search(const CagraIndex& index,
     // cannot change any request's result.
     const uint64_t query_seed =
         params.uniform_seed ? cfg.seed : cfg.seed + 0x1000003ULL * q;
-    uint32_t* ids = result.neighbors.ids.data() + q * cfg.k;
-    float* dists = result.neighbors.distances.data() + q * cfg.k;
+    uint32_t* ids = emit_ids + q * cfg.k;
+    float* dists = emit_dists + q * cfg.k;
     bool cut = false;
     size_t iters;
     if (algo == SearchAlgo::kMultiCta) {
@@ -198,10 +248,8 @@ Result<SearchResult> Search(const CagraIndex& index,
 
   Timer timer;
   size_t host_threads = 1;
-  if (params.num_threads == 1) {
-    SearchScratch scratch;
-    for (size_t q = 0; q < batch; q++) run_query(&scratch, q);
-  } else {
+  ThreadPool* pool = nullptr;
+  if (params.num_threads != 1) {
     // Dedicated pool when an explicit width was requested (bench
     // scaling sweeps); the process-wide pool otherwise. The calling
     // thread drains chunks alongside the workers (see ParallelForSlotted),
@@ -211,7 +259,7 @@ Result<SearchResult> Search(const CagraIndex& index,
     // matches: chunked callers (streaming sharded search at an explicit
     // width) issue many small searches back-to-back, and spawning +
     // joining fresh threads per call would dominate tiny chunks.
-    ThreadPool* pool = &GlobalThreadPool();
+    pool = &GlobalThreadPool();
     if (params.num_threads > 1) {
       static thread_local std::unique_ptr<ThreadPool> dedicated;
       if (dedicated == nullptr ||
@@ -220,19 +268,96 @@ Result<SearchResult> Search(const CagraIndex& index,
       }
       pool = dedicated.get();
     }
+  }
+  if (pool == nullptr) {
+    auto& scratch = ScratchCache(1);
+    if (scratch[0] == nullptr) scratch[0] = std::make_unique<SearchScratch>();
+    for (size_t q = 0; q < batch; q++) run_query(scratch[0].get(), q);
+  } else {
     // Report the threads the batch can actually occupy, not the pool's
     // configured width: ParallelForSlotted runs at most one thread per
     // iteration (a 1-query batch is serial whatever the pool size), so
     // the width is clamped to the batch.
     host_threads = std::min(batch, pool->num_threads() + 1);
     if (host_threads == 0) host_threads = 1;  // empty batch ran (trivially)
-    std::vector<std::unique_ptr<SearchScratch>> scratch(pool->num_slots());
+    auto& scratch = ScratchCache(pool->num_slots());
     pool->ParallelForSlotted(0, batch, [&](size_t slot, size_t q) {
       if (scratch[slot] == nullptr) {
         scratch[slot] = std::make_unique<SearchScratch>();
       }
       run_query(scratch[slot].get(), q);
     });
+  }
+
+  // --- Exact-fp32 rerank over the emitted top-r candidates.
+  if (rerank_n != 0) {
+    // Lookahead prefetch (out-of-core only): tell the kernel which
+    // pages the rescore is about to fault in, one sorted+coalesced
+    // MADV_WILLNEED pass per query, so the reads overlap the rescoring
+    // of earlier queries instead of serializing behind it.
+    if (const MmapMatrix* mapped = index.out_of_core_dataset()) {
+      auto prefetch_query = [&](size_t q) {
+        mapped->PrefetchRows(cand_ids.data() + q * rerank_n, rerank_n);
+      };
+      if (pool == nullptr) {
+        for (size_t q = 0; q < batch; q++) prefetch_query(q);
+      } else {
+        pool->ParallelFor(0, batch, prefetch_query);
+      }
+    }
+    const float* base = index.Fp32Data();
+    constexpr size_t kRerankBlock = 256;
+    auto rerank_query = [&](size_t q) {
+      uint32_t* out_ids = result.neighbors.ids.data() + q * out_k;
+      float* out_dists = result.neighbors.distances.data() + q * out_k;
+      const uint32_t* cids = cand_ids.data() + q * rerank_n;
+      const float* cdists = cand_dists.data() + q * rerank_n;
+      size_t n = 0;  // kernels pad past the frontier with kInvalidEntry
+      while (n < rerank_n && cids[n] != internal_search::kInvalidEntry) n++;
+      KernelCounters& counters = per_query[q];
+      // Deadline/cancellation at rerank-block granularity: checked
+      // before each block of row fetches — the unit of I/O an
+      // out-of-core rescore cannot abandon midway.
+      CancelCheck check(cfg.cancel, /*stride=*/1);
+      std::vector<float> exact(n);
+      bool cut = false;
+      for (size_t i0 = 0; i0 < n; i0 += kRerankBlock) {
+        if (check.ExpiredNow()) {
+          cut = true;
+          break;
+        }
+        const size_t b = std::min(kRerankBlock, n - i0);
+        ComputeDistanceGather(index.metric(), queries.Row(q), base,
+                              index.dim(), cids + i0, b, exact.data() + i0);
+        counters.distance_computations += b;
+        counters.distance_elements += b * index.dim();
+        counters.device_vector_bytes += b * index.dim() * sizeof(float);
+      }
+      if (cut) {
+        // Partial per the SearchResult::complete contract: fall back to
+        // the approximate-ranked candidates (already sorted, deduped,
+        // padded) — well-formed, just un-rescored.
+        truncated[q] = 1;
+        const size_t have = std::min(out_k, n);
+        std::copy(cids, cids + have, out_ids);
+        std::copy(cdists, cdists + have, out_dists);
+        return;
+      }
+      // (distance, id) order matches the kernels' emission tiebreak, so
+      // the final top-k is deterministic under duplicate distances.
+      BoundedHeap top(out_k);
+      for (size_t i = 0; i < n; i++) top.Push(exact[i], cids[i]);
+      const auto best = top.ExtractSorted();
+      for (size_t i = 0; i < best.size(); i++) {
+        out_ids[i] = best[i].id;
+        out_dists[i] = best[i].distance;
+      }
+    };
+    if (pool == nullptr) {
+      for (size_t q = 0; q < batch; q++) rerank_query(q);
+    } else {
+      pool->ParallelFor(0, batch, rerank_query);
+    }
   }
   result.host_seconds = timer.Seconds();
   result.host_threads = host_threads;

@@ -77,8 +77,11 @@ class DatasetView {
       case Precision::kFp32:
         break;
     }
-    return ComputeDistance(index_.metric(), q.query,
-                           index_.dataset().Row(id), index_.dim());
+    // Fp32Row reads through the active storage tier: the RAM-resident
+    // matrix, or the mmap view when the index is out-of-core. Same
+    // bytes either way, so every dispatch tier stays bit-identical.
+    return ComputeDistance(index_.metric(), q.query, index_.Fp32Row(id),
+                           index_.dim());
   }
 
   /// Batched variant of Distance: out[i] = distance(query, row ids[i]).
@@ -113,9 +116,8 @@ class DatasetView {
       case Precision::kFp32:
         break;
     }
-    ComputeDistanceGather(index_.metric(), q.query,
-                          index_.dataset().data().data(), index_.dim(), ids,
-                          n, out);
+    ComputeDistanceGather(index_.metric(), q.query, index_.Fp32Data(),
+                          index_.dim(), ids, n, out);
   }
 
   size_t ElemBytes() const {

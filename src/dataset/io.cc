@@ -7,7 +7,33 @@
 
 #include "util/fault_injection.h"
 
+#if defined(_WIN32)
+#include <io.h>
+#include <sys/stat.h>
+#else
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 namespace cagra {
+
+bool FileByteSize(std::FILE* f, uint64_t* size) {
+#if defined(_WIN32)
+  const int fd = _fileno(f);
+  struct __stat64 st;
+  if (fd < 0 || _fstat64(fd, &st) != 0 || (st.st_mode & _S_IFREG) == 0) {
+    return false;
+  }
+  *size = static_cast<uint64_t>(st.st_size);
+  return true;
+#else
+  const int fd = fileno(f);
+  struct stat st;
+  if (fd < 0 || fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) return false;
+  *size = static_cast<uint64_t>(st.st_size);
+  return true;
+#endif
+}
 
 namespace {
 
@@ -17,16 +43,6 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-/// Total byte size of an open file (position is restored to the start).
-/// Returns false on seek failure.
-bool FileSize(std::FILE* f, uint64_t* size) {
-  if (std::fseek(f, 0, SEEK_END) != 0) return false;
-  const long end = std::ftell(f);
-  if (end < 0 || std::fseek(f, 0, SEEK_SET) != 0) return false;
-  *size = static_cast<uint64_t>(end);
-  return true;
-}
 
 /// Reads vecs-format rows of `elem_size`-byte elements into `out` (resized
 /// by the caller-provided append function). The per-row dim header is
@@ -41,12 +57,21 @@ Result<Matrix<T>> ReadVecs(const std::string& path, size_t elem_size,
   CAGRA_RETURN_IF_ERROR(CAGRA_FAULT_STATUS("io_read"));
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IoError("cannot open " + path);
-  // When the size is unavailable (non-seekable stream, or ftell's long
-  // overflowing on very large files), skip the plausibility check and
-  // fall back to the per-row truncation errors rather than refusing a
-  // readable file.
+  // When the size is unavailable (non-seekable stream: pipe, FIFO),
+  // skip the plausibility check and rely on the per-row truncation
+  // errors rather than refusing a readable stream. The per-row checks
+  // carry the full validation load there, which is why the header read
+  // below distinguishes clean EOF from torn trailing bytes and the row
+  // read is chunked instead of trusting the header with one huge
+  // allocation.
   uint64_t file_size = 0;
-  const bool have_size = FileSize(f.get(), &file_size);
+  const bool have_size = FileByteSize(f.get(), &file_size);
+
+  // Upper bound on the staging buffer: rows stream through in chunks
+  // (a multiple of every elem_size used here), so an absurd dim from a
+  // corrupt header on an unsized stream costs at most one chunk before
+  // the truncated read surfaces.
+  constexpr size_t kRowChunkBytes = 1ull << 20;
 
   std::vector<T> data;
   std::vector<unsigned char> row_buf;
@@ -54,8 +79,14 @@ Result<Matrix<T>> ReadVecs(const std::string& path, size_t elem_size,
   size_t rows = 0;
   while (max_rows == 0 || rows < max_rows) {
     int32_t d = 0;
-    const size_t got = std::fread(&d, sizeof(d), 1, f.get());
-    if (got != 1) break;  // normal EOF boundary
+    const size_t got = std::fread(&d, 1, sizeof(d), f.get());
+    if (got == 0) break;  // clean EOF at a row boundary
+    if (got != sizeof(d)) {
+      // 1-3 trailing bytes: a torn header, not a row boundary. The old
+      // item-count fread conflated the two and silently returned a
+      // truncated matrix.
+      return Status::IoError(path + ": truncated row header");
+    }
     if (d <= 0) return Status::IoError(path + ": non-positive row dim");
     if (dim == 0) {
       dim = static_cast<size_t>(d);
@@ -69,13 +100,20 @@ Result<Matrix<T>> ReadVecs(const std::string& path, size_t elem_size,
     } else if (dim != static_cast<size_t>(d)) {
       return Status::IoError(path + ": inconsistent row dims");
     }
-    row_buf.resize(dim * elem_size);
-    if (std::fread(row_buf.data(), 1, row_buf.size(), f.get()) !=
-        row_buf.size()) {
-      return Status::IoError(path + ": truncated row");
-    }
-    for (size_t j = 0; j < dim; j++) {
-      data.push_back(widen(row_buf.data() + j * elem_size));
+    const uint64_t row_bytes = static_cast<uint64_t>(dim) * elem_size;
+    row_buf.resize(static_cast<size_t>(
+        std::min<uint64_t>(row_bytes, kRowChunkBytes)));
+    uint64_t remaining = row_bytes;
+    while (remaining > 0) {
+      const size_t take = static_cast<size_t>(
+          std::min<uint64_t>(remaining, row_buf.size()));
+      if (std::fread(row_buf.data(), 1, take, f.get()) != take) {
+        return Status::IoError(path + ": truncated row");
+      }
+      for (size_t j = 0; j < take / elem_size; j++) {
+        data.push_back(widen(row_buf.data() + j * elem_size));
+      }
+      remaining -= take;
     }
     rows++;
   }

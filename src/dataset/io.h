@@ -2,6 +2,7 @@
 #define CAGRA_DATASET_IO_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,14 @@ namespace cagra {
 /// Reads `.bvecs` (uint8 rows) widened to float.
 [[nodiscard]] Result<Matrix<float>> ReadBvecsAsFloat(const std::string& path,
                                        size_t max_rows = 0);
+
+/// 64-bit byte size of an open stdio stream, via fstat on its
+/// descriptor: no seeking (so the stream position is untouched) and no
+/// `long` anywhere, so files past 2 GiB report correctly even on LLP64
+/// platforms where std::ftell tops out. Returns false — "size
+/// unavailable" — for non-regular files (pipes, FIFOs, sockets), whose
+/// st_size is meaningless; callers fall back to per-read validation.
+[[nodiscard]] bool FileByteSize(std::FILE* f, uint64_t* size);
 
 }  // namespace cagra
 

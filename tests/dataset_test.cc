@@ -1,8 +1,15 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
+
+#if !defined(_WIN32)
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
 
 #include "dataset/io.h"
 #include "dataset/matrix.h"
@@ -296,6 +303,114 @@ TEST(IoTest, TruncatedSecondRowIsIoError) {
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
   std::remove(path.c_str());
 }
+
+TEST(IoTest, TornTrailingHeaderBytesAreIoError) {
+  // 1-3 bytes past the last complete row are a torn next-row header,
+  // not a row boundary. The old item-count fread could not tell the two
+  // apart and silently returned a truncated matrix.
+  for (size_t torn : {size_t{1}, size_t{2}, size_t{3}}) {
+    SCOPED_TRACE(torn);
+    const std::string path = TempPath("tornheader.fvecs");
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    const int32_t dim = 4;
+    const float row[4] = {1, 2, 3, 4};
+    std::fwrite(&dim, sizeof(dim), 1, f);
+    std::fwrite(row, sizeof(float), 4, f);
+    std::fwrite(&dim, 1, torn, f);  // torn header of a lost second row
+    std::fclose(f);
+    auto r = ReadFvecs(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(IoTest, FileByteSizeIs64BitOnSparseFiles) {
+  // The helper behind every size-plausibility check must report sizes
+  // past 2^31 correctly (std::ftell returns long, which tops out at
+  // 2 GiB on LLP64 — exactly the regime out-of-core files live in).
+  // A sparse file provides the size without the disk bytes.
+#if !defined(_WIN32)
+  const std::string path = TempPath("sparse3g.bin");
+  const uint64_t size = 3ull << 30;  // 3 GiB
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  if (::ftruncate(fileno(f), static_cast<off_t>(size)) != 0) {
+    std::fclose(f);
+    std::remove(path.c_str());
+    GTEST_SKIP() << "filesystem does not support sparse files";
+  }
+  uint64_t got = 0;
+  ASSERT_TRUE(FileByteSize(f, &got));
+  EXPECT_EQ(got, size);
+  // No seeking involved: the stream position is untouched.
+  EXPECT_EQ(::ftello(f), 0);
+  std::fclose(f);
+  std::remove(path.c_str());
+#endif
+}
+
+TEST(IoTest, MockedHeaderIsValidatedAgainst64BitFileSize) {
+  // A dim whose row would be ~8 GiB must be rejected by the plausibility
+  // check against the true 64-bit size — cleanly, with no allocation —
+  // even when the file itself is past the old 2 GiB long limit.
+#if !defined(_WIN32)
+  const std::string path = TempPath("mocked64.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const int32_t dim = 0x7ffffff0;  // promises a ~8 GiB row
+  ASSERT_EQ(std::fwrite(&dim, sizeof(dim), 1, f), 1u);
+  if (::ftruncate(fileno(f), static_cast<off_t>(3ull << 30)) != 0) {
+    std::fclose(f);
+    std::remove(path.c_str());
+    GTEST_SKIP() << "filesystem does not support sparse files";
+  }
+  std::fclose(f);
+  auto r = ReadFvecs(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+#endif
+}
+
+#if !defined(_WIN32)
+TEST(IoTest, NonSeekableStreamReadsAndValidates) {
+  // A FIFO has no byte size, so ReadFvecs runs with the plausibility
+  // check disabled and every row validated as it streams. A complete
+  // stream must parse; a stream ending in a short final row must fail
+  // with kIoError instead of silently dropping the tail.
+  for (bool torn : {false, true}) {
+    SCOPED_TRACE(torn ? "short final row" : "complete stream");
+    const std::string path = TempPath(torn ? "torn.fifo" : "whole.fifo");
+    std::remove(path.c_str());
+    ASSERT_EQ(::mkfifo(path.c_str(), 0600), 0);
+    std::thread writer([&] {
+      std::FILE* w = std::fopen(path.c_str(), "wb");
+      ASSERT_NE(w, nullptr);
+      uint64_t sz = 0;
+      EXPECT_FALSE(FileByteSize(w, &sz));  // FIFOs report no size
+      const int32_t dim = 3;
+      const float row[3] = {1, 2, 3};
+      std::fwrite(&dim, sizeof(dim), 1, w);
+      std::fwrite(row, sizeof(float), 3, w);
+      std::fwrite(&dim, sizeof(dim), 1, w);
+      std::fwrite(row, sizeof(float), torn ? 1 : 3, w);
+      std::fclose(w);
+    });
+    auto r = ReadFvecs(path);
+    writer.join();
+    if (torn) {
+      ASSERT_FALSE(r.ok());
+      EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+    } else {
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(r->rows(), 2u);
+      EXPECT_EQ(r->dim(), 3u);
+    }
+    std::remove(path.c_str());
+  }
+}
+#endif  // !defined(_WIN32)
 
 TEST(IoTest, BvecsWidensToFloat) {
   const std::string path = TempPath("bytes.bvecs");

@@ -229,6 +229,62 @@ TEST_F(IndexLoadFuzzTest, CorruptHeaderFieldsRejectCleanly) {
   std::remove(cut.c_str());
 }
 
+TEST_F(IndexLoadFuzzTest, OutOfCoreTruncationFollowsTheSameContract) {
+  // The out-of-core open mode maps the dataset section instead of
+  // reading it, but its failure contract is Load's: every truncation
+  // resolves to a clean kIoError or a legal prefix, never a crash or a
+  // mapping past EOF (which would defer the failure to a SIGBUS at
+  // first row touch).
+  const std::string cut = ::testing::TempDir() + "/fuzz_ooc_cut.cagra";
+  const size_t graph_end = GraphEndOffset();
+  const size_t flags_end = FlagsEndOffset();
+  std::vector<size_t> lengths;
+  for (size_t b : SectionBoundaries()) {
+    if (b > 0) lengths.push_back(b - 1);
+    lengths.push_back(b);
+    if (b + 1 <= bytes_->size()) lengths.push_back(b + 1);
+  }
+  lengths.push_back(0);
+  for (size_t len = 1; len < bytes_->size(); len += 2503) {
+    lengths.push_back(len);
+  }
+  for (size_t len : lengths) {
+    SCOPED_TRACE("truncated to " + std::to_string(len) + " of " +
+                 std::to_string(bytes_->size()) + " bytes");
+    WritePrefix(cut, *bytes_, len);
+    auto loaded = CagraIndex::LoadOutOfCore(cut);
+    if (len == bytes_->size() || (len >= graph_end && len < flags_end)) {
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      EXPECT_TRUE(loaded->out_of_core());
+      EXPECT_EQ(loaded->HasPq(), len == bytes_->size());
+    } else {
+      ASSERT_FALSE(loaded.ok()) << "accepted a " + std::to_string(len) +
+                                       "-byte truncation";
+      EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+    }
+  }
+  std::remove(cut.c_str());
+}
+
+TEST_F(IndexLoadFuzzTest, OutOfCoreLoadMatchesResidentLoad) {
+  // Beyond not-crashing: the mapped open of the intact file must yield
+  // an index that searches identically to the resident load.
+  auto resident = CagraIndex::Load(*path_);
+  auto mapped = CagraIndex::LoadOutOfCore(*path_);
+  ASSERT_TRUE(resident.ok());
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  auto data = GenerateDataset(*FindProfile("DEEP-1M"), 300, 4, 913);
+  SearchParams sp;
+  sp.k = 5;
+  sp.rerank = 16;
+  auto a = Search(*resident, data.queries, sp);
+  auto b = Search(*mapped, data.queries, sp);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->neighbors.ids, b->neighbors.ids);
+  EXPECT_EQ(a->neighbors.distances, b->neighbors.distances);
+}
+
 TEST_F(IndexLoadFuzzTest, EmptyAndHeaderOnlyFilesReject) {
   const std::string cut = ::testing::TempDir() + "/fuzz_tiny.cagra";
   for (size_t len : {size_t{0}, size_t{1}, size_t{8}, size_t{39}}) {

@@ -1,0 +1,398 @@
+// The out-of-core storage tier: fp32 rows served from an mmap of the
+// Save() file while the graph and compressed copies stay RAM-resident.
+// The load-bearing contract is bit-identity — an out-of-core index must
+// return EXPECT_EQ-identical results to the RAM-resident index it was
+// saved from, across storage precisions (fp32 traversal, PQ and OPQ
+// with exact-fp32 rerank) and dispatch tiers (the whole suite re-runs
+// as out_of_core_test_scalar under CAGRA_FORCE_SCALAR=1). Also pinned
+// here: EnableOutOfCore/LoadOutOfCore validation, clean kIoError on
+// torn mapped files, the Save-over-backing-file refusal, deadline
+// expiry mid-rerank per the SearchResult::complete contract, and the
+// serving scheduler running unchanged over the mapped tier.
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/search.h"
+#include "core/searcher.h"
+#include "dataset/mmap_matrix.h"
+#include "dataset/profile.h"
+#include "dataset/synthetic.h"
+#include "serving/serving.h"
+#include "util/fault_injection.h"
+
+namespace cagra {
+namespace {
+
+class OutOfCoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new SyntheticData(
+        GenerateDataset(*FindProfile("DEEP-1M"), 500, 16, 4242));
+    BuildParams bp;
+    bp.graph_degree = 8;
+    auto built = CagraIndex::Build(data_->base, bp);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    index_ = new CagraIndex(std::move(built.value()));
+    // OPQ layout (rotation included) so the saved file carries the
+    // largest trailer; a plain-PQ copy is derived per test when needed.
+    PqTrainParams pq;
+    pq.rotate = true;
+    pq.kmeans_iterations = 3;
+    pq.sample_size = 256;
+    index_->EnablePq(pq);
+    ASSERT_TRUE(index_->HasPq());
+    path_ = new std::string(::testing::TempDir() + "/ooc_index.cagra");
+    ASSERT_TRUE(index_->Save(*path_).ok());
+  }
+  static void TearDownTestSuite() {
+    std::remove(path_->c_str());
+    delete path_;
+    delete index_;
+    delete data_;
+    path_ = nullptr;
+    index_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static void ExpectIdentical(const SearchResult& a, const SearchResult& b) {
+    EXPECT_EQ(a.neighbors.ids, b.neighbors.ids);
+    EXPECT_EQ(a.neighbors.distances, b.neighbors.distances);
+    EXPECT_EQ(a.complete, b.complete);
+  }
+
+  static SyntheticData* data_;
+  static CagraIndex* index_;
+  static std::string* path_;
+};
+
+SyntheticData* OutOfCoreTest::data_ = nullptr;
+CagraIndex* OutOfCoreTest::index_ = nullptr;
+std::string* OutOfCoreTest::path_ = nullptr;
+
+TEST_F(OutOfCoreTest, LoadOutOfCoreMatchesResidentLoadExactly) {
+  auto resident = CagraIndex::Load(*path_);
+  ASSERT_TRUE(resident.ok()) << resident.status().ToString();
+  auto mapped = CagraIndex::LoadOutOfCore(*path_);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped->out_of_core());
+  EXPECT_TRUE(mapped->dataset().empty());  // fp32 rows are NOT resident
+  EXPECT_EQ(mapped->size(), resident->size());
+  EXPECT_EQ(mapped->dim(), resident->dim());
+  EXPECT_TRUE(mapped->HasPq());
+
+  for (Precision prec : {Precision::kFp32, Precision::kPq}) {
+    for (size_t rerank : {size_t{0}, size_t{32}}) {
+      SCOPED_TRACE("precision=" + std::to_string(static_cast<int>(prec)) +
+                   " rerank=" + std::to_string(rerank));
+      SearchParams sp;
+      sp.k = 10;
+      sp.precision = prec;
+      sp.rerank = rerank;
+      auto a = Search(*resident, data_->queries, sp);
+      auto b = Search(*mapped, data_->queries, sp);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      ExpectIdentical(*a, *b);
+    }
+  }
+}
+
+TEST_F(OutOfCoreTest, EnableOutOfCoreMatchesResidentAcrossPqVariants) {
+  // fp32 / plain PQ / OPQ, resident vs EnableOutOfCore, both execution
+  // modes: the mapped tier must be invisible to results everywhere.
+  for (bool opq : {false, true}) {
+    CagraIndex resident = *index_;
+    std::string save_path = *path_;
+    if (!opq) {
+      // Re-derive a rotation-free PQ copy from the resident rows.
+      auto rebuilt = CagraIndex::FromGraph(data_->base, index_->graph(),
+                                           index_->metric());
+      ASSERT_TRUE(rebuilt.ok());
+      resident = std::move(rebuilt.value());
+      PqTrainParams pq;
+      pq.rotate = false;
+      pq.kmeans_iterations = 3;
+      pq.sample_size = 256;
+      resident.EnablePq(pq);
+      save_path = ::testing::TempDir() + "/ooc_plainpq.cagra";
+      ASSERT_TRUE(resident.Save(save_path).ok());
+    }
+    CagraIndex mapped = resident;
+    ASSERT_TRUE(mapped.EnableOutOfCore(save_path).ok());
+    ASSERT_TRUE(mapped.out_of_core());
+    for (Precision prec : {Precision::kFp32, Precision::kPq}) {
+      for (auto algo : {SearchAlgo::kSingleCta, SearchAlgo::kMultiCta}) {
+        SCOPED_TRACE("opq=" + std::to_string(opq) + " precision=" +
+                     std::to_string(static_cast<int>(prec)) + " algo=" +
+                     std::to_string(static_cast<int>(algo)));
+        SearchParams sp;
+        sp.k = 8;
+        sp.precision = prec;
+        sp.rerank = 48;
+        sp.algo = algo;
+        auto a = Search(resident, data_->queries, sp);
+        auto b = Search(mapped, data_->queries, sp);
+        ASSERT_TRUE(a.ok()) << a.status().ToString();
+        ASSERT_TRUE(b.ok()) << b.status().ToString();
+        ExpectIdentical(*a, *b);
+      }
+    }
+    if (!opq) std::remove(save_path.c_str());
+  }
+}
+
+TEST_F(OutOfCoreTest, RerankReturnsExactFp32Distances) {
+  auto mapped = CagraIndex::LoadOutOfCore(*path_);
+  ASSERT_TRUE(mapped.ok());
+  SearchParams sp;
+  sp.k = 10;
+  sp.precision = Precision::kPq;
+  sp.rerank = 64;
+  auto r = Search(*mapped, data_->queries, sp);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Every returned distance must be the exact fp32 distance to the
+  // returned row — the rerank's whole reason to exist — and each
+  // query's list must be sorted and duplicate-free.
+  for (size_t q = 0; q < data_->queries.rows(); q++) {
+    float prev = -1.0f;
+    for (size_t i = 0; i < sp.k; i++) {
+      const uint32_t id = r->neighbors.ids[q * sp.k + i];
+      const float dist = r->neighbors.distances[q * sp.k + i];
+      ASSERT_LT(id, mapped->size());
+      const float exact =
+          ComputeDistance(mapped->metric(), data_->queries.Row(q),
+                          mapped->Fp32Row(id), mapped->dim());
+      EXPECT_EQ(dist, exact);
+      EXPECT_GE(dist, prev);
+      prev = dist;
+      for (size_t j = i + 1; j < sp.k; j++) {
+        EXPECT_NE(id, r->neighbors.ids[q * sp.k + j]);
+      }
+    }
+  }
+}
+
+TEST_F(OutOfCoreTest, RerankRecallAtLeastPlainPq) {
+  // The acceptance floor: exact-fp32 rerank over PQ candidates must
+  // match the fp32 search's top-1 at least as often as raw PQ does.
+  SearchParams fp;
+  fp.k = 10;
+  auto truth = Search(*index_, data_->queries, fp);
+  ASSERT_TRUE(truth.ok());
+  SearchParams pq = fp;
+  pq.precision = Precision::kPq;
+  auto raw = Search(*index_, data_->queries, pq);
+  ASSERT_TRUE(raw.ok());
+  SearchParams rr = pq;
+  rr.rerank = 64;
+  auto mapped = CagraIndex::LoadOutOfCore(*path_);
+  ASSERT_TRUE(mapped.ok());
+  auto refined = Search(*mapped, data_->queries, rr);
+  ASSERT_TRUE(refined.ok());
+  auto hits = [&](const SearchResult& r) {
+    size_t h = 0;
+    for (size_t q = 0; q < data_->queries.rows(); q++) {
+      const uint32_t want = truth->neighbors.ids[q * fp.k];
+      for (size_t i = 0; i < fp.k; i++) {
+        if (r.neighbors.ids[q * fp.k + i] == want) {
+          h++;
+          break;
+        }
+      }
+    }
+    return h;
+  };
+  EXPECT_GE(hits(*refined), hits(*raw));
+}
+
+TEST_F(OutOfCoreTest, DeadlineExpiryMidRerankReturnsWellFormedPartial) {
+  auto mapped = CagraIndex::LoadOutOfCore(*path_);
+  ASSERT_TRUE(mapped.ok());
+  // A deadline already in the past expires at the first rerank-block
+  // check; the affected queries must fall back to the approximate-
+  // ranked candidates — sorted, duplicate-free, padded — with the
+  // batch marked incomplete.
+  CancelToken token(CancelToken::Clock::now() -
+                    std::chrono::milliseconds(1));
+  SearchParams sp;
+  sp.k = 10;
+  sp.precision = Precision::kPq;
+  sp.rerank = 64;
+  sp.cancel = &token;
+  auto r = Search(*mapped, data_->queries, sp);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->complete);
+  ASSERT_EQ(r->rows_examined.size(), data_->queries.rows());
+  for (size_t q = 0; q < data_->queries.rows(); q++) {
+    bool padding = false;
+    float prev = -1.0f;
+    for (size_t i = 0; i < sp.k; i++) {
+      const uint32_t id = r->neighbors.ids[q * sp.k + i];
+      const float dist = r->neighbors.distances[q * sp.k + i];
+      if (id == 0xffffffffu) {
+        padding = true;
+        EXPECT_EQ(dist, std::numeric_limits<float>::infinity());
+        continue;
+      }
+      EXPECT_FALSE(padding) << "valid id after padding";
+      ASSERT_LT(id, mapped->size());
+      EXPECT_GE(dist, prev);
+      prev = dist;
+      for (size_t j = i + 1; j < sp.k; j++) {
+        EXPECT_NE(id, r->neighbors.ids[q * sp.k + j]);
+      }
+    }
+  }
+}
+
+TEST_F(OutOfCoreTest, EnableOutOfCoreValidatesTheFile) {
+  CagraIndex copy = *index_;
+  // Nonexistent file.
+  EXPECT_EQ(copy.EnableOutOfCore("/nonexistent/nope.cagra").code(),
+            StatusCode::kIoError);
+  // A valid index file of the wrong shape.
+  auto other = GenerateDataset(*FindProfile("DEEP-1M"), 120, 1, 7);
+  BuildParams bp;
+  bp.graph_degree = 4;
+  auto small = CagraIndex::Build(other.base, bp);
+  ASSERT_TRUE(small.ok());
+  const std::string wrong = ::testing::TempDir() + "/ooc_wrong.cagra";
+  ASSERT_TRUE(small->Save(wrong).ok());
+  EXPECT_EQ(copy.EnableOutOfCore(wrong).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(wrong.c_str());
+  // Not an index file at all.
+  const std::string junk = ::testing::TempDir() + "/ooc_junk.bin";
+  std::FILE* f = std::fopen(junk.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char noise[64] = {0x13};
+  ASSERT_EQ(std::fwrite(noise, 1, sizeof(noise), f), sizeof(noise));
+  std::fclose(f);
+  EXPECT_EQ(copy.EnableOutOfCore(junk).code(), StatusCode::kIoError);
+  std::remove(junk.c_str());
+  // Success is idempotent for the same path, rejected for another.
+  ASSERT_TRUE(copy.EnableOutOfCore(*path_).ok());
+  EXPECT_TRUE(copy.EnableOutOfCore(*path_).ok());
+  EXPECT_EQ(copy.EnableOutOfCore(junk).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(OutOfCoreTest, SaveRefusesTheBackingFileButWorksElsewhere) {
+  auto mapped = CagraIndex::LoadOutOfCore(*path_);
+  ASSERT_TRUE(mapped.ok());
+  // Overwriting the mapped file would SIGBUS later readers: refused.
+  EXPECT_EQ(mapped->Save(*path_).code(), StatusCode::kInvalidArgument);
+  // Saving elsewhere round-trips the identical index (the dataset is
+  // streamed back out of the mapping).
+  const std::string copy_path = ::testing::TempDir() + "/ooc_resave.cagra";
+  ASSERT_TRUE(mapped->Save(copy_path).ok());
+  auto reloaded = CagraIndex::Load(copy_path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->dataset().data(), data_->base.data());
+  EXPECT_EQ(reloaded->graph().edges(), index_->graph().edges());
+  std::remove(copy_path.c_str());
+}
+
+TEST_F(OutOfCoreTest, TruncatedMappedFileFailsWithCleanIoError) {
+  // Cut the file inside the dataset section: the out-of-core open must
+  // refuse before any row is dereferenced (SIGBUS territory).
+  const std::string cut = ::testing::TempDir() + "/ooc_cut.cagra";
+  std::FILE* in = std::fopen(path_->c_str(), "rb");
+  ASSERT_NE(in, nullptr);
+  std::vector<unsigned char> bytes(40 + index_->size() * index_->dim() * 2);
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), in), bytes.size());
+  std::fclose(in);
+  std::FILE* out = std::fopen(cut.c_str(), "wb");
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), out), bytes.size());
+  std::fclose(out);
+  auto mapped = CagraIndex::LoadOutOfCore(cut);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kIoError);
+  std::remove(cut.c_str());
+}
+
+TEST_F(OutOfCoreTest, MmapMatrixValidatesShapeAndOffset) {
+  // Direct MmapMatrix contract: 64-bit overflow-checked bounds.
+  auto too_many_rows = MmapMatrix::Open(*path_, 1ull << 40, 16, 40);
+  ASSERT_FALSE(too_many_rows.ok());
+  EXPECT_EQ(too_many_rows.status().code(), StatusCode::kIoError);
+  auto unaligned = MmapMatrix::Open(*path_, 1, 1, 39);
+  ASSERT_FALSE(unaligned.ok());
+  EXPECT_EQ(unaligned.status().code(), StatusCode::kInvalidArgument);
+  auto missing = MmapMatrix::Open("/nonexistent/nope.bin", 1, 1, 0);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+  auto ok = MmapMatrix::Open(*path_, index_->size(), index_->dim(), 40);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->rows(), index_->size());
+  // The mapped rows are the saved dataset, byte for byte — and
+  // prefetching them (any order, padding included) is harmless.
+  EXPECT_EQ(std::vector<float>(ok->Row(3), ok->Row(3) + ok->dim()),
+            std::vector<float>(data_->base.Row(3),
+                               data_->base.Row(3) + data_->base.dim()));
+  const std::vector<uint32_t> ids = {7, 3, 499, 0xffffffffu, 3, 42};
+  ok->PrefetchRows(ids.data(), ids.size());
+}
+
+TEST_F(OutOfCoreTest, SchedulerRunsUnchangedOverTheMappedTier) {
+  // The serving scheduler must work — and answer identically to a lone
+  // Search — over an out-of-core index, with no scheduler changes.
+  auto mapped = CagraIndex::LoadOutOfCore(*path_);
+  ASSERT_TRUE(mapped.ok());
+  IndexSearcher searcher(*mapped);
+  ServingOptions opt;
+  opt.params.precision = Precision::kPq;
+  opt.params.rerank = 32;
+  ServingScheduler sched(searcher, opt);
+  const size_t k = 5;
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (size_t q = 0; q < data_->queries.rows(); q++) {
+    futures.push_back(sched.Submit(data_->queries.Row(q), k));
+  }
+  SearchParams ref;
+  ref.k = k;
+  ref.precision = Precision::kPq;
+  ref.rerank = 32;
+  for (size_t q = 0; q < data_->queries.rows(); q++) {
+    auto resp = futures[q].get();
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    Matrix<float> one = SliceQueries(data_->queries, q, 1);
+    auto lone = Search(*mapped, one, ref);
+    ASSERT_TRUE(lone.ok());
+    EXPECT_EQ(resp->ids, lone->neighbors.ids);
+    EXPECT_EQ(resp->distances, lone->neighbors.distances);
+  }
+  sched.Shutdown();
+}
+
+#if defined(CAGRA_FAULT_INJECTION)
+TEST_F(OutOfCoreTest, InjectedMmapFaultSurfacesOnEveryEntryPoint) {
+  // The io_mmap site is the mmap-path sibling of io_read: an injected
+  // map failure must surface as the injected Status from both
+  // out-of-core entry points, leaving the index untouched.
+  FaultController::Instance().Reset();
+  FaultSpec spec;
+  spec.status = Status::IoError("injected mmap failure");
+  FaultController::Instance().Arm("io_mmap", spec);
+  auto loaded = CagraIndex::LoadOutOfCore(*path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  CagraIndex copy = *index_;
+  EXPECT_EQ(copy.EnableOutOfCore(*path_).code(), StatusCode::kIoError);
+  EXPECT_FALSE(copy.out_of_core());
+  EXPECT_FALSE(copy.dataset().empty());  // resident rows were not dropped
+  FaultController::Instance().Reset();
+  // Disarmed, the same calls succeed.
+  ASSERT_TRUE(CagraIndex::LoadOutOfCore(*path_).ok());
+}
+#endif  // CAGRA_FAULT_INJECTION
+
+}  // namespace
+}  // namespace cagra
