@@ -3,7 +3,13 @@
 // design, which is why the paper shows them far below even the CPU
 // methods here); HNSW/NSSG are single-thread CPU measurements (no
 // multi-core scaling — one query cannot use 64 cores).
+//
+// Output is a single JSON object (same schema family as bench_dispatch)
+// so the bench-json CI artifact can accumulate the trajectory across
+// commits: per dataset, per method, recall@10 + QPS at each breadth.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "baselines/ganns/ganns.h"
 #include "baselines/ggnn/ggnn.h"
@@ -16,8 +22,26 @@ namespace {
 using namespace cagra;
 
 constexpr size_t kQueries = 16;
+constexpr size_t kBreadths[] = {32, 64, 128, 256};
 
-void CagraRows(const bench::Workbench& wb) {
+struct Point {
+  size_t breadth = 0;
+  double recall = 0;
+  double qps = 0;
+};
+
+struct Series {
+  std::string method;
+  const char* device = "GPU";
+  std::vector<Point> points;
+};
+
+struct DatasetResult {
+  std::string name;
+  std::vector<Series> series;
+};
+
+void CagraRows(const bench::Workbench& wb, std::vector<Series>* out) {
   BuildParams bp;
   bp.graph_degree = wb.profile->cagra_degree;
   bp.metric = wb.profile->metric;
@@ -26,9 +50,10 @@ void CagraRows(const bench::Workbench& wb) {
   index->EnableHalfPrecision();
 
   for (const Precision prec : {Precision::kFp32, Precision::kFp16}) {
-    std::printf("  %-14s GPU ",
-                prec == Precision::kFp32 ? "CAGRA (FP32)" : "CAGRA (FP16)");
-    for (size_t itopk : {32, 64, 128, 256}) {
+    Series s;
+    s.method = prec == Precision::kFp32 ? "CAGRA (FP32)" : "CAGRA (FP16)";
+    s.device = "GPU";
+    for (size_t itopk : kBreadths) {
       SearchParams sp;
       sp.k = 10;
       sp.itopk = itopk;
@@ -49,18 +74,20 @@ void CagraRows(const bench::Workbench& wb) {
             recall_sum += ComputeRecall(r->neighbors, gt);
             return r->modeled_seconds;
           });
-      std::printf("  %.3f/%.2e", recall_sum / kQueries, qps);
+      s.points.push_back({itopk, recall_sum / kQueries, qps});
     }
-    std::printf("\n");
+    out->push_back(std::move(s));
   }
 }
 
 template <typename Index>
 void GpuBaselineRow(const char* label, const Index& index,
-                    const bench::Workbench& wb) {
+                    const bench::Workbench& wb, std::vector<Series>* out) {
   DeviceSpec dev;
-  std::printf("  %-14s GPU ", label);
-  for (size_t ef : {32, 64, 128, 256}) {
+  Series s;
+  s.method = label;
+  s.device = "GPU";
+  for (size_t ef : kBreadths) {
     Matrix<float> one(1, wb.data.queries.dim());
     double recall_sum = 0;
     double total_seconds = 0;
@@ -75,17 +102,18 @@ void GpuBaselineRow(const char* label, const Index& index,
       total_seconds += EstimateKernelTime(dev, index.LaunchConfig(1),
                                           counters).total;
     }
-    std::printf("  %.3f/%.2e", recall_sum / kQueries,
-                kQueries / total_seconds);
+    s.points.push_back({ef, recall_sum / kQueries, kQueries / total_seconds});
   }
-  std::printf("\n");
+  out->push_back(std::move(s));
 }
 
 template <typename SearchOneFn>
 void CpuRow(const char* label, const bench::Workbench& wb,
-            SearchOneFn&& search_one) {
-  std::printf("  %-14s CPU ", label);
-  for (size_t ef : {32, 64, 128, 256}) {
+            SearchOneFn&& search_one, std::vector<Series>* out) {
+  Series s;
+  s.method = label;
+  s.device = "CPU";
+  for (size_t ef : kBreadths) {
     double recall_sum = 0;
     Timer t;
     for (size_t q = 0; q < kQueries; q++) {
@@ -99,29 +127,28 @@ void CpuRow(const char* label, const bench::Workbench& wb,
       recall_sum += ComputeRecall(nl, gt);
     }
     // Single query cannot exploit 64 cores: measured 1-thread QPS as-is.
-    std::printf("  %.3f/%.2e", recall_sum / kQueries,
-                kQueries / t.Seconds());
+    s.points.push_back({ef, recall_sum / kQueries, kQueries / t.Seconds()});
   }
-  std::printf("\n");
+  out->push_back(std::move(s));
 }
 
-void RunDataset(const char* name) {
+DatasetResult RunDataset(const char* name) {
   const auto wb = bench::MakeWorkbench(name, 64, 10);
-  bench::PrintSeriesHeader("Fig. 14", name,
-                           "(recall@10 / QPS at breadth=32..256)");
-  CagraRows(wb);
+  DatasetResult result;
+  result.name = name;
+  CagraRows(wb, &result.series);
 
   GgnnParams gp;
   gp.degree = wb.profile->cagra_degree;
   gp.metric = wb.profile->metric;
   const GgnnIndex ggnn = GgnnIndex::Build(wb.data.base, gp);
-  GpuBaselineRow("GGNN", ggnn, wb);
+  GpuBaselineRow("GGNN", ggnn, wb, &result.series);
 
   GannsParams ap;
   ap.m = wb.profile->cagra_degree / 2;
   ap.metric = wb.profile->metric;
   const GannsIndex ganns = GannsIndex::Build(wb.data.base, ap);
-  GpuBaselineRow("GANNS", ganns, wb);
+  GpuBaselineRow("GANNS", ganns, wb, &result.series);
 
   HnswParams hp;
   hp.m = wb.profile->cagra_degree / 2;
@@ -129,7 +156,7 @@ void RunDataset(const char* name) {
   const HnswIndex hnsw = HnswIndex::Build(wb.data.base, hp);
   CpuRow("HNSW", wb, [&](size_t q, size_t ef) {
     return hnsw.SearchOne(wb.data.queries.Row(q), 10, ef);
-  });
+  }, &result.series);
 
   NssgParams np;
   np.degree = wb.profile->cagra_degree;
@@ -138,18 +165,44 @@ void RunDataset(const char* name) {
   const NssgIndex nssg = NssgIndex::Build(wb.data.base, np);
   CpuRow("NSSG", wb, [&](size_t q, size_t ef) {
     return nssg.SearchOne(wb.data.queries.Row(q), 10, ef);
-  });
+  }, &result.series);
+  return result;
 }
 
 }  // namespace
 
 int main() {
+  std::vector<DatasetResult> datasets;
   for (const char* name : {"SIFT-1M", "GIST-1M", "GloVe-200", "NYTimes"}) {
-    RunDataset(name);
+    datasets.push_back(RunDataset(name));
   }
-  std::printf(
-      "\nExpected shape (paper): CAGRA multi-CTA leads (3.4-53x over HNSW\n"
-      "at 95%% recall); GGNN/GANNS single-query throughput falls below\n"
-      "even the CPU methods.\n");
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"fig14_single_query\",\n");
+  std::printf("  \"k\": 10,\n");
+  std::printf("  \"queries_per_point\": %zu,\n", kQueries);
+  // Paper expectation: CAGRA multi-CTA leads (3.4-53x over HNSW at 95%
+  // recall); GGNN/GANNS single-query throughput falls below even the
+  // CPU methods.
+  std::printf("  \"datasets\": [\n");
+  for (size_t d = 0; d < datasets.size(); d++) {
+    const auto& ds = datasets[d];
+    std::printf("    {\"name\": \"%s\", \"series\": [\n", ds.name.c_str());
+    for (size_t i = 0; i < ds.series.size(); i++) {
+      const auto& s = ds.series[i];
+      std::printf("      {\"method\": \"%s\", \"device\": \"%s\", "
+                  "\"points\": [",
+                  s.method.c_str(), s.device);
+      for (size_t p = 0; p < s.points.size(); p++) {
+        std::printf("%s{\"breadth\": %zu, \"recall\": %.3f, \"qps\": %.2e}",
+                    p == 0 ? "" : ", ", s.points[p].breadth,
+                    s.points[p].recall, s.points[p].qps);
+      }
+      std::printf("]}%s\n", i + 1 < ds.series.size() ? "," : "");
+    }
+    std::printf("    ]}%s\n", d + 1 < datasets.size() ? "," : "");
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
   return 0;
 }

@@ -1,13 +1,53 @@
 #include "core/index.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "core/search_internal.h"
 #include "dataset/io.h"
+#include "gpusim/counters.h"
 #include "util/fault_injection.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace cagra {
+
+CagraIndex::CagraIndex() : core_(std::make_shared<Core>()) {
+  core_->snapshot = std::make_shared<const IndexSnapshot>();
+}
+
+CagraIndex::CagraIndex(const CagraIndex& other) : CagraIndex() {
+  // The copy shares the source's current version (cheap: one shared_ptr
+  // per tier) and gets its own writer state, so mutating either side
+  // copy-on-writes away from the other. Like any copy, this reads
+  // `other` at one instant — callers racing a writer on `other` get
+  // some published version, never a torn one.
+  StoreSnapshot(other.snapshot());
+  core_->next_external_id.store(
+      other.core_->next_external_id.load(std::memory_order_acquire),
+      std::memory_order_relaxed);
+}
+
+CagraIndex& CagraIndex::operator=(const CagraIndex& other) {
+  if (this != &other) {
+    // Copy-and-swap: the old core is dropped whole, so an in-flight
+    // background compaction keeps it alive and publishes into the
+    // orphan harmlessly.
+    CagraIndex copy(other);
+    std::swap(core_, copy.core_);
+  }
+  return *this;
+}
+
+void CagraIndex::StoreSnapshot(std::shared_ptr<const IndexSnapshot> snap) {
+  std::atomic_store_explicit(&core_->snapshot, std::move(snap),
+                             std::memory_order_release);
+}
 
 Result<CagraIndex> CagraIndex::Build(const Matrix<float>& dataset,
                                      const BuildParams& params,
@@ -48,9 +88,16 @@ Result<CagraIndex> CagraIndex::Build(const Matrix<float>& dataset,
 
   Timer indexing;
   CagraIndex index;
-  index.dataset_ = dataset;
-  index.graph_ = std::move(optimized);
-  index.metric_ = params.metric;
+  auto snap = std::make_shared<IndexSnapshot>();
+  snap->num_rows = dataset.rows();
+  snap->num_dims = dataset.dim();
+  snap->metric = params.metric;
+  snap->dataset = std::make_shared<const Matrix<float>>(dataset);
+  snap->graph =
+      std::make_shared<const FixedDegreeGraph>(std::move(optimized));
+  index.StoreSnapshot(std::move(snap));
+  index.core_->next_external_id.store(
+      static_cast<uint32_t>(dataset.rows()), std::memory_order_relaxed);
   local.indexing_seconds = indexing.Seconds();
   local.total_seconds = total.Seconds();
   if (stats != nullptr) *stats = local;
@@ -69,22 +116,540 @@ Result<CagraIndex> CagraIndex::FromGraph(const Matrix<float>& dataset,
         "dataset exceeds 2^31-1 vectors (MSB parent-flag limit, §IV-B4)");
   }
   CagraIndex index;
-  index.dataset_ = dataset;
-  index.graph_ = std::move(graph);
-  index.metric_ = metric;
+  auto snap = std::make_shared<IndexSnapshot>();
+  snap->num_rows = dataset.rows();
+  snap->num_dims = dataset.dim();
+  snap->metric = metric;
+  snap->dataset = std::make_shared<const Matrix<float>>(dataset);
+  snap->graph = std::make_shared<const FixedDegreeGraph>(std::move(graph));
+  index.StoreSnapshot(std::move(snap));
+  index.core_->next_external_id.store(
+      static_cast<uint32_t>(dataset.rows()), std::memory_order_relaxed);
   return index;
 }
 
 void CagraIndex::EnableHalfPrecision() {
-  if (half_.empty() && !dataset_.empty()) half_ = ToHalf(dataset_);
+  MutexLock lock(core_->writer_mu);
+  const IndexSnapshot& cur = Current();
+  if (cur.HasHalf() || cur.dataset == nullptr || cur.dataset->empty()) {
+    return;
+  }
+  auto next = std::make_shared<IndexSnapshot>(cur);
+  next->half = std::make_shared<const Matrix<Half>>(ToHalf(*cur.dataset));
+  StoreSnapshot(std::move(next));
 }
 
 void CagraIndex::EnableInt8Quantization() {
-  if (int8_.empty() && !dataset_.empty()) int8_ = QuantizeInt8(dataset_);
+  MutexLock lock(core_->writer_mu);
+  const IndexSnapshot& cur = Current();
+  if (cur.HasInt8() || cur.dataset == nullptr || cur.dataset->empty()) {
+    return;
+  }
+  auto next = std::make_shared<IndexSnapshot>(cur);
+  next->int8 =
+      std::make_shared<const QuantizedDataset>(QuantizeInt8(*cur.dataset));
+  StoreSnapshot(std::move(next));
 }
 
 void CagraIndex::EnablePq(const PqTrainParams& params) {
-  if (pq_.empty() && !dataset_.empty()) pq_ = TrainPq(dataset_, params);
+  MutexLock lock(core_->writer_mu);
+  const IndexSnapshot& cur = Current();
+  if (cur.HasPq() || cur.dataset == nullptr || cur.dataset->empty()) {
+    return;
+  }
+  auto next = std::make_shared<IndexSnapshot>(cur);
+  next->pq =
+      std::make_shared<const PqDataset>(TrainPq(*cur.dataset, params));
+  StoreSnapshot(std::move(next));
+}
+
+namespace {
+
+/// Base seed of the per-inserted-row greedy neighbor search (offset by
+/// the same 0x1000003 row stride the batch search uses): inserts are
+/// deterministic for a given index state and insertion order.
+constexpr uint64_t kInsertSeed = 0x1e55ed5eedULL;
+
+/// Encodes one fp32 row with an already-fitted int8 affine (the
+/// QuantizeInt8 formula, with the fitted range recovered from
+/// scale/offset — offset is the range center and 127*scale the half
+/// width — so appended rows clamp exactly like originals).
+void EncodeInt8Row(const QuantizedDataset& q, const float* row, size_t dim,
+                   int8_t* code) {
+  for (size_t d = 0; d < dim; d++) {
+    float v = row[d];
+    if (!std::isfinite(v)) {
+      const float half_width = 127.0f * q.scale[d];
+      v = v > 0 ? q.offset[d] + half_width
+                : (v < 0 ? q.offset[d] - half_width : q.offset[d]);
+    }
+    const float x = (v - q.offset[d]) / q.scale[d];
+    code[d] = static_cast<int8_t>(
+        std::clamp(std::lround(x), long{-127}, long{127}));
+  }
+}
+
+}  // namespace
+
+Status CagraIndex::Add(const Matrix<float>& rows,
+                       std::vector<uint32_t>* external_ids) {
+  using internal_search::DatasetView;
+  using internal_search::kInvalidEntry;
+
+  MutexLock lock(core_->writer_mu);
+  const IndexSnapshot& cur = Current();
+  if (cur.out_of_core()) {
+    return Status::FailedPrecondition(
+        "Add on an out-of-core index: the mapped fp32 tier cannot grow in "
+        "place — Load() the index RAM-resident (or rebuild) before "
+        "inserting");
+  }
+  if (cur.graph == nullptr || cur.num_rows == 0) {
+    return Status::FailedPrecondition(
+        "Add requires a built index (Build/FromGraph/Load first)");
+  }
+  if (rows.rows() == 0) {
+    if (external_ids != nullptr) external_ids->clear();
+    return Status::Ok();
+  }
+  if (rows.dim() != cur.num_dims) {
+    return Status::InvalidArgument("row dim does not match index dim");
+  }
+  if (rows.rows() > kMaxDatasetSize - cur.num_rows) {
+    return Status::CapacityExceeded(
+        "insert exceeds 2^31-1 vectors (MSB parent-flag limit, §IV-B4)");
+  }
+
+  const size_t n0 = cur.num_rows;
+  const size_t n_new = rows.rows();
+  const size_t n1 = n0 + n_new;
+  const size_t dim = cur.num_dims;
+  const size_t deg = cur.graph->degree();
+
+  // Copy-on-write working copies of the two structures the insert
+  // rewires; every other tier extends after the loop.
+  auto data = std::make_shared<Matrix<float>>(n1, dim);
+  std::copy(cur.dataset->data().begin(), cur.dataset->data().end(),
+            data->mutable_data()->begin());
+  auto graph = std::make_shared<FixedDegreeGraph>(n1, deg);
+  if (deg != 0) {
+    const std::vector<uint32_t>& src = cur.graph->edges();
+    std::copy(src.begin(), src.end(), graph->MutableNeighbors(0));
+  }
+
+  // The working state the greedy searches run against. num_rows
+  // advances as rows link in, so later rows of the batch can find (and
+  // connect to) earlier ones.
+  IndexSnapshot work;
+  work.dataset = data;
+  work.graph = graph;
+  work.tombstones = cur.tombstones;
+  work.num_dims = dim;
+  work.num_dead = cur.num_dead;
+  work.metric = cur.metric;
+
+  SearchParams sp;
+  sp.k = deg;
+  sp.itopk = std::max<size_t>(64, 2 * deg);
+  const internal_search::ResolvedConfig cfg = internal_search::ResolveConfig(
+      sp, SearchAlgo::kSingleCta, deg, n1);
+  internal_search::SearchScratch scratch;
+  KernelCounters counters;  // inserts are host work; counters discarded
+  std::vector<uint32_t> nbr_ids(deg);
+  std::vector<float> nbr_dists(deg);
+
+  for (size_t i = 0; i < n_new; i++) {
+    const uint32_t u = static_cast<uint32_t>(n0 + i);
+    std::copy(rows.Row(i), rows.Row(i) + dim, data->MutableRow(u));
+    // Greedy-search the working graph (rows [0, u)) for u's nearest
+    // live neighbors. Emission filters tombstones, so a dead node can
+    // route the walk but never becomes an edge of u.
+    work.num_rows = u;
+    const DatasetView view(work, Precision::kFp32);
+    internal_search::SearchSingleCta(view, *graph, rows.Row(i), cfg,
+                                     kInsertSeed + 0x1000003ULL * u,
+                                     nbr_ids.data(), nbr_dists.data(),
+                                     &counters, &scratch);
+    uint32_t* un = graph->MutableNeighbors(u);
+    size_t filled = 0;
+    for (size_t j = 0; j < deg; j++) {
+      if (nbr_ids[j] == kInvalidEntry) continue;
+      un[filled++] = nbr_ids[j];
+    }
+    for (size_t j = filled; j < deg; j++) un[j] = FixedDegreeGraph::kInvalid;
+
+    // Reverse-edge repair: patch u into each new neighbor's list — into
+    // a padding slot when one exists, else over the farthest current
+    // edge when u is closer, so every list keeps its d best-known
+    // neighbors and u is reachable from the old graph.
+    for (size_t j = 0; j < filled; j++) {
+      const uint32_t v = un[j];
+      uint32_t* vn = graph->MutableNeighbors(v);
+      size_t pad = deg;
+      for (size_t s = 0; s < deg; s++) {
+        if (vn[s] == FixedDegreeGraph::kInvalid) {
+          pad = s;
+          break;
+        }
+      }
+      if (pad != deg) {
+        vn[pad] = u;
+        continue;
+      }
+      const float* vrow = data->Row(v);
+      const float d_new = ComputeDistance(cur.metric, vrow, data->Row(u), dim);
+      size_t worst_s = 0;
+      float worst_d = ComputeDistance(cur.metric, vrow, data->Row(vn[0]), dim);
+      for (size_t s = 1; s < deg; s++) {
+        const float d =
+            ComputeDistance(cur.metric, vrow, data->Row(vn[s]), dim);
+        if (d > worst_d) {
+          worst_d = d;
+          worst_s = s;
+        }
+      }
+      if (d_new < worst_d) vn[worst_s] = u;
+    }
+  }
+
+  auto next = std::make_shared<IndexSnapshot>();
+  next->dataset = data;
+  next->graph = graph;
+  next->num_rows = n1;
+  next->num_dims = dim;
+  next->num_dead = cur.num_dead;
+  next->metric = cur.metric;
+  next->mmap = nullptr;
+
+  // Extend the enabled compressed tiers with the same deterministic
+  // encodes the originals used; existing rows' bytes are untouched.
+  if (cur.HasHalf()) {
+    auto half = std::make_shared<Matrix<Half>>(n1, dim);
+    std::copy(cur.half->data().begin(), cur.half->data().end(),
+              half->mutable_data()->begin());
+    const Matrix<Half> tail = ToHalf(rows);
+    std::copy(tail.data().begin(), tail.data().end(),
+              half->mutable_data()->begin() +
+                  static_cast<std::ptrdiff_t>(n0 * dim));
+    next->half = std::move(half);
+  }
+  if (cur.HasInt8()) {
+    auto int8 = std::make_shared<QuantizedDataset>();
+    int8->scale = cur.int8->scale;
+    int8->offset = cur.int8->offset;
+    int8->codes = Matrix<int8_t>(n1, dim);
+    std::copy(cur.int8->codes.data().begin(), cur.int8->codes.data().end(),
+              int8->codes.mutable_data()->begin());
+    for (size_t i = 0; i < n_new; i++) {
+      EncodeInt8Row(*int8, rows.Row(i), dim,
+                    int8->codes.MutableRow(n0 + i));
+    }
+    next->int8 = std::move(int8);
+  }
+  if (cur.HasPq()) {
+    next->pq =
+        std::make_shared<const PqDataset>(PqEncodeAppend(*cur.pq, rows));
+  }
+  if (cur.tombstones != nullptr) {
+    auto tomb = std::make_shared<std::vector<uint64_t>>(*cur.tombstones);
+    tomb->resize((n1 + 63) / 64, 0);
+    next->tombstones = std::move(tomb);
+  }
+
+  const uint32_t base =
+      core_->next_external_id.load(std::memory_order_relaxed);
+  if (cur.id_map != nullptr || base != n0) {
+    auto map = std::make_shared<std::vector<uint32_t>>();
+    map->reserve(n1);
+    if (cur.id_map != nullptr) {
+      map->assign(cur.id_map->begin(), cur.id_map->end());
+    } else {
+      for (uint32_t i = 0; i < n0; i++) map->push_back(i);
+    }
+    for (uint32_t i = 0; i < n_new; i++) map->push_back(base + i);
+    next->id_map = std::move(map);
+  }
+  // else: external ids continue the identity mapping; id_map stays null.
+
+  CAGRA_RETURN_IF_ERROR(CAGRA_FAULT_STATUS("graph_swap"));
+  StoreSnapshot(std::move(next));
+  core_->next_external_id.store(base + static_cast<uint32_t>(n_new),
+                                std::memory_order_relaxed);
+  if (external_ids != nullptr) {
+    external_ids->clear();
+    for (uint32_t i = 0; i < n_new; i++) external_ids->push_back(base + i);
+  }
+  return Status::Ok();
+}
+
+Status CagraIndex::Remove(const uint32_t* external_ids, size_t n) {
+  MutexLock lock(core_->writer_mu);
+  const IndexSnapshot& cur = Current();
+  if (cur.graph == nullptr || cur.num_rows == 0) {
+    return Status::FailedPrecondition(
+        "Remove requires a built index (Build/FromGraph/Load first)");
+  }
+  if (n == 0) return Status::Ok();
+
+  // Validate every id before touching anything: one bad id fails the
+  // whole call with kNotFound and publishes nothing.
+  std::vector<uint32_t> internal(n);
+  for (size_t i = 0; i < n; i++) {
+    const uint32_t row = cur.InternalId(external_ids[i]);
+    if (row == IndexSnapshot::kNoInternal || cur.Deleted(row)) {
+      return Status::NotFound("external id " +
+                              std::to_string(external_ids[i]) +
+                              " is not a live row");
+    }
+    internal[i] = row;
+  }
+
+  auto tomb = cur.tombstones != nullptr
+                  ? std::make_shared<std::vector<uint64_t>>(*cur.tombstones)
+                  : std::make_shared<std::vector<uint64_t>>(
+                        (cur.num_rows + 63) / 64, 0);
+  size_t newly = 0;
+  for (const uint32_t row : internal) {
+    uint64_t& word = (*tomb)[row >> 6];
+    const uint64_t bit = 1ull << (row & 63);
+    if ((word & bit) == 0) {  // duplicate ids within one batch count once
+      word |= bit;
+      newly++;
+    }
+  }
+  auto next = std::make_shared<IndexSnapshot>(cur);
+  next->tombstones = std::move(tomb);
+  next->num_dead = cur.num_dead + newly;
+
+  const size_t dead = next->num_dead;
+  const size_t total = next->num_rows;
+  const bool resident = !next->out_of_core();
+  CAGRA_RETURN_IF_ERROR(CAGRA_FAULT_STATUS("graph_swap"));
+  StoreSnapshot(std::move(next));
+
+  // Auto-compaction: past the dead-fraction trigger, rebuild off the
+  // global pool while readers keep searching the published snapshot.
+  // Out-of-core indexes only tombstone (their fp32 tier cannot be
+  // rewritten in place); they compact at Save time.
+  const CompactionOptions& opt = core_->compaction;
+  if (resident && dead >= opt.min_dead_rows &&
+      static_cast<double>(dead) >=
+          opt.trigger_fraction * static_cast<double>(total)) {
+    bool launch = false;
+    {
+      MutexLock bg(core_->bg_mu);
+      if (!core_->bg_inflight) {
+        core_->bg_inflight = true;
+        launch = true;
+      }
+    }
+    if (launch) {
+      // The task holds the core (not the index): destroying the index
+      // mid-pass is safe, the orphan publish is simply unobservable.
+      std::shared_ptr<Core> core = core_;
+      GlobalThreadPool().Submit([core] { BackgroundCompact(core); });
+    }
+  }
+  return Status::Ok();
+}
+
+std::shared_ptr<const IndexSnapshot> CagraIndex::CompactSnapshot(
+    const IndexSnapshot& snap) {
+  const size_t n = snap.num_rows;
+  const size_t dim = snap.num_dims;
+  const size_t deg = snap.degree();
+
+  // Plan: live rows renumber densely in order (order preservation keeps
+  // the id map strictly increasing, which InternalId's binary search
+  // relies on).
+  std::vector<uint32_t> keep;
+  keep.reserve(snap.live_rows());
+  std::vector<uint32_t> remap(n, FixedDegreeGraph::kInvalid);
+  for (uint32_t v = 0; v < n; v++) {
+    if (snap.Deleted(v)) continue;
+    remap[v] = static_cast<uint32_t>(keep.size());
+    keep.push_back(v);
+  }
+  const size_t m = keep.size();
+
+  auto data = std::make_shared<Matrix<float>>(m, dim);
+  for (size_t r = 0; r < m; r++) {
+    const float* src = snap.Fp32Row(keep[r]);
+    std::copy(src, src + dim, data->MutableRow(r));
+  }
+
+  // Graph repair, DiskANN-style delete consolidation: each survivor
+  // keeps its live edges, and the holes its dead neighbors leave refill
+  // with the nearest live nodes one hop through those dead neighbors —
+  // local connectivity survives losing a routing node. Fully
+  // deterministic: candidates rank by (distance, new id).
+  auto graph = std::make_shared<FixedDegreeGraph>(m, deg);
+  std::vector<uint32_t> dead_nbrs;
+  std::vector<std::pair<float, uint32_t>> cand;
+  for (size_t r = 0; r < m; r++) {
+    const uint32_t v = keep[r];
+    const uint32_t* old_edges = snap.graph->Neighbors(v);
+    uint32_t* out = graph->MutableNeighbors(r);
+    size_t filled = 0;
+    dead_nbrs.clear();
+    for (size_t s = 0; s < deg; s++) {
+      const uint32_t w = old_edges[s];
+      if (w >= n) continue;  // kInvalid padding
+      if (snap.Deleted(w)) {
+        dead_nbrs.push_back(w);
+        continue;
+      }
+      out[filled++] = remap[w];
+    }
+    if (filled < deg && !dead_nbrs.empty()) {
+      cand.clear();
+      for (const uint32_t w : dead_nbrs) {
+        const uint32_t* wn = snap.graph->Neighbors(w);
+        for (size_t s = 0; s < deg; s++) {
+          const uint32_t x = wn[s];
+          if (x >= n || x == v || snap.Deleted(x)) continue;
+          cand.emplace_back(0.0f, remap[x]);
+        }
+      }
+      // Dedup (by new id, against the pool and the kept edges), then
+      // rank by distance to v.
+      std::sort(cand.begin(), cand.end(),
+                [](const std::pair<float, uint32_t>& a,
+                   const std::pair<float, uint32_t>& b) {
+                  return a.second < b.second;
+                });
+      cand.erase(std::unique(cand.begin(), cand.end(),
+                             [](const std::pair<float, uint32_t>& a,
+                                const std::pair<float, uint32_t>& b) {
+                               return a.second == b.second;
+                             }),
+                 cand.end());
+      const float* vrow = data->Row(r);
+      size_t kept = 0;
+      for (auto& c : cand) {
+        bool dup = false;
+        for (size_t s = 0; s < filled && !dup; s++) {
+          dup = out[s] == c.second;
+        }
+        if (dup) continue;
+        c.first = ComputeDistance(snap.metric, vrow, data->Row(c.second), dim);
+        cand[kept++] = c;
+      }
+      cand.resize(kept);
+      std::sort(cand.begin(), cand.end());
+      for (const auto& c : cand) {
+        if (filled == deg) break;
+        out[filled++] = c.second;
+      }
+    }
+    // Remaining holes stay kInvalid (the kernels skip padding).
+  }
+
+  auto next = std::make_shared<IndexSnapshot>();
+  next->dataset = std::move(data);
+  next->graph = std::move(graph);
+  next->num_rows = m;
+  next->num_dims = dim;
+  next->metric = snap.metric;
+  // num_dead = 0, tombstones = null: the compacted index is dense.
+
+  // External ids survive the renumbering.
+  auto map = std::make_shared<std::vector<uint32_t>>(m);
+  for (size_t r = 0; r < m; r++) (*map)[r] = snap.ExternalId(keep[r]);
+  next->id_map = std::move(map);
+
+  if (snap.HasHalf()) {
+    auto half = std::make_shared<Matrix<Half>>(m, dim);
+    for (size_t r = 0; r < m; r++) {
+      const Half* src = snap.half->Row(keep[r]);
+      std::copy(src, src + dim, half->MutableRow(r));
+    }
+    next->half = std::move(half);
+  }
+  if (snap.HasInt8()) {
+    auto int8 = std::make_shared<QuantizedDataset>();
+    int8->scale = snap.int8->scale;
+    int8->offset = snap.int8->offset;
+    int8->codes = Matrix<int8_t>(m, dim);
+    for (size_t r = 0; r < m; r++) {
+      const int8_t* src = snap.int8->codes.Row(keep[r]);
+      std::copy(src, src + dim, int8->codes.MutableRow(r));
+    }
+    next->int8 = std::move(int8);
+  }
+  if (snap.HasPq()) {
+    auto pq = std::make_shared<PqDataset>();
+    pq->dim = snap.pq->dim;
+    pq->dsub = snap.pq->dsub;
+    pq->centroids = snap.pq->centroids;
+    pq->centroid_norm2 = snap.pq->centroid_norm2;
+    pq->rotation = snap.pq->rotation;
+    const size_t m_subs = snap.pq->num_subspaces();
+    pq->codes = Matrix<uint8_t>(m, m_subs);
+    pq->row_norm2.resize(m);
+    for (size_t r = 0; r < m; r++) {
+      const uint8_t* src = snap.pq->codes.Row(keep[r]);
+      std::copy(src, src + m_subs, pq->codes.MutableRow(r));
+      pq->row_norm2[r] = snap.pq->row_norm2[keep[r]];
+    }
+    next->pq = std::move(pq);
+  }
+  return next;
+}
+
+Status CagraIndex::Compact() {
+  MutexLock lock(core_->writer_mu);
+  const IndexSnapshot& cur = Current();
+  if (cur.out_of_core()) {
+    return Status::FailedPrecondition(
+        "Compact on an out-of-core index: the mapped fp32 tier cannot be "
+        "rewritten in place — Save() compacts to a new file instead");
+  }
+  if (cur.num_dead == 0) return Status::Ok();
+  std::shared_ptr<const IndexSnapshot> next = CompactSnapshot(cur);
+  CAGRA_RETURN_IF_ERROR(CAGRA_FAULT_STATUS("graph_swap"));
+  StoreSnapshot(std::move(next));
+  return Status::Ok();
+}
+
+void CagraIndex::BackgroundCompact(const std::shared_ptr<Core>& core) {
+  // The expensive rebuild runs against a pinned base version WITHOUT
+  // the writer lock — concurrent Adds/Removes/searches proceed freely.
+  const std::shared_ptr<const IndexSnapshot> base =
+      std::atomic_load_explicit(&core->snapshot, std::memory_order_acquire);
+  std::shared_ptr<const IndexSnapshot> next;
+  if (base != nullptr && base->num_dead != 0 && !base->out_of_core()) {
+    next = CompactSnapshot(*base);
+  }
+  {
+    MutexLock lock(core->writer_mu);
+    // Publish only if no writer moved the index while we rebuilt; a
+    // stale pass is dropped silently (the next Remove past the trigger
+    // schedules a fresh one). The graph_swap fault point models a
+    // failed publish.
+    if (next != nullptr &&
+        std::atomic_load_explicit(&core->snapshot,
+                                  std::memory_order_acquire) == base) {
+      const Status swap = CAGRA_FAULT_STATUS("graph_swap");
+      if (swap.ok()) {
+        std::atomic_store_explicit(&core->snapshot, std::move(next),
+                                   std::memory_order_release);
+      }
+    }
+  }
+  MutexLock bg(core->bg_mu);
+  core->bg_inflight = false;
+  core->bg_cv.NotifyAll();
+}
+
+void CagraIndex::SetCompactionOptions(const CompactionOptions& options) {
+  MutexLock lock(core_->writer_mu);
+  core_->compaction = options;
+}
+
+void CagraIndex::WaitForCompaction() const {
+  MutexLock lock(core_->bg_mu);
+  while (core_->bg_inflight) core_->bg_cv.Wait(core_->bg_mu);
 }
 
 namespace {
@@ -104,6 +669,9 @@ namespace {
 /// written before the PQ trailer existed; Load treats EOF there as
 /// "no extras".
 constexpr uint64_t kIndexFlagPq = 1ull << 0;
+/// External-id-map trailer (u64 count + u32 ids), written once
+/// compaction has renumbered internal rows away from identity.
+constexpr uint64_t kIndexFlagIdMap = 1ull << 1;
 
 template <typename T>
 bool WriteVec(std::FILE* f, const std::vector<T>& v) {
@@ -120,53 +688,73 @@ bool ReadVec(std::FILE* f, std::vector<T>* v) {
 }  // namespace
 
 Status CagraIndex::Save(const std::string& path) const {
-  if (out_of_core() && path == mmap_->path()) {
+  const std::shared_ptr<const IndexSnapshot> cur = snapshot();
+  if (cur->out_of_core() && path == cur->mmap->path()) {
     // Truncating the file this index is currently mapped over would
     // turn every later row access into a SIGBUS; refuse up front.
     return Status::InvalidArgument(
         path + ": cannot overwrite the file backing this out-of-core index");
   }
+  // Compact-on-save: a tombstoned index serializes its compacted form —
+  // dead rows dropped, graph repaired, ids remapped — so Load always
+  // yields a dense index. This is also how an out-of-core index (whose
+  // in-memory form only tombstones) compacts: Save to a new file, then
+  // LoadOutOfCore it.
+  const std::shared_ptr<const IndexSnapshot> snap =
+      cur->num_dead != 0 ? CompactSnapshot(*cur) : cur;
+
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return Status::IoError("cannot open " + path + " for writing");
-  const uint64_t header[5] = {kIndexMagic, size(), dim(), graph_.degree(),
-                              static_cast<uint64_t>(metric_)};
+  const uint64_t header[5] = {kIndexMagic, snap->num_rows, snap->num_dims,
+                              snap->degree(),
+                              static_cast<uint64_t>(snap->metric)};
   if (std::fwrite(header, sizeof(header), 1, f.get()) != 1) {
     return Status::IoError(path + ": header write failed");
   }
   // Fp32Data reads through the active storage tier, so an out-of-core
   // index saves the same bytes a resident one would.
-  const size_t n = size() * dim();
+  const size_t n = snap->num_rows * snap->num_dims;
   if (n != 0 &&
-      std::fwrite(Fp32Data(), sizeof(float), n, f.get()) != n) {
+      std::fwrite(snap->Fp32Data(), sizeof(float), n, f.get()) != n) {
     return Status::IoError(path + ": dataset write failed");
   }
-  const auto& edges = graph_.edges();
+  const auto& edges = snap->GraphRef().edges();
   if (!edges.empty() &&
       std::fwrite(edges.data(), sizeof(uint32_t), edges.size(), f.get()) !=
           edges.size()) {
     return Status::IoError(path + ": graph write failed");
   }
-  // Optional trailer: the PQ copy (codebooks + OPQ rotation + row norms
+  // Optional trailers: the PQ copy (codebooks + OPQ rotation + row norms
   // + codes) travels with the index so a loaded index searches
   // Precision::kPq without retraining — the rotation is part of the
-  // codebook's coordinate system and must never be separated from it.
-  const uint64_t flags = pq_.empty() ? 0 : kIndexFlagPq;
+  // codebook's coordinate system and must never be separated from it —
+  // and the external id map so results keep reporting stable ids.
+  const uint64_t flags = (snap->HasPq() ? kIndexFlagPq : 0) |
+                         (snap->id_map != nullptr ? kIndexFlagIdMap : 0);
   if (std::fwrite(&flags, sizeof(flags), 1, f.get()) != 1) {
     return Status::IoError(path + ": flags write failed");
   }
-  if (!pq_.empty()) {
+  if (snap->HasPq()) {
+    const PqDataset& pq = *snap->pq;
     // row_norm2 is deliberately NOT serialized: its contract is
     // bit-compatibility with the *active* ADC kernel, so the loading
     // host recomputes it from codes + centroid norms.
-    const uint64_t pq_header[5] = {pq_.dim, pq_.dsub, pq_.num_subspaces(),
-                                   pq_.rows(),
-                                   pq_.HasRotation() ? 1ull : 0ull};
+    const uint64_t pq_header[5] = {pq.dim, pq.dsub, pq.num_subspaces(),
+                                   pq.rows(),
+                                   pq.HasRotation() ? 1ull : 0ull};
     if (std::fwrite(pq_header, sizeof(pq_header), 1, f.get()) != 1 ||
-        !WriteVec(f.get(), pq_.rotation) ||
-        !WriteVec(f.get(), pq_.centroids) ||
-        !WriteVec(f.get(), pq_.centroid_norm2) ||
-        !WriteVec(f.get(), pq_.codes.data())) {
+        !WriteVec(f.get(), pq.rotation) ||
+        !WriteVec(f.get(), pq.centroids) ||
+        !WriteVec(f.get(), pq.centroid_norm2) ||
+        !WriteVec(f.get(), pq.codes.data())) {
       return Status::IoError(path + ": pq write failed");
+    }
+  }
+  if (snap->id_map != nullptr) {
+    const uint64_t count = snap->id_map->size();
+    if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1 ||
+        !WriteVec(f.get(), *snap->id_map)) {
+      return Status::IoError(path + ": id map write failed");
     }
   }
   // Buffered data is only handed to the OS at flush/close, and the
@@ -226,8 +814,10 @@ Result<CagraIndex> CagraIndex::LoadImpl(const std::string& path,
     }
   }
 
-  CagraIndex index;
-  index.metric_ = static_cast<Metric>(header[4]);
+  auto snap = std::make_shared<IndexSnapshot>();
+  snap->num_rows = rows;
+  snap->num_dims = dim;
+  snap->metric = static_cast<Metric>(header[4]);
   if (out_of_core) {
     // The fp32 rows stay on disk: validate and map the dataset section
     // instead of reading it, then continue to the graph past it. The
@@ -236,7 +826,7 @@ Result<CagraIndex> CagraIndex::LoadImpl(const std::string& path,
     CAGRA_ASSIGN_OR_RETURN(
         MmapMatrix mapped,
         MmapMatrix::Open(path, rows, dim, sizeof(header)));
-    index.mmap_ = std::make_shared<const MmapMatrix>(std::move(mapped));
+    snap->mmap = std::make_shared<const MmapMatrix>(std::move(mapped));
     const uint64_t graph_off =
         sizeof(header) +
         static_cast<uint64_t>(rows) * dim * sizeof(float);
@@ -244,31 +834,36 @@ Result<CagraIndex> CagraIndex::LoadImpl(const std::string& path,
       return Status::IoError(path + ": cannot seek past dataset section");
     }
   } else {
-    index.dataset_ = Matrix<float>(rows, dim);
-    auto* vec = index.dataset_.mutable_data();
+    auto dataset = std::make_shared<Matrix<float>>(rows, dim);
+    auto* vec = dataset->mutable_data();
     if (!vec->empty() &&
         std::fread(vec->data(), sizeof(float), vec->size(), f.get()) !=
             vec->size()) {
       return Status::IoError(path + ": dataset read failed");
     }
+    snap->dataset = std::move(dataset);
   }
-  index.graph_ = FixedDegreeGraph(rows, degree);
-  std::vector<uint32_t> edges(rows * degree);
-  if (!edges.empty() &&
-      std::fread(edges.data(), sizeof(uint32_t), edges.size(), f.get()) !=
-          edges.size()) {
-    return Status::IoError(path + ": graph read failed");
+  {
+    FixedDegreeGraph graph(rows, degree);
+    std::vector<uint32_t> edges(rows * degree);
+    if (!edges.empty() &&
+        std::fread(edges.data(), sizeof(uint32_t), edges.size(), f.get()) !=
+            edges.size()) {
+      return Status::IoError(path + ": graph read failed");
+    }
+    for (size_t v = 0; v < rows; v++) {
+      uint32_t* row = graph.MutableNeighbors(v);
+      std::copy(edges.begin() + v * degree,
+                edges.begin() + (v + 1) * degree, row);
+    }
+    snap->graph = std::make_shared<const FixedDegreeGraph>(std::move(graph));
   }
-  for (size_t v = 0; v < rows; v++) {
-    uint32_t* row = index.graph_.MutableNeighbors(v);
-    std::copy(edges.begin() + v * degree, edges.begin() + (v + 1) * degree,
-              row);
-  }
+  uint32_t next_external = static_cast<uint32_t>(rows);
   uint64_t flags = 0;
   if (std::fread(&flags, sizeof(flags), 1, f.get()) != 1) {
-    return index;  // pre-trailer file: no optional sections
+    flags = 0;  // pre-trailer file: no optional sections
   }
-  if ((flags & ~kIndexFlagPq) != 0) {
+  if ((flags & ~(kIndexFlagPq | kIndexFlagIdMap)) != 0) {
     // A flags word with bits this reader doesn't know is either a
     // future format or torn data mid-file; both fail cleanly rather
     // than misparse the trailer.
@@ -279,7 +874,8 @@ Result<CagraIndex> CagraIndex::LoadImpl(const std::string& path,
     if (std::fread(pq_header, sizeof(pq_header), 1, f.get()) != 1) {
       return Status::IoError(path + ": pq header read failed");
     }
-    PqDataset& pq = index.pq_;
+    auto pq_owned = std::make_shared<PqDataset>();
+    PqDataset& pq = *pq_owned;
     pq.dim = pq_header[0];
     pq.dsub = pq_header[1];
     const size_t m_subs = pq_header[2];
@@ -335,19 +931,68 @@ Result<CagraIndex> CagraIndex::LoadImpl(const std::string& path,
     // Rebuild with this host's active ADC kernel so the fused cosine
     // path keeps its bit-compatibility contract across SIMD tiers.
     RecomputePqRowNorms(&pq);
+    snap->pq = std::move(pq_owned);
   }
+  if (flags & kIndexFlagIdMap) {
+    uint64_t count = 0;
+    if (std::fread(&count, sizeof(count), 1, f.get()) != 1) {
+      return Status::IoError(path + ": id map header read failed");
+    }
+    if (count != rows) {
+      return Status::IoError(path + ": id map inconsistent with index");
+    }
+    {
+      const off_t pos = ::ftello(f.get());
+      if (pos < 0 || static_cast<uint64_t>(pos) > file_size) {
+        return Status::IoError(path + ": cannot determine file size");
+      }
+      const uint64_t rem = file_size - static_cast<uint64_t>(pos);
+      if (count != 0 && sizeof(uint32_t) > rem / count) {
+        return Status::IoError(
+            path + ": id map inconsistent with file size (truncated?)");
+      }
+    }
+    std::vector<uint32_t> map(count);
+    if (!ReadVec(f.get(), &map)) {
+      return Status::IoError(path + ": id map read failed");
+    }
+    // Strictly increasing is InternalId's binary-search contract;
+    // anything else is torn data.
+    for (size_t i = 1; i < map.size(); i++) {
+      if (map[i] <= map[i - 1]) {
+        return Status::IoError(path + ": id map not strictly increasing");
+      }
+    }
+    if (!map.empty()) next_external = map.back() + 1;
+    snap->id_map =
+        std::make_shared<const std::vector<uint32_t>>(std::move(map));
+  }
+
+  CagraIndex index;
+  index.StoreSnapshot(std::move(snap));
+  index.core_->next_external_id.store(next_external,
+                                      std::memory_order_relaxed);
   return index;
 }
 
 Status CagraIndex::EnableOutOfCore(const std::string& path) {
-  if (out_of_core()) {
-    if (path == mmap_->path()) return Status::Ok();  // idempotent
+  MutexLock lock(core_->writer_mu);
+  const IndexSnapshot& cur = Current();
+  if (cur.out_of_core()) {
+    if (path == cur.mmap->path()) return Status::Ok();  // idempotent
     return Status::InvalidArgument(
-        "index is already out-of-core over " + mmap_->path());
+        "index is already out-of-core over " + cur.mmap->path());
   }
-  if (dataset_.empty()) {
+  if (cur.dataset == nullptr || cur.dataset->empty()) {
     return Status::InvalidArgument(
         "index has no resident fp32 dataset to replace");
+  }
+  if (cur.num_dead != 0) {
+    // Save() writes the compacted form, so the file's rows cannot line
+    // up with this index's internal ids while tombstones are pending.
+    return Status::FailedPrecondition(
+        "index has tombstoned rows: Compact() before EnableOutOfCore so "
+        "the mapped rows line up with the live internal ids");
   }
   // `path` must hold Save() output for *this* index: check the header
   // against the live shape/metric before trusting the mapped rows. A
@@ -362,19 +1007,20 @@ Status CagraIndex::EnableOutOfCore(const std::string& path) {
   if (header[0] != kIndexMagic) {
     return Status::IoError(path + ": not a CAGRA index file");
   }
-  if (header[1] != dataset_.rows() || header[2] != dataset_.dim() ||
-      header[4] != static_cast<uint64_t>(metric_)) {
+  if (header[1] != cur.num_rows || header[2] != cur.num_dims ||
+      header[4] != static_cast<uint64_t>(cur.metric)) {
     return Status::InvalidArgument(
         path + ": saved index does not match this index's shape/metric");
   }
   CAGRA_ASSIGN_OR_RETURN(
       MmapMatrix mapped,
-      MmapMatrix::Open(path, dataset_.rows(), dataset_.dim(),
-                       sizeof(header)));
-  mmap_ = std::make_shared<const MmapMatrix>(std::move(mapped));
+      MmapMatrix::Open(path, cur.num_rows, cur.num_dims, sizeof(header)));
+  auto next = std::make_shared<IndexSnapshot>(cur);
+  next->mmap = std::make_shared<const MmapMatrix>(std::move(mapped));
   // Release the resident fp32 copy — the whole point of the tier. The
   // graph and any fp16/int8/PQ copies stay hot.
-  dataset_ = Matrix<float>();
+  next->dataset = nullptr;
+  StoreSnapshot(std::move(next));
   return Status::Ok();
 }
 

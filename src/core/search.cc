@@ -135,27 +135,32 @@ Result<SearchResult> Search(const CagraIndex& index,
                             const SearchParams& params,
                             const DeviceSpec& device) {
   const Precision precision = params.precision;
-  if (index.size() == 0) return Status::InvalidArgument("index is empty");
-  if (queries.dim() != index.dim()) {
+  // The whole search consumes ONE pinned version of the index: every
+  // read below — validation, kernels, rerank, id translation — goes
+  // through `snap`, so a concurrent Add/Remove/Compact (which publishes
+  // a successor snapshot) can never change or tear this call's view.
+  const std::shared_ptr<const IndexSnapshot> snap = index.snapshot();
+  if (snap->size() == 0) return Status::InvalidArgument("index is empty");
+  if (queries.dim() != snap->dim()) {
     return Status::InvalidArgument("query dim does not match index dim");
   }
   Status valid = ValidateSearchParams(params);
   if (!valid.ok()) return valid;
-  if (precision == Precision::kFp16 && !index.HasHalfPrecision()) {
+  if (precision == Precision::kFp16 && !snap->HasHalf()) {
     return Status::InvalidArgument(
         "fp16 search requires EnableHalfPrecision() on the index");
   }
-  if (precision == Precision::kInt8 && !index.HasInt8()) {
+  if (precision == Precision::kInt8 && !snap->HasInt8()) {
     return Status::InvalidArgument(
         "int8 search requires EnableInt8Quantization() on the index");
   }
-  if (precision == Precision::kPq && !index.HasPq()) {
+  if (precision == Precision::kPq && !snap->HasPq()) {
     return Status::InvalidArgument(
         "PQ search requires EnablePq() on the index");
   }
 
   const size_t batch = queries.rows();
-  const size_t d = index.degree();
+  const size_t d = snap->degree();
 
   // --- Mode selection (Fig. 7 rule; thresholds track the device).
   // ResolveBatchShape is the single owner of the batch-shape auto
@@ -164,7 +169,7 @@ Result<SearchResult> Search(const CagraIndex& index,
   const SearchParams shaped = ResolveBatchShape(params, device, batch);
   const SearchAlgo algo = shaped.algo;
 
-  ResolvedConfig cfg = ResolveConfig(params, algo, d, index.size());
+  ResolvedConfig cfg = ResolveConfig(params, algo, d, snap->size());
   cfg.cta_per_query =
       algo == SearchAlgo::kMultiCta ? shaped.cta_per_query : 1;
   cfg.cancel = params.cancel;
@@ -187,7 +192,7 @@ Result<SearchResult> Search(const CagraIndex& index,
     cfg.k = rerank_n;
   }
 
-  const DatasetView dataset(index, precision);
+  const DatasetView dataset(*snap, precision);
 
   // --- Functional execution, one query at a time (parallel on the host;
   // counters are accumulated per query then reduced).
@@ -230,12 +235,12 @@ Result<SearchResult> Search(const CagraIndex& index,
     bool cut = false;
     size_t iters;
     if (algo == SearchAlgo::kMultiCta) {
-      iters = internal_search::SearchMultiCta(dataset, index.graph(),
+      iters = internal_search::SearchMultiCta(dataset, snap->GraphRef(),
                                               queries.Row(q), cfg, query_seed,
                                               ids, dists, &counters, scratch,
                                               &cut);
     } else {
-      iters = internal_search::SearchSingleCta(dataset, index.graph(),
+      iters = internal_search::SearchSingleCta(dataset, snap->GraphRef(),
                                                queries.Row(q), cfg,
                                                query_seed, ids, dists,
                                                &counters, scratch, &cut);
@@ -295,7 +300,7 @@ Result<SearchResult> Search(const CagraIndex& index,
     // pages the rescore is about to fault in, one sorted+coalesced
     // MADV_WILLNEED pass per query, so the reads overlap the rescoring
     // of earlier queries instead of serializing behind it.
-    if (const MmapMatrix* mapped = index.out_of_core_dataset()) {
+    if (const MmapMatrix* mapped = snap->mmap.get()) {
       auto prefetch_query = [&](size_t q) {
         mapped->PrefetchRows(cand_ids.data() + q * rerank_n, rerank_n);
       };
@@ -305,7 +310,7 @@ Result<SearchResult> Search(const CagraIndex& index,
         pool->ParallelFor(0, batch, prefetch_query);
       }
     }
-    const float* base = index.Fp32Data();
+    const float* base = snap->Fp32Data();
     constexpr size_t kRerankBlock = 256;
     auto rerank_query = [&](size_t q) {
       uint32_t* out_ids = result.neighbors.ids.data() + q * out_k;
@@ -327,11 +332,11 @@ Result<SearchResult> Search(const CagraIndex& index,
           break;
         }
         const size_t b = std::min(kRerankBlock, n - i0);
-        ComputeDistanceGather(index.metric(), queries.Row(q), base,
-                              index.dim(), cids + i0, b, exact.data() + i0);
+        ComputeDistanceGather(snap->metric, queries.Row(q), base,
+                              snap->dim(), cids + i0, b, exact.data() + i0);
         counters.distance_computations += b;
-        counters.distance_elements += b * index.dim();
-        counters.device_vector_bytes += b * index.dim() * sizeof(float);
+        counters.distance_elements += b * snap->dim();
+        counters.device_vector_bytes += b * snap->dim() * sizeof(float);
       }
       if (cut) {
         // Partial per the SearchResult::complete contract: fall back to
@@ -357,6 +362,16 @@ Result<SearchResult> Search(const CagraIndex& index,
       for (size_t q = 0; q < batch; q++) rerank_query(q);
     } else {
       pool->ParallelFor(0, batch, rerank_query);
+    }
+  }
+  // Translate internal row ids to stable external ids. A no-op (null
+  // map) until compaction has renumbered rows, so unmutated indexes
+  // return exactly the pre-refactor ids. This runs after the rerank,
+  // which fetches rows by internal id.
+  if (snap->id_map != nullptr) {
+    const std::vector<uint32_t>& map = *snap->id_map;
+    for (uint32_t& id : result.neighbors.ids) {
+      if (id != internal_search::kInvalidEntry) id = map[id];
     }
   }
   result.host_seconds = timer.Seconds();
@@ -401,7 +416,7 @@ Result<SearchResult> Search(const CagraIndex& index,
       (algo == SearchAlgo::kMultiCta ? kMultiCtaLocalTopM : cfg.itopk) +
       launch.candidates_per_iter;
   launch.shared_mem_per_cta =
-      buffer_entries * sizeof(KeyValue) + index.dim() * sizeof(float);
+      buffer_entries * sizeof(KeyValue) + snap->dim() * sizeof(float);
   if (cfg.hash_in_shared && algo != SearchAlgo::kMultiCta) {
     launch.shared_mem_per_cta += (1ull << cfg.hash_bits) * sizeof(uint32_t);
   }

@@ -7,8 +7,8 @@
 #include <memory>
 #include <vector>
 
-#include "core/index.h"
 #include "core/params.h"
+#include "core/snapshot.h"
 #include "gpusim/counters.h"
 #include "util/bitonic.h"
 #include "util/visited_set.h"
@@ -33,8 +33,12 @@ constexpr uint32_t kInvalidEntry = 0xffffffffu;
 /// other modes Prepare is a free passthrough.
 class DatasetView {
  public:
-  DatasetView(const CagraIndex& index, Precision precision)
-      : index_(index), precision_(precision) {}
+  /// Views one immutable index version: everything a kernel touches —
+  /// rows, graph-adjacent tiers, tombstones — resolves through `snap`,
+  /// so a view taken at Search entry is immune to concurrent writers.
+  /// The snapshot must outlive the view (Search pins it by shared_ptr).
+  DatasetView(const IndexSnapshot& snap, Precision precision)
+      : snap_(snap), precision_(precision) {}
 
   /// A query prepared for this view: the raw fp32 query plus, for PQ,
   /// the per-query ADC tables (owned by the caller's scratch).
@@ -46,12 +50,12 @@ class DatasetView {
   QueryView Prepare(const float* query, PqAdcTable* adc_storage,
                     KernelCounters* counters) const {
     if (precision_ != Precision::kPq) return {query, nullptr};
-    const PqDataset& pq = index_.pq_dataset();
-    BuildAdcTable(pq, query, index_.metric(), adc_storage);
+    const PqDataset& pq = snap_.PqRef();
+    BuildAdcTable(pq, query, snap_.metric, adc_storage);
     // Building the tables scores every centroid once (kNumCentroids
     // full-dim distance equivalents) and streams the codebook.
     counters->distance_computations += PqDataset::kNumCentroids;
-    counters->distance_elements += PqDataset::kNumCentroids * index_.dim();
+    counters->distance_elements += PqDataset::kNumCentroids * snap_.dim();
     counters->device_vector_bytes += pq.CodebookBytes();
     return {query, adc_storage};
   }
@@ -63,25 +67,24 @@ class DatasetView {
     counters->device_vector_bytes += RowBytes();
     switch (precision_) {
       case Precision::kFp16:
-        return ComputeDistance(index_.metric(), q.query,
-                               index_.half_dataset().Row(id), index_.dim());
+        return ComputeDistance(snap_.metric, q.query,
+                               snap_.HalfRef().Row(id), snap_.dim());
       case Precision::kInt8: {
-        const QuantizedDataset& i8 = index_.int8_dataset();
-        return ComputeDistance(index_.metric(), q.query, i8.codes.Row(id),
+        const QuantizedDataset& i8 = snap_.Int8Ref();
+        return ComputeDistance(snap_.metric, q.query, i8.codes.Row(id),
                                i8.scale.data(), i8.offset.data(),
-                               index_.dim());
+                               snap_.dim());
       }
       case Precision::kPq:
-        return ComputeDistanceAdc(*q.adc, index_.pq_dataset().codes.Row(id),
-                                  id);
+        return ComputeDistanceAdc(*q.adc, snap_.PqRef().codes.Row(id), id);
       case Precision::kFp32:
         break;
     }
     // Fp32Row reads through the active storage tier: the RAM-resident
     // matrix, or the mmap view when the index is out-of-core. Same
     // bytes either way, so every dispatch tier stays bit-identical.
-    return ComputeDistance(index_.metric(), q.query, index_.Fp32Row(id),
-                           index_.dim());
+    return ComputeDistance(snap_.metric, q.query, snap_.Fp32Row(id),
+                           snap_.dim());
   }
 
   /// Batched variant of Distance: out[i] = distance(query, row ids[i]).
@@ -97,27 +100,26 @@ class DatasetView {
     counters->device_vector_bytes += n * RowBytes();
     switch (precision_) {
       case Precision::kFp16:
-        ComputeDistanceGather(index_.metric(), q.query,
-                              index_.half_dataset().data().data(),
-                              index_.dim(), ids, n, out);
+        ComputeDistanceGather(snap_.metric, q.query,
+                              snap_.HalfRef().data().data(), snap_.dim(),
+                              ids, n, out);
         return;
       case Precision::kInt8: {
-        const QuantizedDataset& i8 = index_.int8_dataset();
-        ComputeDistanceGather(index_.metric(), q.query,
+        const QuantizedDataset& i8 = snap_.Int8Ref();
+        ComputeDistanceGather(snap_.metric, q.query,
                               i8.codes.data().data(), i8.scale.data(),
-                              i8.offset.data(), index_.dim(), ids, n, out);
+                              i8.offset.data(), snap_.dim(), ids, n, out);
         return;
       }
       case Precision::kPq:
-        ComputeDistanceAdcGather(*q.adc,
-                                 index_.pq_dataset().codes.data().data(),
+        ComputeDistanceAdcGather(*q.adc, snap_.PqRef().codes.data().data(),
                                  ids, n, out);
         return;
       case Precision::kFp32:
         break;
     }
-    ComputeDistanceGather(index_.metric(), q.query, index_.Fp32Data(),
-                          index_.dim(), ids, n, out);
+    ComputeDistanceGather(snap_.metric, q.query, snap_.Fp32Data(),
+                          snap_.dim(), ids, n, out);
   }
 
   size_t ElemBytes() const {
@@ -134,23 +136,28 @@ class DatasetView {
   }
   size_t RowBytes() const {
     if (precision_ == Precision::kPq) {
-      return index_.pq_dataset().RowBytes();
+      return snap_.PqRef().RowBytes();
     }
-    return index_.dim() * ElemBytes();
+    return snap_.dim() * ElemBytes();
   }
   /// Work one distance computation prices into distance_elements: the
   /// summed dims for decoded modes, M table adds for ADC.
   size_t ElementsPerDistance() const {
     if (precision_ == Precision::kPq) {
-      return index_.pq_dataset().num_subspaces();
+      return snap_.PqRef().num_subspaces();
     }
-    return index_.dim();
+    return snap_.dim();
   }
-  size_t size() const { return index_.size(); }
-  size_t dim() const { return index_.dim(); }
+  size_t size() const { return snap_.size(); }
+  size_t dim() const { return snap_.dim(); }
+
+  /// The lazy tombstone filter, applied at result emission only (dead
+  /// nodes still route traversal): one branch on the usually-null
+  /// bitmap pointer, so unmutated indexes pay nothing.
+  bool Deleted(uint32_t id) const { return snap_.Deleted(id); }
 
  private:
-  const CagraIndex& index_;
+  const IndexSnapshot& snap_;
   Precision precision_;
 };
 

@@ -144,6 +144,9 @@ size_t SearchMultiCta(const DatasetView& dataset,
     if (written >= cfg.k) break;
     if (entry.value == prev) continue;  // sharing the hash should prevent
     prev = entry.value;                 // dupes, but stay defensive
+    // Lazy-delete filter: tombstoned rows routed the traversal but are
+    // dropped at emission, identically across every dispatch tier.
+    if (dataset.Deleted(entry.value)) continue;
     out_ids[written] = entry.value;
     out_dists[written] = entry.key;
     written++;

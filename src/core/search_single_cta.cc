@@ -167,12 +167,15 @@ size_t SearchSingleCta(const DatasetView& dataset,
 
   // --- Output: top-k of the internal list, parent flags stripped,
   // defensively deduplicated (duplicates are possible only after a
-  // forgettable reset re-admits an evicted node).
+  // forgettable reset re-admits an evicted node). Tombstoned rows are
+  // filtered here and only here — the lazy-delete contract: dead nodes
+  // routed the traversal above but can never be returned.
   size_t written = 0;
   for (const auto& entry : topm) {
     if (written >= cfg.k) break;
     if (entry.value == kInvalidEntry || entry.key == kInf) continue;
     const uint32_t id = entry.value & kIndexMask;
+    if (dataset.Deleted(id)) continue;
     bool dup = false;
     for (size_t i = 0; i < written; i++) {
       if (out_ids[i] == id) {

@@ -253,15 +253,22 @@ Result<ShardedCagraIndex> ShardedCagraIndex::Build(
   Timer total;
   ShardedCagraIndex index;
   index.shards_.resize(num_shards);
-  index.global_ids_.assign(num_shards, {});
+  index.global_ids_.resize(num_shards);
   ShardedBuildStats local;
   local.per_shard.resize(num_shards);
 
   // Round-robin split (the paper notes real shard assignment involves
   // shuffling/splitting the indices; round-robin on a shuffled-identity
   // synthetic set is equivalent in distribution).
-  for (size_t i = 0; i < dataset.rows(); i++) {
-    index.global_ids_[i % num_shards].push_back(static_cast<uint32_t>(i));
+  {
+    std::vector<std::vector<uint32_t>> split(num_shards);
+    for (size_t i = 0; i < dataset.rows(); i++) {
+      split[i % num_shards].push_back(static_cast<uint32_t>(i));
+    }
+    for (size_t s = 0; s < num_shards; s++) {
+      index.global_ids_[s] =
+          std::make_shared<const std::vector<uint32_t>>(std::move(split[s]));
+    }
   }
 
   // Shard builds run in parallel, mirroring the one-GPU-per-shard build.
@@ -271,7 +278,7 @@ Result<ShardedCagraIndex> ShardedCagraIndex::Build(
   // re-entrant pool.
   std::vector<Status> shard_status(num_shards);
   GlobalThreadPool().ParallelFor(0, num_shards, [&](size_t s) {
-    const auto& ids = index.global_ids_[s];
+    const auto& ids = *index.global_ids_[s];
     Matrix<float> shard_data(ids.size(), dataset.dim());
     for (size_t local_row = 0; local_row < ids.size(); local_row++) {
       std::copy(dataset.Row(ids[local_row]),
@@ -306,6 +313,132 @@ void ShardedCagraIndex::EnablePq(const PqTrainParams& params) {
   for (auto& shard : shards_) shard.EnablePq(params);
 }
 
+Status ShardedCagraIndex::Add(const Matrix<float>& rows,
+                              std::vector<uint32_t>* global_ids) {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition(
+        "Add on an unbuilt sharded index: Build() first");
+  }
+  if (rows.rows() == 0) {
+    if (global_ids != nullptr) global_ids->clear();
+    return Status::Ok();
+  }
+  if (rows.dim() != dim()) {
+    return Status::InvalidArgument("row dim does not match index dim");
+  }
+  const size_t num_shards = shards_.size();
+  // The next global id: every id ever assigned has exactly one entry in
+  // global_ids_ (removals tombstone; they never shrink the map).
+  size_t next = 0;
+  for (const auto& ids : global_ids_) next += ids->size();
+
+  // Pre-validate so the per-shard loop below cannot fail halfway: the
+  // only remaining CagraIndex::Add failure is capacity, checked here
+  // against each shard's ever-assigned row count (>= its internal rows).
+  std::vector<size_t> incoming(num_shards, 0);
+  for (size_t j = 0; j < rows.rows(); j++) incoming[(next + j) % num_shards]++;
+  for (size_t s = 0; s < num_shards; s++) {
+    if (shards_[s].out_of_core()) {
+      return Status::FailedPrecondition(
+          "Add on an out-of-core sharded index: the mapped fp32 tiers "
+          "cannot grow in place");
+    }
+    if (global_ids_[s]->size() + incoming[s] > CagraIndex::kMaxDatasetSize) {
+      return Status::CapacityExceeded("shard would exceed 2^31 - 1 rows");
+    }
+  }
+
+  // Route each row to its shard, preserving input order within a shard:
+  // shard s receives its global ids in increasing order, which keeps
+  // shard-local external ids equal to global / num_shards. The shard
+  // mutates first, then the grown id map publishes (atomic_store), so a
+  // concurrent search that pinned the old map merely treats the new
+  // rows as padding until its next call.
+  for (size_t s = 0; s < num_shards; s++) {
+    if (incoming[s] == 0) continue;
+    Matrix<float> shard_rows(incoming[s], rows.dim());
+    size_t w = 0;
+    for (size_t j = 0; j < rows.rows(); j++) {
+      if ((next + j) % num_shards != s) continue;
+      std::copy(rows.Row(j), rows.Row(j) + rows.dim(),
+                shard_rows.MutableRow(w++));
+    }
+    CAGRA_RETURN_IF_ERROR(shards_[s].Add(shard_rows));
+    auto grown = std::make_shared<std::vector<uint32_t>>(*global_ids_[s]);
+    for (size_t j = 0; j < rows.rows(); j++) {
+      if ((next + j) % num_shards != s) continue;
+      grown->push_back(static_cast<uint32_t>(next + j));
+    }
+    std::atomic_store_explicit(&global_ids_[s],
+                               IdMapPtr(std::move(grown)),
+                               std::memory_order_release);
+  }
+  if (global_ids != nullptr) {
+    for (size_t j = 0; j < rows.rows(); j++) {
+      global_ids->push_back(static_cast<uint32_t>(next + j));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ShardedCagraIndex::Remove(const uint32_t* global_ids, size_t n) {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition(
+        "Remove on an unbuilt sharded index: Build() first");
+  }
+  const size_t num_shards = shards_.size();
+  // Validate everything against the current per-shard snapshots before
+  // any shard mutates (all-or-nothing across shards, matching the
+  // single-index contract within one).
+  std::vector<std::shared_ptr<const IndexSnapshot>> snaps(num_shards);
+  for (size_t s = 0; s < num_shards; s++) snaps[s] = shards_[s].snapshot();
+  std::vector<std::vector<uint32_t>> per_shard(num_shards);
+  for (size_t i = 0; i < n; i++) {
+    const uint32_t g = global_ids[i];
+    const size_t s = g % num_shards;
+    const uint32_t local = g / num_shards;
+    const uint32_t internal = snaps[s]->InternalId(local);
+    if (internal == IndexSnapshot::kNoInternal || snaps[s]->Deleted(internal)) {
+      return Status::NotFound("global id " + std::to_string(g) +
+                              " is not a live row");
+    }
+    per_shard[s].push_back(local);
+  }
+  for (size_t s = 0; s < num_shards; s++) {
+    if (per_shard[s].empty()) continue;
+    CAGRA_RETURN_IF_ERROR(
+        shards_[s].Remove(per_shard[s].data(), per_shard[s].size()));
+  }
+  return Status::Ok();
+}
+
+Status ShardedCagraIndex::Compact() {
+  for (auto& shard : shards_) {
+    CAGRA_RETURN_IF_ERROR(shard.Compact());
+  }
+  return Status::Ok();
+}
+
+void ShardedCagraIndex::SetCompactionOptions(const CompactionOptions& options) {
+  for (auto& shard : shards_) shard.SetCompactionOptions(options);
+}
+
+void ShardedCagraIndex::WaitForCompaction() const {
+  for (const auto& shard : shards_) shard.WaitForCompaction();
+}
+
+size_t ShardedCagraIndex::live_size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard.live_size();
+  return total;
+}
+
+size_t ShardedCagraIndex::tombstone_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard.tombstone_count();
+  return total;
+}
+
 Status ShardedCagraIndex::ValidateSearch(const SearchParams& params) const {
   if (shards_.empty()) return Status::InvalidArgument("no shards built");
   // Shared with the single-index front door so identical bad inputs
@@ -313,9 +446,20 @@ Status ShardedCagraIndex::ValidateSearch(const SearchParams& params) const {
   return ValidateSearchParams(params);
 }
 
+std::vector<ShardedCagraIndex::IdMapPtr> ShardedCagraIndex::PinIdMaps()
+    const {
+  std::vector<IdMapPtr> maps(global_ids_.size());
+  for (size_t s = 0; s < global_ids_.size(); s++) {
+    maps[s] = std::atomic_load_explicit(&global_ids_[s],
+                                        std::memory_order_acquire);
+  }
+  return maps;
+}
+
 void ShardedCagraIndex::MergeRows(
     const std::vector<std::pair<size_t, const SearchResult*>>& shard_results,
-    size_t begin, size_t rows, size_t k, NeighborList* out) const {
+    const std::vector<IdMapPtr>& maps, size_t begin, size_t rows, size_t k,
+    NeighborList* out) const {
   const size_t num_lists = shard_results.size();
   std::vector<ShardMergeList> lists(num_lists);
   for (size_t q = 0; q < rows; q++) {
@@ -323,7 +467,7 @@ void ShardedCagraIndex::MergeRows(
       const size_t s = shard_results[l].first;
       const NeighborList& n = shard_results[l].second->neighbors;
       lists[l] = {n.distances.data() + q * k, n.ids.data() + q * k, k,
-                  global_ids_[s].data(), global_ids_[s].size()};
+                  maps[s]->data(), maps[s]->size()};
     }
     MergeShardTopK(lists.data(), num_lists, k,
                    out->ids.data() + (begin + q) * k,
@@ -347,6 +491,10 @@ Result<SearchResult> ShardedCagraIndex::SearchBarrier(
   const size_t k = params.k;
   const size_t batch = queries.rows();
   const size_t num_shards = shards_.size();
+  // Pin the id translation alongside the shard snapshots the per-shard
+  // searches will pin: concurrent Adds publish grown maps, never move
+  // these.
+  const std::vector<IdMapPtr> maps = PinIdMaps();
 
   // Pin the batch-shape auto choices exactly as the streaming path does,
   // so both paths hand every shard identical effective params. The
@@ -406,7 +554,7 @@ Result<SearchResult> ShardedCagraIndex::SearchBarrier(
     }
     merged.emplace_back(s, &r.value());
   }
-  MergeRows(merged, 0, batch, k, &out.neighbors);
+  MergeRows(merged, maps, 0, batch, k, &out.neighbors);
   out.host_seconds = host.Seconds();
   out.host_qps = out.host_seconds > 0
                      ? static_cast<double>(batch) / out.host_seconds
@@ -460,6 +608,9 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
   const size_t num_shards = shards_.size();
   const CancelToken* caller_token = params.cancel;
   const bool cancelable = caller_token != nullptr;
+  // Pinned once for the whole streaming run; every chunk merge
+  // translates through the same maps (see PinIdMaps).
+  const std::vector<IdMapPtr> maps = PinIdMaps();
 
   // Auto choices that depend on the batch shape (execution mode,
   // multi-CTA width) are resolved once on the full batch: a chunk must
@@ -533,8 +684,8 @@ Result<SearchResult> ShardedCagraIndex::Search(const Matrix<float>& queries,
     }
     if (shard_results.empty()) return;  // fully shed chunk: padding stays
     const size_t begin = c * chunk_rows;
-    MergeRows(shard_results, begin, std::min(chunk_rows, batch - begin), k,
-              &out.neighbors);
+    MergeRows(shard_results, maps, begin,
+              std::min(chunk_rows, batch - begin), k, &out.neighbors);
   };
 
   Timer host;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/search.h"
@@ -83,6 +84,41 @@ class ShardedCagraIndex : public Searcher {
   void EnableInt8Quantization();
   void EnablePq(const PqTrainParams& params = PqTrainParams{});
 
+  // ------------------------------------------------------------------
+  // Write path. Mutations follow the per-shard snapshot model: each
+  // shard publishes a new version and concurrent searches keep reading
+  // the versions they pinned. Searches may run concurrently with these;
+  // *mutators themselves* must be externally serialized (single
+  // writer), because the round-robin id assignment below spans shards.
+
+  /// Inserts `rows`, continuing the round-robin layout: row j becomes
+  /// global id next_id + j and lands on shard (next_id + j) %
+  /// num_shards, so ids keep the invariant global = local * num_shards
+  /// + shard that the merge's id translation relies on. Assigned global
+  /// ids (monotone, never reused) are appended to `global_ids` when
+  /// non-null. All shapes are validated before any shard mutates.
+  [[nodiscard]] Status Add(const Matrix<float>& rows,
+                           std::vector<uint32_t>* global_ids = nullptr);
+
+  /// Tombstones the rows with the given global ids (lazy deletion, per
+  /// CagraIndex::Remove). Every id is validated against its shard's
+  /// current snapshot before any shard mutates — an unknown or already-
+  /// removed id fails the whole call with kNotFound, all-or-nothing.
+  [[nodiscard]] Status Remove(const uint32_t* global_ids, size_t n);
+  [[nodiscard]] Status Remove(const std::vector<uint32_t>& global_ids) {
+    return Remove(global_ids.data(), global_ids.size());
+  }
+
+  /// Synchronously compacts every shard (see CagraIndex::Compact).
+  [[nodiscard]] Status Compact();
+  /// Forwards the auto-compaction knobs to every shard.
+  void SetCompactionOptions(const CompactionOptions& options);
+  /// Blocks until no shard has a background compaction in flight.
+  void WaitForCompaction() const;
+
+  size_t live_size() const;
+  size_t tombstone_count() const;
+
   /// Streaming sharded search: the batch is split into chunks of
   /// params.shard_chunk_queries rows (0 = auto), every (chunk, shard)
   /// pair searches as an independent task on the global pool, and a
@@ -139,19 +175,35 @@ class ShardedCagraIndex : public Searcher {
       Precision precision, const DeviceSpec& device = DeviceSpec{}) const;
 
  private:
+  /// One shard's local-external-id -> global-id translation table,
+  /// immutable once published (Add publishes a grown copy).
+  using IdMapPtr = std::shared_ptr<const std::vector<uint32_t>>;
+
   Status ValidateSearch(const SearchParams& params) const;
+
+  /// The current per-shard id maps, pinned once per search (atomic
+  /// loads) so a concurrent Add — which publishes grown copies — can
+  /// never move the arrays under a running merge. A search whose shard
+  /// snapshot is newer than its pinned map treats the not-yet-mapped
+  /// rows as padding (a transient freshness gap, not a fault).
+  std::vector<IdMapPtr> PinIdMaps() const;
 
   /// Merges all queries in [begin, begin + rows) from the per-shard
   /// results `shard_results` — (shard index, result) pairs so a
   /// cancelled search can merge the subset of shards that finished —
-  /// into `out` at global rows (query q at local row q - begin).
+  /// into `out` at global rows (query q at local row q - begin),
+  /// translating shard-local ids through the pinned `maps`.
   void MergeRows(
       const std::vector<std::pair<size_t, const SearchResult*>>& shard_results,
-      size_t begin, size_t rows, size_t k, NeighborList* out) const;
+      const std::vector<IdMapPtr>& maps, size_t begin, size_t rows, size_t k,
+      NeighborList* out) const;
 
   std::vector<CagraIndex> shards_;
-  /// global_ids_[s][local] = dataset row of shard s's local row.
-  std::vector<std::vector<uint32_t>> global_ids_;
+  /// global_ids_[s]->at(local) = global id of shard s's local external
+  /// id `local`. Read via atomic_load (PinIdMaps), replaced via
+  /// atomic_store by Add; removals tombstone and never shrink a map, so
+  /// every id ever assigned stays translatable.
+  std::vector<IdMapPtr> global_ids_;
 };
 
 }  // namespace cagra

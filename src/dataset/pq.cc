@@ -515,6 +515,41 @@ PqDataset TrainPq(const Matrix<float>& dataset, const PqTrainParams& params) {
   return out;
 }
 
+PqDataset PqEncodeAppend(const PqDataset& pq, const Matrix<float>& rows) {
+  PqDataset out;
+  out.dim = pq.dim;
+  out.dsub = pq.dsub;
+  out.centroids = pq.centroids;
+  out.centroid_norm2 = pq.centroid_norm2;
+  out.rotation = pq.rotation;
+  const size_t n0 = pq.rows();
+  const size_t n = rows.rows();
+  const size_t m_subs = pq.num_subspaces();
+  out.codes = Matrix<uint8_t>(n0 + n, m_subs);
+  std::copy(pq.codes.data().begin(), pq.codes.data().end(),
+            out.codes.mutable_data()->begin());
+  uint8_t* new_codes = out.codes.mutable_data()->data() + n0 * m_subs;
+  if (out.HasRotation()) {
+    std::vector<std::vector<float>> rot_scratch(
+        GlobalThreadPool().num_slots());
+    for (auto& s : rot_scratch) s.resize(out.dim);
+    EncodeRows(n, out.dim, m_subs, out.dsub, out.centroids.data(),
+               [&](size_t slot, size_t r) {
+                 out.RotateQuery(rows.Row(r), rot_scratch[slot].data());
+                 return rot_scratch[slot].data();
+               },
+               new_codes, m_subs);
+  } else {
+    EncodeRows(n, out.dim, m_subs, out.dsub, out.centroids.data(),
+               [&](size_t, size_t r) { return rows.Row(r); }, new_codes,
+               m_subs);
+  }
+  // row_norm2 is deterministic per row from codes + centroid norms, so
+  // recomputing everything reproduces the old rows' values exactly.
+  RecomputePqRowNorms(&out);
+  return out;
+}
+
 void RecomputePqRowNorms(PqDataset* pq) {
   const size_t rows = pq->rows();
   const size_t m_subs = pq->num_subspaces();

@@ -96,6 +96,14 @@ struct PqTrainParams {
 [[nodiscard]] PqDataset TrainPq(const Matrix<float>& dataset,
                   const PqTrainParams& params = PqTrainParams{});
 
+/// Encodes `rows` through `pq`'s existing codebooks (and OPQ rotation,
+/// when trained) and returns a copy of `pq` with the new codes appended
+/// and row norms recomputed — the PQ half of CagraIndex::Add. The
+/// codebooks are never retrained here, so the existing rows' codes stay
+/// byte-identical and searches against old snapshots are unaffected.
+[[nodiscard]] PqDataset PqEncodeAppend(const PqDataset& pq,
+                                       const Matrix<float>& rows);
+
 /// Recomputes PqDataset::row_norm2 from the codes and centroid norms
 /// with the active ADC kernel (so the stored value is bit-identical to
 /// the LUT scan it replaces). TrainPq calls this; callers that rewrite

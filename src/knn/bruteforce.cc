@@ -253,6 +253,35 @@ NeighborList ExactSearch(const PqDataset& base, const Matrix<float>& queries,
       cancel, complete);
 }
 
+NeighborList ExactSearch(const IndexSnapshot& snap,
+                         const Matrix<float>& queries, size_t k,
+                         const CancelToken* cancel, bool* complete) {
+  const float* base = snap.Fp32Data();
+  const size_t dim = snap.dim();
+  NeighborList out = ScanToNeighborList(
+      snap.size(), queries.rows(), k, NoPrepare,
+      [&](int, size_t q, size_t i0, size_t block, float* dists) {
+        ComputeDistanceBatch(snap.metric, queries.Row(q), base + i0 * dim,
+                             block, dim, dists);
+        // Tombstoned rows become +inf so the heap's strict `<` gate
+        // never admits them — the exact scan sees only live rows.
+        for (size_t j = 0; j < block; j++) {
+          if (snap.Deleted(static_cast<uint32_t>(i0 + j))) {
+            dists[j] = std::numeric_limits<float>::infinity();
+          }
+        }
+      },
+      cancel, complete);
+  // Internal row ids -> stable external ids, matching what a graph
+  // Search on the same snapshot emits (padding passes through).
+  if (snap.id_map != nullptr) {
+    for (uint32_t& id : out.ids) {
+      if (id != kNoSkip) id = (*snap.id_map)[id];
+    }
+  }
+  return out;
+}
+
 Matrix<uint32_t> ComputeGroundTruth(const Matrix<float>& base,
                                     const Matrix<float>& queries, size_t k,
                                     Metric metric) {

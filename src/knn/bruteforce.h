@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/snapshot.h"
 #include "dataset/matrix.h"
 #include "dataset/pq.h"
 #include "dataset/quantize.h"
@@ -65,6 +66,20 @@ struct PqScanOptions {
 NeighborList ExactSearch(const PqDataset& base, const Matrix<float>& queries,
                          size_t k, Metric metric,
                          const PqScanOptions& options = PqScanOptions{},
+                         const CancelToken* cancel = nullptr,
+                         bool* complete = nullptr);
+
+/// Exhaustive fp32 scan over one immutable index version: every live
+/// internal row is scored (tombstoned rows are skipped — they can never
+/// appear in an exact result) and ids are emitted as *external* ids,
+/// the same id space CagraIndex::Search returns after a mutation. The
+/// ground-truth oracle for recall measurements on churned (Add/Remove)
+/// indexes: pin `snap = index.snapshot()` once and both the exact and
+/// the graph search score the identical row set. Reads through
+/// Fp32Data(), so it works on RAM-resident and out-of-core snapshots
+/// alike.
+NeighborList ExactSearch(const IndexSnapshot& snap,
+                         const Matrix<float>& queries, size_t k,
                          const CancelToken* cancel = nullptr,
                          bool* complete = nullptr);
 

@@ -240,6 +240,9 @@ void ServingScheduler::ExecuteBatch(
     if (group_has_deadline) p.cancel = &token;
 
     Timer timer;
+    // One Search per k-group; the search pins the index snapshot
+    // current at this point, so the whole group answers against one
+    // consistent version even while writers publish new ones.
     auto result = searcher_->Search(queries, p);
     const double search_us = timer.Seconds() * 1e6;
     const auto done = Clock::now();

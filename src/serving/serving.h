@@ -127,6 +127,15 @@ struct ServingStats {
 /// Thread safety: Submit and Snapshot may be called from any number of
 /// threads; Shutdown from one thread at a time (the destructor's call
 /// is safe after an explicit one — it becomes a no-op).
+///
+/// Serving a mutable index: the scheduler adds no locking of its own
+/// against writers and needs none. Every micro-batch executes one
+/// Search call, and a Search pins the index version (IndexSnapshot)
+/// current at its entry — so a concurrent Add/Remove/Compact on the
+/// underlying CagraIndex never tears a batch, and all requests
+/// coalesced into one batch answer against the same consistent version.
+/// Successive batches may observe successive versions, which is the
+/// expected freshness semantics of a continuously updated server.
 class ServingScheduler {
  public:
   using Clock = std::chrono::steady_clock;

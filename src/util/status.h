@@ -14,6 +14,11 @@ enum class StatusCode {
   kInvalidArgument,
   kOutOfRange,
   kNotFound,
+  /// The operation is valid in general but not against the object's
+  /// current state (e.g. Add on an out-of-core index, whose mapped fp32
+  /// tier cannot grow in place). Distinct from kInvalidArgument: the
+  /// arguments are fine, the receiver is in the wrong mode.
+  kFailedPrecondition,
   kIoError,
   kCapacityExceeded,
   kInternal,
@@ -59,6 +64,9 @@ class [[nodiscard]] Status {
   }
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
@@ -127,6 +135,9 @@ inline std::string Status::ToString() const {
     case StatusCode::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
     case StatusCode::kOutOfRange: name = "OUT_OF_RANGE"; break;
     case StatusCode::kNotFound: name = "NOT_FOUND"; break;
+    case StatusCode::kFailedPrecondition:
+      name = "FAILED_PRECONDITION";
+      break;
     case StatusCode::kIoError: name = "IO_ERROR"; break;
     case StatusCode::kCapacityExceeded: name = "CAPACITY_EXCEEDED"; break;
     case StatusCode::kInternal: name = "INTERNAL"; break;

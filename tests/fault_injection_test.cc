@@ -290,6 +290,51 @@ TEST_F(FaultMatrixTest, ShardScanFailureSurfacesTheInjectedStatus) {
   ASSERT_TRUE(again.ok()) << again.status().ToString();
 }
 
+TEST_F(FaultMatrixTest, GraphSwapFailureLeavesIndexUnchanged) {
+  // The graph_swap point guards every mutator's snapshot publish
+  // (Add / Remove / Compact / background compaction): a failure there
+  // must abort the publish atomically — the previous version keeps
+  // serving, bit-identically.
+  BuildParams bp;
+  bp.graph_degree = 8;
+  auto built = CagraIndex::Build(SliceQueries(data_->base, 0, 300), bp);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  CagraIndex index = std::move(built.value());
+  SearchParams sp = BaseParams();
+  auto before = Search(index, data_->queries, sp);
+  ASSERT_TRUE(before.ok());
+
+  FaultSpec fail;
+  fail.status = Status::Internal("injected publish failure");
+  FaultController::Instance().Arm("graph_swap", fail);
+
+  EXPECT_EQ(index.Add(SliceQueries(data_->base, 300, 1)).code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(index.size(), 300u);
+  EXPECT_EQ(index.Remove(std::vector<uint32_t>{1}).code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(index.tombstone_count(), 0u);
+
+  auto after = Search(index, data_->queries, sp);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->neighbors.ids, before->neighbors.ids);
+  EXPECT_EQ(after->neighbors.distances, before->neighbors.distances);
+
+  // A Compact publish failure keeps the tombstoned version intact…
+  FaultController::Instance().Reset();
+  ASSERT_TRUE(index.Remove(std::vector<uint32_t>{2}).ok());
+  FaultController::Instance().Arm("graph_swap", fail);
+  EXPECT_EQ(index.Compact().code(), StatusCode::kInternal);
+  EXPECT_EQ(index.tombstone_count(), 1u);
+  EXPECT_EQ(index.size(), 300u);
+
+  // …and everything recovers once the fault clears.
+  FaultController::Instance().Reset();
+  ASSERT_TRUE(index.Compact().ok());
+  EXPECT_EQ(index.size(), 299u);
+  EXPECT_EQ(index.tombstone_count(), 0u);
+}
+
 TEST_F(FaultMatrixTest, IndexLoadPropagatesInjectedIoFailure) {
   const std::string path = ::testing::TempDir() + "/fi_index.cagra";
   {

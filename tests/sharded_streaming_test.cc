@@ -131,6 +131,91 @@ INSTANTIATE_TEST_SUITE_P(Precisions, StreamingMatrixTest,
                            }
                          });
 
+// Interleaved Add/Remove/Search schedules must be scheduling-invariant
+// too: the same fixed mutation schedule replayed against fresh copies
+// of one pristine index yields EXPECT_EQ-identical results at every
+// search, whatever thread count or chunk size the searches use. Inserts
+// are seeded per external id and removals/compaction are deterministic,
+// so the only thing that varies across configs is scheduling — which
+// must never show through.
+TEST_F(StreamingDeterminismTest,
+       InterleavedMutationScheduleIsThreadCountInvariant) {
+  SyntheticData churn =
+      GenerateDataset(*FindProfile("DEEP-1M"), 340, 10, 911);
+  const Matrix<float> base = SliceQueries(churn.base, 0, 300);
+  BuildParams bp;
+  bp.graph_degree = 8;
+  auto built = ShardedCagraIndex::Build(base, bp, 3);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const ShardedCagraIndex pristine = std::move(built.value());
+
+  struct Config {
+    size_t threads;
+    size_t chunk;
+  };
+  // Serial reference first; pool-scheduled configs (threads == 0)
+  // appear twice to shake out arrival-order dependence.
+  const std::vector<Config> configs = {{1, 0},        {3, 7}, {0, 1},
+                                       {0, 1},        {0, 4}, {0, 0},
+                                       {0, 0}};
+  std::vector<uint32_t> ref_ids;
+  std::vector<float> ref_dists;
+
+  for (size_t cfg_i = 0; cfg_i < configs.size(); cfg_i++) {
+    const Config& cfg = configs[cfg_i];
+    ShardedCagraIndex index = pristine;  // shares snapshots, mutates apart
+    CompactionOptions opt;
+    opt.trigger_fraction = 2.0;  // schedule stays the only mutator
+    index.SetCompactionOptions(opt);
+
+    std::vector<uint32_t> got_ids;
+    std::vector<float> got_dists;
+    auto run_search = [&] {
+      SearchParams sp = BaseParams();
+      sp.num_threads = cfg.threads;
+      sp.shard_chunk_queries = cfg.chunk;
+      auto r = index.Search(churn.queries, sp);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      got_ids.insert(got_ids.end(), r->neighbors.ids.begin(),
+                     r->neighbors.ids.end());
+      got_dists.insert(got_dists.end(), r->neighbors.distances.begin(),
+                       r->neighbors.distances.end());
+    };
+
+    std::vector<uint32_t> live(300);
+    for (uint32_t i = 0; i < 300; i++) live[i] = i;
+    size_t next_pool = 300;
+    for (int step = 0; step < 5; step++) {
+      ASSERT_TRUE(index.Add(SliceQueries(churn.base, next_pool, 8)).ok());
+      for (uint32_t j = 0; j < 8; j++) {
+        live.push_back(static_cast<uint32_t>(next_pool + j));
+      }
+      next_pool += 8;
+      ASSERT_NO_FATAL_FAILURE(run_search());
+      std::vector<uint32_t> dead;
+      for (int j = 0; j < 5; j++) {
+        const size_t pick = (step * 37 + j * 11) % live.size();
+        dead.push_back(live[pick]);
+        live.erase(live.begin() + pick);
+      }
+      ASSERT_TRUE(index.Remove(dead).ok());
+      ASSERT_NO_FATAL_FAILURE(run_search());
+    }
+    ASSERT_TRUE(index.Compact().ok());
+    ASSERT_NO_FATAL_FAILURE(run_search());
+
+    if (cfg_i == 0) {
+      ref_ids = std::move(got_ids);
+      ref_dists = std::move(got_dists);
+    } else {
+      EXPECT_EQ(got_ids, ref_ids)
+          << "threads=" << cfg.threads << " chunk=" << cfg.chunk;
+      EXPECT_EQ(got_dists, ref_dists)
+          << "threads=" << cfg.threads << " chunk=" << cfg.chunk;
+    }
+  }
+}
+
 TEST_F(StreamingDeterminismTest, OpqStreamingIdenticalToSerialBarrier) {
   // The OPQ determinism matrix: the rotated-codebook ADC path must be
   // as scheduling-invariant as the plain one — streaming EXPECT_EQ to
